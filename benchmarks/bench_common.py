@@ -1,0 +1,43 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Kept outside ``conftest.py`` so bench modules can import it by name
+regardless of how pytest assembles ``sys.path``.
+"""
+
+from __future__ import annotations
+
+from repro import compare_methods
+from repro.core import SynthesisOptions
+from repro.suite import get_system
+
+_REPORTS: list[tuple[str, list[str]]] = []
+
+
+def record_table(title: str, lines: list[str]) -> None:
+    """Register a regenerated paper table for the end-of-run summary."""
+    _REPORTS.append((title, list(lines)))
+
+
+def recorded_tables() -> list[tuple[str, list[str]]]:
+    return list(_REPORTS)
+
+
+_COMPARISON_CACHE: dict[str, dict] = {}
+
+#: Search knobs per system: the 16/25-polynomial SG rows get a smaller
+#: descent budget so the whole Table 14.3 regeneration stays tractable.
+_OPTIONS: dict[str, SynthesisOptions] = {
+    "SG 4X2": SynthesisOptions(descent_budget=60),
+    "SG 4X3": SynthesisOptions(descent_budget=40),
+    "SG 5X2": SynthesisOptions(descent_budget=40),
+    "SG 5X3": SynthesisOptions(descent_budget=30),
+}
+
+
+def compare_system(name: str) -> dict:
+    """Cached compare_methods() over a named benchmark system."""
+    if name not in _COMPARISON_CACHE:
+        system = get_system(name)
+        options = _OPTIONS.get(name, SynthesisOptions())
+        _COMPARISON_CACHE[name] = compare_methods(system, options)
+    return _COMPARISON_CACHE[name]

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The MiBench automotive kernel: why coefficient extraction matters.
+
+Run:  python examples/automotive_mibench.py
+
+The two outputs share the weighted-energy form (a + 2b + 3c)^2 — but only
+*behind coefficients* (one output scales it by 4), so coefficient-literal
+CSE sees nothing.  The example walks the paper's algebra step by step:
+CCE (Algorithm 6) pulls the scaled group out, square-free factorization
+turns it into the square of a linear block, and the final CSE merges the
+blocks across outputs.
+"""
+
+from repro import compare_methods, improvement, synthesize_system
+from repro.core import BlockRegistry, common_coefficient_extraction
+from repro.factor import square_free_factorization
+from repro.suite import mibench_system
+
+
+def main() -> None:
+    system = mibench_system()
+    print(f"system: {system}")
+    for index, poly in enumerate(system.polys, start=1):
+        print(f"  P{index} = {poly}")
+    print()
+
+    # Step 1: CCE on the second output exposes the scaled energy group.
+    registry = BlockRegistry(system.variables)
+    outcome = common_coefficient_extraction(system.polys[1], registry)
+    assert outcome is not None
+    print("after CCE (Algorithm 6):")
+    print(f"  P2 = {outcome.poly}")
+    for name in outcome.extracted:
+        print(f"  {name} = {registry.ground[name]}")
+    print()
+
+    # Step 2: square-free factorization of the extracted block reveals the
+    # linear form.
+    for name in outcome.extracted:
+        ground = registry.ground[name]
+        if not ground.is_linear:
+            factorization = square_free_factorization(ground)
+            print(f"square-free factorization of {name}: {factorization}")
+    print()
+
+    # Step 3: the integrated flow does all of this (plus division and the
+    # final CSE) automatically.
+    result = synthesize_system(system)
+    print("integrated flow result:")
+    print(result.summary())
+    print()
+
+    outcomes = compare_methods(system)
+    baseline = outcomes["factor+cse"].hardware
+    proposed = outcomes["proposed"].hardware
+    print(
+        f"area: factorization+CSE {baseline.area:.0f} GE -> "
+        f"proposed {proposed.area:.0f} GE "
+        f"({improvement(baseline.area, proposed.area):.1f}% better)"
+    )
+
+
+if __name__ == "__main__":
+    main()

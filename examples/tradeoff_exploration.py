@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Area-delay trade-off exploration (the knob behind Table 14.3).
+
+Run:  python examples/tradeoff_exploration.py [system-name]
+
+The paper buys area with delay; this example makes the trade-off explicit
+by sweeping the flow's knobs on one benchmark system: the factorization+
+CSE baseline, the integrated flow under the area and op-count objectives,
+and the delay-oriented (tree-height-reduced) lowering of the area winner.
+"""
+
+import sys
+
+from repro import explore_tradeoffs
+from repro.suite import get_system
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "MVCS"
+    system = get_system(name)
+    print(f"system: {system}")
+    print()
+    points = explore_tradeoffs(system)
+    print(f"{'point':24s} {'area/GE':>9s} {'delay':>7s} {'MULT':>5s} {'ADD':>5s}")
+    for point in points:
+        print(
+            f"{point.label:24s} {point.area:9.0f} {point.delay:7.0f} "
+            f"{point.op_count.mul:5d} {point.op_count.add:5d}"
+        )
+    print()
+    best_area = min(points, key=lambda p: p.area)
+    best_delay = min(points, key=lambda p: p.delay)
+    print(f"best area : {best_area.label} ({best_area.area:.0f} GE)")
+    print(f"best delay: {best_delay.label} ({best_delay.delay:.0f} gates)")
+
+
+if __name__ == "__main__":
+    main()

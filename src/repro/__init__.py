@@ -1,0 +1,58 @@
+"""repro — reproduction of Gopalakrishnan & Kalla, DATE 2009.
+
+*Algebraic Techniques to Enhance Common Sub-expression Extraction for
+Polynomial System Synthesis.*
+
+Layers (bottom up):
+
+* :mod:`repro.poly` — sparse multivariate integer polynomials (arithmetic,
+  division, GCD);
+* :mod:`repro.factor` — square-free and full factorization, Horner forms;
+* :mod:`repro.rings` — polynomial functions over ``Z_2^m``, canonical
+  falling-factorial forms;
+* :mod:`repro.cse` — kernel/co-kernel extraction and multi-polynomial CSE;
+* :mod:`repro.expr` — factored expressions, decompositions, operator counts;
+* :mod:`repro.core` — the paper's integrated flow: CCE (Algorithm 6),
+  cube extraction, algebraic division, Poly_Synth (Algorithm 7);
+* :mod:`repro.dfg` / :mod:`repro.cost` — dataflow graphs and the hardware
+  area/delay model;
+* :mod:`repro.suite` / :mod:`repro.baselines` — benchmark systems and
+  comparison methods;
+* :mod:`repro.api` — one-call entry points.
+"""
+
+from repro.api import (
+    MethodOutcome,
+    TradeoffPoint,
+    compare_methods,
+    explore_tradeoffs,
+    improvement,
+    synthesize_system,
+)
+from repro.core import SynthesisOptions, SynthesisResult, synthesize
+from repro.expr import Decomposition, OpCount
+from repro.poly import Polynomial, parse_polynomial, parse_system
+from repro.rings import BitVectorSignature
+from repro.system import PolySystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitVectorSignature",
+    "Decomposition",
+    "MethodOutcome",
+    "OpCount",
+    "PolySystem",
+    "Polynomial",
+    "SynthesisOptions",
+    "SynthesisResult",
+    "TradeoffPoint",
+    "compare_methods",
+    "explore_tradeoffs",
+    "improvement",
+    "parse_polynomial",
+    "parse_system",
+    "synthesize",
+    "synthesize_system",
+    "__version__",
+]

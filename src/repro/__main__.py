@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+``synthesize``
+    Run the integrated flow on polynomials given on the command line and
+    print the decomposition, operator counts, and hardware estimate.
+``compare``
+    Compare all methods (direct / Horner / factorization+CSE / proposed)
+    on a named benchmark system or on given polynomials.
+``canon``
+    Print the canonical falling-factorial form of a polynomial over a
+    bit-vector signature.
+``factor``
+    Factor a polynomial over Z.
+``verilog``
+    Synthesize and emit a Verilog module.
+``systems``
+    List the built-in benchmark systems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    BitVectorSignature,
+    PolySystem,
+    compare_methods,
+    improvement,
+    parse_system,
+    synthesize_system,
+)
+from repro.cost import estimate_decomposition
+from repro.factor import factor_polynomial
+from repro.poly import parse_polynomial
+from repro.rings import to_canonical
+from repro.suite import available_systems, get_system
+
+
+def _system_from_args(args: argparse.Namespace) -> PolySystem:
+    if getattr(args, "system", None):
+        return get_system(args.system)
+    polys = parse_system(args.polynomials)
+    variables = tuple(sorted({v for p in polys for v in p.used_vars()}))
+    polys = [p.with_vars(variables) for p in polys]
+    signature = BitVectorSignature.uniform(variables, args.width)
+    return PolySystem("cli", tuple(polys), signature)
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    system = _system_from_args(args)
+    result = synthesize_system(system)
+    print(result.summary())
+    report = estimate_decomposition(result.decomposition, system.signature)
+    print(f"hardware: {report}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.report import markdown_report, text_report
+
+    system = _system_from_args(args)
+    outcomes = compare_methods(system)
+    if args.markdown:
+        print(markdown_report(system, outcomes))
+    else:
+        print(text_report(system, outcomes))
+    return 0
+
+
+def _cmd_canon(args: argparse.Namespace) -> int:
+    poly = parse_polynomial(args.polynomial)
+    variables = poly.used_vars() or ("x",)
+    signature = BitVectorSignature.uniform(variables, args.width)
+    print(to_canonical(poly.with_vars(variables), signature))
+    return 0
+
+
+def _cmd_factor(args: argparse.Namespace) -> int:
+    poly = parse_polynomial(args.polynomial)
+    print(factor_polynomial(poly))
+    return 0
+
+
+def _cmd_verilog(args: argparse.Namespace) -> int:
+    from repro.rtl import decomposition_to_verilog, testbench_for_system
+
+    system = _system_from_args(args)
+    result = synthesize_system(system)
+    sys.stdout.write(
+        decomposition_to_verilog(result.decomposition, system.signature, args.module)
+    )
+    if args.testbench:
+        sys.stdout.write("\n")
+        sys.stdout.write(
+            testbench_for_system(
+                list(system.polys), system.signature, args.module
+            )
+        )
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.verify import check_polynomials
+
+    left = parse_polynomial(args.left)
+    right = parse_polynomial(args.right)
+    variables = tuple(sorted(set(left.used_vars()) | set(right.used_vars()))) or ("x",)
+    signature = BitVectorSignature.uniform(variables, args.width)
+    report = check_polynomials(
+        left.with_vars(variables), right.with_vars(variables), signature
+    )
+    print(report)
+    return 0 if report else 1
+
+
+def _cmd_systems(args: argparse.Namespace) -> int:
+    for name in available_systems():
+        print(f"{name:16s} {get_system(name)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Polynomial datapath synthesis (Gopalakrishnan & Kalla, DATE'09)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_system_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("polynomials", nargs="*", help="polynomial expressions")
+        p.add_argument("--system", help="name of a built-in benchmark system")
+        p.add_argument("--width", type=int, default=16, help="bit-vector width")
+
+    p = sub.add_parser("synthesize", help="run the integrated flow")
+    add_system_options(p)
+    p.set_defaults(func=_cmd_synthesize)
+
+    p = sub.add_parser("compare", help="compare all methods")
+    add_system_options(p)
+    p.add_argument("--markdown", action="store_true", help="emit a Markdown table")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("canon", help="canonical form over Z_2^m")
+    p.add_argument("polynomial")
+    p.add_argument("--width", type=int, default=16)
+    p.set_defaults(func=_cmd_canon)
+
+    p = sub.add_parser("factor", help="factor a polynomial over Z")
+    p.add_argument("polynomial")
+    p.set_defaults(func=_cmd_factor)
+
+    p = sub.add_parser("verilog", help="synthesize and emit Verilog")
+    add_system_options(p)
+    p.add_argument("--module", default="datapath", help="Verilog module name")
+    p.add_argument(
+        "--testbench", action="store_true", help="also emit a self-checking testbench"
+    )
+    p.set_defaults(func=_cmd_verilog)
+
+    p = sub.add_parser("check", help="equivalence of two polynomials over Z_2^m")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.add_argument("--width", type=int, default=16)
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("systems", help="list built-in benchmark systems")
+    p.set_defaults(func=_cmd_systems)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "command", None) in ("synthesize", "compare", "verilog"):
+        if not args.polynomials and not args.system:
+            print("error: provide polynomials or --system NAME", file=sys.stderr)
+            return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

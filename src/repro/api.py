@@ -1,0 +1,149 @@
+"""One-call convenience API.
+
+>>> from repro import synthesize_system, compare_methods
+>>> from repro.suite import table_14_1_system
+>>> result = synthesize_system(table_14_1_system())
+>>> print(result.op_count)
+8 MULT, 1 ADD
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import (
+    direct_decomposition,
+    factor_cse_decomposition,
+    horner_baseline,
+)
+from repro.core import SynthesisOptions, SynthesisResult, synthesize
+from repro.cost import (
+    DEFAULT_MODEL,
+    HardwareReport,
+    TechnologyModel,
+    estimate_decomposition,
+)
+from repro.expr import Decomposition, OpCount
+from repro.system import PolySystem
+
+
+@dataclass(frozen=True)
+class MethodOutcome:
+    """One method's decomposition, operator count, and hardware estimate."""
+
+    method: str
+    decomposition: Decomposition
+    op_count: OpCount
+    hardware: HardwareReport
+
+
+def synthesize_system(
+    system: PolySystem, options: SynthesisOptions | None = None
+) -> SynthesisResult:
+    """Run the paper's integrated flow (Algorithm 7) on a PolySystem."""
+    return synthesize(list(system.polys), system.signature, options)
+
+
+def compare_methods(
+    system: PolySystem,
+    options: SynthesisOptions | None = None,
+    model: TechnologyModel = DEFAULT_MODEL,
+    methods: tuple[str, ...] = ("direct", "horner", "factor+cse", "proposed"),
+) -> dict[str, MethodOutcome]:
+    """Synthesize a system with every method and price the results.
+
+    This drives the Table 14.1 and Table 14.3 reproductions: operator
+    counts for the former, area/delay for the latter.
+    """
+    polys = list(system.polys)
+    outcomes: dict[str, MethodOutcome] = {}
+
+    def add(method: str, decomposition: Decomposition) -> None:
+        outcomes[method] = MethodOutcome(
+            method=method,
+            decomposition=decomposition,
+            op_count=decomposition.op_count(),
+            hardware=estimate_decomposition(decomposition, system.signature, model),
+        )
+
+    if "direct" in methods:
+        add("direct", direct_decomposition(polys))
+    if "horner" in methods:
+        add("horner", horner_baseline(polys))
+    if "factor+cse" in methods:
+        add("factor+cse", factor_cse_decomposition(polys))
+    if "ted" in methods:
+        from repro.ted import TedManager, ted_to_expression
+
+        manager = TedManager(system.variables)
+        roots = [manager.build(p) for p in polys]
+        add("ted", ted_to_expression(manager, roots))
+    if "proposed" in methods:
+        result = synthesize_system(system, options)
+        add("proposed", result.decomposition)
+    return outcomes
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the area-delay exploration."""
+
+    label: str
+    area: float
+    delay: float
+    op_count: OpCount
+
+
+def explore_tradeoffs(
+    system: PolySystem,
+    model: TechnologyModel = DEFAULT_MODEL,
+) -> list[TradeoffPoint]:
+    """Sweep the flow's area/delay knobs (the paper's central trade-off).
+
+    Points produced:
+
+    * ``baseline`` — factorization+CSE, chained lowering,
+    * ``proposed/area`` — the integrated flow under the area objective,
+    * ``proposed/ops`` — the integrated flow under the paper's op-count
+      objective,
+    * ``proposed/area+balanced`` — area objective with tree-height-reduced
+      (delay-oriented) lowering of the winning decomposition.
+
+    The points expose the knob the paper's Table 14.3 turns implicitly:
+    buying area with delay and vice versa.
+    """
+    from repro.baselines import factor_cse_decomposition
+    from repro.cost import estimate_graph
+    from repro.dfg import build_dfg
+
+    points: list[TradeoffPoint] = []
+
+    def add(label: str, decomposition: Decomposition, balanced: bool = False) -> None:
+        graph = build_dfg(decomposition, system.signature, balanced=balanced)
+        report = estimate_graph(graph, model)
+        points.append(
+            TradeoffPoint(label, report.area, report.delay, decomposition.op_count())
+        )
+
+    baseline = factor_cse_decomposition(list(system.polys))
+    add("baseline", baseline)
+
+    area_result = synthesize(list(system.polys), system.signature)
+    add("proposed/area", area_result.decomposition)
+    add("proposed/area+balanced", area_result.decomposition, balanced=True)
+
+    ops_result = synthesize(
+        list(system.polys), system.signature, SynthesisOptions(objective="ops")
+    )
+    add("proposed/ops", ops_result.decomposition)
+    return points
+
+
+def improvement(before: float, after: float) -> float:
+    """Percentage improvement, the paper's Table 14.3 convention.
+
+    Positive = the proposed method is better (smaller); negative = worse.
+    """
+    if before == 0:
+        return 0.0
+    return (before - after) / before * 100.0

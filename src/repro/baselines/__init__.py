@@ -1,0 +1,15 @@
+"""Comparison methods: direct, Horner, factorization+CSE [13], and
+Groebner library matching [19]."""
+
+from .direct import direct_decomposition
+from .factor_cse import factor_cse_decomposition
+from .horner import horner_baseline
+from .library_match import library_match_decomposition, match_library
+
+__all__ = [
+    "direct_decomposition",
+    "factor_cse_decomposition",
+    "horner_baseline",
+    "library_match_decomposition",
+    "match_library",
+]

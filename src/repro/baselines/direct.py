@@ -1,0 +1,22 @@
+"""The direct (expanded sum-of-products) implementation.
+
+No sharing, no factoring: one multiplier chain per term, one adder tree
+per polynomial.  This is the paper's "direct implementation" reference
+point (17 multipliers / 4 adders on the Table 14.1 system).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.expr import Decomposition, expr_from_polynomial
+from repro.poly import Polynomial
+
+
+def direct_decomposition(system: Sequence[Polynomial]) -> Decomposition:
+    """Implement every polynomial as its expanded SOP, nothing shared."""
+    decomposition = Decomposition(method="direct")
+    for poly in system:
+        decomposition.outputs.append(expr_from_polynomial(poly))
+    decomposition.validate(list(system))
+    return decomposition

@@ -1,0 +1,36 @@
+"""Factorization + CSE — the paper's main comparison method ([13], [14]).
+
+Kernel/co-kernel based common sub-expression extraction applied directly
+to the system as written, with coefficients treated as opaque literals
+(matched only when numerically identical) and per-polynomial algebraic
+refactoring of what remains.  This reproduces the behaviour of the
+JuanCSE flow the paper compares against: strong on shared cubes and
+kernels, blind to coefficient structure (``8x+16y+24z``), blind to
+symbolic identities (``x^2+2xy+y^2 = (x+y)^2``), and blind to
+finite-ring structure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cse import eliminate_common_subexpressions
+from repro.core.synth import refactored_expression
+from repro.expr import Decomposition
+from repro.poly import Polynomial
+
+
+def factor_cse_decomposition(
+    system: Sequence[Polynomial], max_rounds: int = 200
+) -> Decomposition:
+    """Kernel-intersection CSE plus per-output refactoring."""
+    polys = Polynomial.unify_all(list(system))
+    result = eliminate_common_subexpressions(polys, prefix="_f", max_rounds=max_rounds)
+    block_names = set(result.blocks)
+    decomposition = Decomposition(method="factor+cse")
+    for name, definition in result.blocks.items():
+        decomposition.blocks[name] = refactored_expression(definition, block_names)
+    for poly in result.polys:
+        decomposition.outputs.append(refactored_expression(poly, block_names))
+    decomposition.validate(list(system))
+    return decomposition

@@ -1,0 +1,21 @@
+"""Horner-form baseline (Table 14.1, column "Horner form")."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.expr import Decomposition
+from repro.factor import horner_decomposition
+from repro.poly import Polynomial
+
+
+def horner_baseline(
+    system: Sequence[Polynomial], mode: str = "univariate", var: str | None = None
+) -> Decomposition:
+    """Per-polynomial Horner decomposition, no cross-polynomial sharing.
+
+    ``mode="univariate"`` nests in a single main variable (the flavour
+    whose counts match the paper's Table 14.1: 15 MULT / 4 ADD);
+    ``mode="greedy"`` recursively Horners every sub-expression.
+    """
+    return horner_decomposition(list(system), mode=mode, var=var)

@@ -1,0 +1,106 @@
+"""Groebner-basis library matching (Peymandoust & De Micheli [19]).
+
+The alternative decomposition technique the paper's related-work section
+discusses: given a *component library* of polynomial building blocks
+(e.g. ``L1 = x + 3y``, ``L2 = x*y``), rewrite a datapath polynomial in
+terms of library outputs by Groebner reduction.
+
+Method: in the extended ring ``Q[x_1..x_d, u_1..u_k]`` with an
+elimination order (datapath variables larger than library variables),
+compute a Groebner basis of ``{ u_i - L_i(x) }`` and take the normal form
+of the target.  Monomials expressible through library outputs get
+rewritten into the ``u`` variables; whatever remains stays in ``x``.
+
+The result is packaged as a :class:`~repro.expr.decomposition.Decomposition`
+with one block per *used* library element, so it plugs into the same cost
+model and benchmarks as every other method.  Compared to the paper's flow
+this baseline needs the library to be *given* — the whole point of the
+paper is discovering the blocks automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.synth import refactored_expression
+from repro.expr import Decomposition
+from repro.poly import Polynomial
+from repro.rings.groebner import (
+    QPolynomial,
+    buchberger,
+    from_integer_polynomial,
+    reduce_polynomial,
+    to_integer_polynomial,
+)
+
+
+def _library_variable(index: int) -> str:
+    return f"_u{index + 1}"
+
+
+def match_library(
+    poly: Polynomial,
+    library: Sequence[Polynomial],
+    order: str = "lex",
+) -> Polynomial:
+    """Rewrite ``poly`` over library-output variables where possible.
+
+    Returns an integer polynomial over the original variables plus
+    ``_u1.._uk``; substituting each ``_ui`` by its library polynomial
+    reproduces the input exactly (tests enforce it).  Raises
+    ``ValueError`` when the normal form has non-integer coefficients
+    (possible for libraries with non-unit leading coefficients; such
+    rewrites are not implementable as integer datapaths and are refused).
+    """
+    if not library:
+        return poly
+    datapath_vars = sorted(
+        set(poly.used_vars())
+        | {v for block in library for v in block.used_vars()}
+    )
+    lib_vars = [_library_variable(i) for i in range(len(library))]
+    # Elimination order: datapath variables must be *larger*, so they are
+    # rewritten away first.  Our lex key compares left-to-right, so put
+    # the datapath variables first in the variable tuple.
+    variables = tuple(datapath_vars) + tuple(lib_vars)
+
+    generators = []
+    for index, block in enumerate(library):
+        u = Polynomial.variable(lib_vars[index], variables)
+        generators.append(
+            from_integer_polynomial(u - block.with_vars(variables), variables)
+        )
+    basis = buchberger(generators, order)
+    normal_form = reduce_polynomial(
+        from_integer_polynomial(poly, variables), basis, order
+    )
+    return to_integer_polynomial(normal_form).trim()
+
+
+def library_match_decomposition(
+    system: Sequence[Polynomial],
+    library: Sequence[Polynomial],
+) -> Decomposition:
+    """Decompose a whole system against a component library."""
+    decomposition = Decomposition(method="library-match")
+    block_names: set[str] = set()
+    used: set[int] = set()
+    rewritten: list[Polynomial] = []
+    for poly in system:
+        result = match_library(poly, library)
+        rewritten.append(result)
+        for index in range(len(library)):
+            if _library_variable(index) in result.used_vars():
+                used.add(index)
+    for index in sorted(used):
+        name = _library_variable(index)
+        block_names.add(name)
+    for index in sorted(used):
+        name = _library_variable(index)
+        decomposition.blocks[name] = refactored_expression(
+            library[index], block_names
+        )
+    for result in rewritten:
+        decomposition.outputs.append(refactored_expression(result, block_names))
+    decomposition.validate(list(Polynomial.unify_all(list(system))))
+    return decomposition

@@ -1,0 +1,71 @@
+"""The paper's contribution: the integrated CCE + algebra + CSE flow.
+
+Algorithm 6 (:mod:`repro.core.cce`), cube/kernel exposure
+(:mod:`repro.core.cube_extract`), algebraic division
+(:mod:`repro.core.algdiv`), the Fig. 14.1 representation lists
+(:mod:`repro.core.representations`), and Algorithm 7
+(:mod:`repro.core.synth`).
+"""
+
+from .algdiv import (
+    divide_by_block,
+    division_candidates,
+    refine_block_definitions,
+)
+from .blocks import BlockRegistry
+from .cce import CceResult, candidate_gcds, common_coefficient_extraction
+from .cube_extract import (
+    cube_extraction,
+    expose_homogeneous_factors,
+    exposed_linear_kernels,
+    homogeneous_part,
+)
+from .representations import (
+    Representation,
+    canonical_representations,
+    cce_representation,
+    dedupe_representations,
+    factored_representation,
+    initial_representations,
+    original_representation,
+)
+from .synth import (
+    SynthesisOptions,
+    SynthesisResult,
+    assemble_decomposition,
+    best_expression,
+    direct_cost,
+    refactored_expression,
+    synthesize,
+)
+from .trace import FlowEvent, FlowTrace
+
+__all__ = [
+    "BlockRegistry",
+    "CceResult",
+    "FlowEvent",
+    "FlowTrace",
+    "Representation",
+    "SynthesisOptions",
+    "SynthesisResult",
+    "assemble_decomposition",
+    "best_expression",
+    "candidate_gcds",
+    "canonical_representations",
+    "cce_representation",
+    "common_coefficient_extraction",
+    "cube_extraction",
+    "dedupe_representations",
+    "divide_by_block",
+    "direct_cost",
+    "division_candidates",
+    "expose_homogeneous_factors",
+    "exposed_linear_kernels",
+    "homogeneous_part",
+    "factored_representation",
+    "initial_representations",
+    "original_representation",
+    "refactored_expression",
+    "refine_block_definitions",
+    "synthesize",
+]

@@ -1,0 +1,108 @@
+"""Algebraic division by linear building blocks (paper Section 14.4.3).
+
+Given the divisor pool exposed by CCE and Cube_Ex, every polynomial (and
+every non-trivial block definition) is divided by every linear block::
+
+    P = l * q + r,   then recursively  q = l * q' + r'  (powers of l)
+
+A successful chain turns ``x^2 + 6xy + 9y^2`` into ``d^2`` with
+``d = x + 3y`` — "possible only through algebraic division; none of the
+other expression manipulation techniques can identify this
+transformation".  Divisions are kept as *candidate representations*; the
+combination search of Algorithm 7 decides which ones win.
+"""
+
+from __future__ import annotations
+
+from repro.poly import Polynomial, divmod_poly
+
+from .blocks import BlockRegistry
+
+
+def divide_by_block(
+    poly: Polynomial,
+    divisor_ground: Polynomial,
+    block_name: str,
+    max_depth: int = 8,
+) -> Polynomial | None:
+    """Express ``poly`` as nested multiples of one linear block.
+
+    Returns a polynomial over ``poly.vars + (block_name,)`` (the block
+    variable carries the divisor), or ``None`` when the divisor yields no
+    quotient at all.  The identity ``result[block := divisor] == poly``
+    holds exactly.
+    """
+    quotient, remainder = divmod_poly(poly, divisor_ground)
+    if quotient.is_zero:
+        return None
+    inner = quotient
+    if max_depth > 1 and quotient.total_degree() >= divisor_ground.total_degree():
+        deeper = divide_by_block(quotient, divisor_ground, block_name, max_depth - 1)
+        if deeper is not None:
+            inner = deeper
+    block_var = Polynomial.variable(block_name)
+    return block_var * inner + remainder
+
+
+def division_candidates(
+    ground_poly: Polynomial,
+    registry: BlockRegistry,
+    max_candidates: int = 6,
+) -> list[Polynomial]:
+    """Candidate representations of one polynomial via the divisor pool.
+
+    Tries every registered linear block; candidates are ranked by how much
+    structure the division removed (fewer remaining ground terms first)
+    and capped at ``max_candidates``.
+    """
+    candidates: list[tuple[int, Polynomial]] = []
+    poly_vars = set(ground_poly.used_vars())
+    for name, divisor in registry.linear_blocks():
+        if name in ground_poly.vars and ground_poly.degree(name) > 0:
+            continue
+        if not set(divisor.used_vars()) <= poly_vars:
+            continue  # the divisor mentions variables the polynomial lacks
+        rewritten = divide_by_block(ground_poly, divisor, name)
+        if rewritten is None:
+            continue
+        if rewritten.trim() == ground_poly.trim():
+            continue
+        # Rank: strongly prefer representations with fewer terms (more of
+        # the polynomial folded into the block structure).
+        candidates.append((len(rewritten), rewritten))
+    candidates.sort(key=lambda item: item[0])
+    return [poly for _, poly in candidates[:max_candidates]]
+
+
+def refine_block_definitions(registry: BlockRegistry) -> int:
+    """Rewrite block definitions through other blocks when exact.
+
+    For every block whose ground polynomial is exactly divisible by some
+    *other* linear block (possibly repeatedly), replace its definition by
+    the factored form — e.g. the CCE block ``x^2 + 2xy + y^2`` becomes
+    ``d1^2`` once ``d1 = x + y`` exists.  Returns how many definitions
+    were rewritten.
+    """
+    from repro.poly import divide_out_all
+
+    rewritten = 0
+    for name in list(registry.defs):
+        ground = registry.ground[name]
+        if ground.is_linear:
+            continue
+        best: Polynomial | None = None
+        for divisor_name, divisor in registry.linear_blocks():
+            if divisor_name == name:
+                continue
+            reduced, multiplicity = divide_out_all(ground, divisor)
+            if multiplicity == 0:
+                continue
+            new_vars = tuple(dict.fromkeys(reduced.vars + (divisor_name,)))
+            block_var = Polynomial.variable(divisor_name, new_vars)
+            candidate = reduced.with_vars(new_vars) * block_var ** multiplicity
+            if best is None or len(candidate) < len(best):
+                best = candidate
+        if best is not None and len(best) < len(registry.defs[name]):
+            registry.rewrite_definition(name, best)
+            rewritten += 1
+    return rewritten

@@ -1,0 +1,116 @@
+"""Cube_Ex — common cube / kernel exposure (paper Section 14.4.2).
+
+The paper employs kernel/co-kernel extraction "for extracting cubes
+composed only of variables" (coefficients are CCE's job) and records both
+the co-kernel cubes and the kernels as potential building blocks.  What
+the integrated flow actually consumes downstream is the set of **linear
+kernels** — they become the divisor pool of algebraic division
+(Section 14.4.3: "we consider only the exposed linear expressions as
+algebraic divisors"), e.g. ``{(x+6y), (6x+9y), (x+3y)}`` for the
+motivating system.
+
+The factored *representations* (``P1 = (xy)(x+z)``) do not need to be
+materialized here: the final CSE pass re-derives any profitable kernel
+factoring from the flat form, and the cost model scores it identically.
+"""
+
+from __future__ import annotations
+
+from repro.cse import all_kernels
+from repro.poly import Polynomial
+
+from .blocks import BlockRegistry
+
+
+def exposed_linear_kernels(poly: Polynomial) -> list[Polynomial]:
+    """All linear kernels of a polynomial (ground form, unregistered)."""
+    out: list[Polynomial] = []
+    seen: set[Polynomial] = set()
+    for entry in all_kernels(poly):
+        kernel = entry.kernel.trim()
+        if kernel.is_linear and len(kernel) >= 2 and kernel not in seen:
+            seen.add(kernel)
+            out.append(kernel)
+    return out
+
+
+def cube_extraction(
+    polys: list[Polynomial], registry: BlockRegistry
+) -> list[str]:
+    """Expose linear kernels of every polynomial (and block definition).
+
+    Registers each as a block and returns the names.  Polynomials may
+    reference block variables; kernels are computed on the expressions as
+    given *and* on their ground expansions, so structure hidden behind a
+    CCE block (``4(xy^2+3y^3)`` hiding the kernel ``x+3y``) is still
+    found.
+    """
+    names: list[str] = []
+    seen: set[Polynomial] = set()
+
+    def harvest(poly: Polynomial) -> None:
+        for kernel in exposed_linear_kernels(poly):
+            ground = registry.expand(kernel).trim()
+            if not ground.is_linear or ground.is_constant or ground.is_zero:
+                continue
+            if ground in seen:
+                continue
+            seen.add(ground)
+            name, _ = registry.register(kernel)
+            if name not in names:
+                names.append(name)
+
+    for poly in polys:
+        harvest(poly)
+        expanded = registry.expand(poly)
+        if expanded != poly:
+            harvest(expanded)
+    for block_name in list(registry.defs):
+        harvest(registry.ground[block_name])
+    return names
+
+
+def homogeneous_part(poly: Polynomial) -> Polynomial:
+    """The top-total-degree homogeneous part of a polynomial."""
+    degree = poly.total_degree()
+    if degree < 0:
+        return poly
+    return Polynomial(
+        poly.vars,
+        {e: c for e, c in poly.terms.items() if sum(e) == degree},
+    )
+
+
+def expose_homogeneous_factors(
+    polys: list[Polynomial], registry: BlockRegistry
+) -> list[str]:
+    """Factor each polynomial's top homogeneous form; register linear factors.
+
+    The top-degree form is invariant under input shifts and immune to the
+    additive tails that defeat whole-polynomial factoring, so this is
+    where hidden linear structure (``72x^2+96xy+32y^2 = 8(3x+2y)^2``)
+    surfaces even when the polynomial itself is irreducible.  CCE's GCD
+    filter can never split such a group (the content 8 is smaller than
+    every coefficient — Algorithm 6 line 6), so this exposure step is what
+    hands algebraic division its divisor.
+    """
+    from repro.factor import factor_polynomial
+
+    names: list[str] = []
+    seen: set[Polynomial] = set()
+    for poly in polys:
+        ground = registry.expand(poly)
+        top = homogeneous_part(ground).primitive_part()
+        if top.is_constant or top.total_degree() < 2 or len(top) < 2:
+            continue
+        key = top.trim()
+        if key in seen:
+            continue
+        seen.add(key)
+        factorization = factor_polynomial(top)
+        for base, _ in factorization.factors:
+            if base.is_linear and len(base) >= 2:
+                name, _ = registry.register(base)
+                if name not in names:
+                    names.append(name)
+    return names

@@ -1,0 +1,203 @@
+"""Candidate representation lists — the Fig. 14.1 polynomial data structure.
+
+Algorithm 7 keeps, for every polynomial of the system, a growing list of
+alternative representations: the original expanded form, the canonical
+(falling-factorial) form, the square-free / fully factored form, the
+CCE-rewritten form, and the algebraic-division forms.  Each representation
+here is a :class:`~repro.poly.polynomial.Polynomial` over the input
+variables plus block variables from the shared
+:class:`~repro.core.blocks.BlockRegistry`; the combination search then
+picks one representation per polynomial.
+
+Canonical forms deserve a note: they are equal to the original only *as
+functions over the bit-vector signature* (mod ``2^m``), so every
+representation carries a ``modular`` flag that the validation layer
+honours.  The falling-factorial products are expressed through *shift
+blocks* (``x - 1``, ``x - 2``, ...), which turns ``5 Y3(x) Y2(y)`` into
+the plain cube ``5 * x * (x-1) * (x-2) * y * (y-1)`` — exactly the shape
+in which the final CSE can discover shared factors like the paper's
+``d3 = x(x-1)y(y-1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.factor import factor_polynomial
+from repro.poly import Polynomial
+from repro.rings import BitVectorSignature, to_canonical
+from repro.rings.falling import falling_factorial_poly
+
+from .blocks import BlockRegistry
+from .cce import common_coefficient_extraction
+
+
+@dataclass(frozen=True)
+class Representation:
+    """One candidate form of one polynomial of the system."""
+
+    poly: Polynomial   # over input variables + block variables
+    tag: str           # provenance, e.g. "original", "cce", "div(_b3)"
+    modular: bool = False  # equal to the original only mod 2^m
+
+    def __str__(self) -> str:
+        flag = " (mod 2^m)" if self.modular else ""
+        return f"[{self.tag}]{flag} {self.poly}"
+
+
+def original_representation(poly: Polynomial) -> Representation:
+    """The expanded sum-of-products the designer wrote."""
+    return Representation(poly, "original")
+
+
+def factored_representation(
+    poly: Polynomial, registry: BlockRegistry
+) -> Representation | None:
+    """Square-free / full factorization rewritten over factor blocks.
+
+    ``x^2 + 6xy + 9y^2`` becomes ``_b1^2`` with ``_b1 = x + 3y``.  Returns
+    ``None`` when the factorization is trivial (a single multiplicity-1
+    factor) — the candidate would duplicate the original.
+    """
+    factorization = factor_polynomial(poly)
+    factors = factorization.factors
+    if not factors:
+        return None
+    if len(factors) == 1 and factors[0][1] == 1:
+        return None
+    result = Polynomial.constant(factorization.content)
+    for base, multiplicity in factors:
+        if base.is_constant:
+            result = result * base ** multiplicity
+            continue
+        if base.is_linear and len(base) == 1:
+            # A bare cube factor (x, 2y, ...) is not worth a named block.
+            result = result * base ** multiplicity
+            continue
+        name, sign = registry.register(base)
+        block_var = Polynomial.variable(name)
+        result = result * (block_var.scale(sign)) ** multiplicity
+    return Representation(result, "factored")
+
+
+def cce_representation(
+    representation: Representation, registry: BlockRegistry
+) -> Representation | None:
+    """Algorithm 6 applied to an existing representation."""
+    outcome = common_coefficient_extraction(representation.poly, registry)
+    if outcome is None:
+        return None
+    return Representation(
+        outcome.poly, f"cce({representation.tag})", representation.modular
+    )
+
+
+def canonical_representations(
+    poly: Polynomial,
+    signature: BitVectorSignature,
+    registry: BlockRegistry,
+    max_variables: int = 3,
+) -> list[Representation]:
+    """Partial falling-factorial rewrites over every subset of variables.
+
+    For each non-empty subset ``S`` of the used variables, the canonical
+    coefficients are re-expanded with falling factorials for the variables
+    in ``S`` (as products of shift blocks) and the power basis for the
+    rest.  ``S = {x, y}`` on Table 14.2's ``P3`` produces the paper's
+    ``5x(x-1)(x-2)y(y-1) + 3z^2``.
+    """
+    used = [v for v in poly.used_vars() if v in set(signature.variables)]
+    if not used or len(used) > max_variables:
+        return []
+    try:
+        canonical = to_canonical(poly, signature)
+    except KeyError:
+        return []
+    out: list[Representation] = []
+    seen: set[Polynomial] = {poly.trim()}
+    subsets: list[tuple[str, ...]] = []
+    for size in range(1, len(used) + 1):
+        subsets.extend(combinations(used, size))
+    for subset in subsets:
+        candidate = _partial_falling(canonical, set(subset), signature, registry)
+        trimmed = candidate.trim()
+        if trimmed in seen:
+            continue
+        seen.add(trimmed)
+        out.append(
+            Representation(candidate, f"canonical({','.join(subset)})", modular=True)
+        )
+    # The pure power-basis canonical reduction (degree reduction only).
+    reduced = canonical.to_polynomial().with_vars(poly.vars)
+    if reduced.trim() not in seen:
+        out.append(Representation(reduced, "canonical(reduced)", modular=True))
+    return out
+
+
+def _partial_falling(
+    canonical,
+    falling_vars: set[str],
+    signature: BitVectorSignature,
+    registry: BlockRegistry,
+) -> Polynomial:
+    """Rebuild a canonical form with falling basis only for some variables."""
+    from repro.rings import coefficient_modulus
+
+    variables = signature.variables
+    total = Polynomial.zero()
+    for k_tuple, coeff in canonical.coefficients:
+        # Balanced representative: 65531 (mod 2^16) is really -5, and the
+        # shift-add constant multiplier for -5 is vastly cheaper.  The
+        # coefficient is unique modulo coefficient_modulus(k), so shifting
+        # by that modulus preserves the function.
+        residue_modulus = coefficient_modulus(signature.output_width, k_tuple)
+        if coeff > residue_modulus // 2:
+            coeff -= residue_modulus
+        term = Polynomial.constant(coeff)
+        for var, k in zip(variables, k_tuple):
+            if not k:
+                continue
+            if var in falling_vars:
+                # Y_k(var) = var * (var-1) * ... * (var-k+1) as a cube of
+                # the variable and k-1 shift blocks.
+                factor = Polynomial.variable(var)
+                for offset in range(1, k):
+                    shift = registry.shift_block(var, offset)
+                    factor = factor * Polynomial.variable(shift)
+                term = term * factor
+            else:
+                term = term * falling_factorial_poly(var, k)
+        total = total + term
+    return total
+
+
+def initial_representations(
+    poly: Polynomial,
+    registry: BlockRegistry,
+    signature: BitVectorSignature | None = None,
+    enable_canonical: bool = True,
+    enable_factoring: bool = True,
+) -> list[Representation]:
+    """The pre-CCE representation list of one polynomial (Fig. 14.1a)."""
+    reps = [original_representation(poly)]
+    if enable_factoring:
+        factored = factored_representation(poly, registry)
+        if factored is not None:
+            reps.append(factored)
+    if enable_canonical and signature is not None:
+        reps.extend(canonical_representations(poly, signature, registry))
+    return reps
+
+
+def dedupe_representations(reps: list[Representation]) -> list[Representation]:
+    """Drop representations with identical polynomials (keep first tags)."""
+    seen: set[Polynomial] = set()
+    out: list[Representation] = []
+    for rep in reps:
+        key = rep.poly.trim()
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(rep)
+    return out

@@ -1,0 +1,570 @@
+"""Poly_Synth — the integrated synthesis flow (paper Algorithm 7).
+
+The phases, mirroring the paper:
+
+1. **Initial representations** — original, fully factored (square-free and
+   deeper), and canonical falling-factorial variants per polynomial
+   (Fig. 14.1a).
+2. **CCE** (Algorithm 6) on every representation; extracted groups become
+   building blocks.
+3. **Cube_Ex** — linear kernels of every representation and block
+   definition join the divisor pool.
+4. **Block refinement** — non-linear block definitions are factored
+   (``x^2+2xy+y^2 -> d1^2``) and divided through other blocks.
+5. **Algebraic division** — every polynomial is divided by every linear
+   block; quotient chains become candidate representations (Fig. 14.1b).
+6. **Combination search** — pick one representation per polynomial
+   (exhaustively when the product of list sizes is small, by coordinate
+   descent otherwise), scoring each combination by running the final CSE
+   over the chosen polynomials *plus all live block definitions* and
+   counting weighted MULT/ADD operators (Fig. 14.1c).
+
+The winner is returned as a validated
+:class:`~repro.expr.decomposition.Decomposition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.cse import eliminate_common_subexpressions
+from repro.expr import Decomposition, OpCount, expr_from_polynomial, expr_op_count
+from repro.expr.ast import Add, BlockRef, Const, Expr, Mul, Pow, Var
+from repro.factor import horner_greedy
+from repro.poly import Polynomial
+from repro.rings import BitVectorSignature, functions_equal
+
+from .algdiv import division_candidates, refine_block_definitions
+from .blocks import BlockRegistry
+from .cce import common_coefficient_extraction
+from .cube_extract import cube_extraction
+from .representations import (
+    Representation,
+    cce_representation,
+    dedupe_representations,
+    initial_representations,
+)
+from .trace import FlowTrace
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Phase toggles and search knobs (the ablation surface of DESIGN.md)."""
+
+    enable_canonical: bool = True
+    enable_factoring: bool = True
+    enable_cse_exposure: bool = True
+    enable_cce: bool = True
+    enable_cube_extraction: bool = True
+    enable_division: bool = True
+    enable_final_cse: bool = True
+    max_division_candidates: int = 6
+    max_representations: int = 10
+    exhaustive_limit: int = 600
+    descent_sweeps: int = 3
+    descent_budget: int = 150  # max combinations scored during descent
+    mul_weight: int = 20
+    cmul_weight: int = 2
+    add_weight: int = 1
+    objective: str = "area"  # "area" (hardware estimate) or "ops" (weighted count)
+
+
+@dataclass
+class SynthesisResult:
+    """Everything Algorithm 7 produced, including the Fig. 14.1 lists."""
+
+    decomposition: Decomposition
+    op_count: OpCount
+    initial_op_count: OpCount
+    representation_lists: list[list[Representation]]
+    chosen: tuple[int, ...]
+    registry: BlockRegistry
+    combinations_scored: int = 0
+    trace: "FlowTrace | None" = None
+
+    def summary(self) -> str:
+        lines = [
+            f"initial cost: {self.initial_op_count}",
+            f"final cost:   {self.op_count}",
+            "",
+            self.decomposition.summary(),
+        ]
+        return "\n".join(lines)
+
+
+def _weighted(count: OpCount, options: SynthesisOptions) -> int:
+    return count.weighted(
+        options.mul_weight, options.cmul_weight, options.add_weight
+    )
+
+
+def _retag_vars(expr: Expr, block_names: set[str]) -> Expr:
+    """Replace Var nodes naming blocks with BlockRef nodes."""
+    if isinstance(expr, Var):
+        return BlockRef(expr.name) if expr.name in block_names else expr
+    if isinstance(expr, Add):
+        return Add(tuple(_retag_vars(op, block_names) for op in expr.operands))
+    if isinstance(expr, Mul):
+        return Mul(tuple(_retag_vars(op, block_names) for op in expr.operands))
+    if isinstance(expr, Pow):
+        return Pow(_retag_vars(expr.base, block_names), expr.exponent)
+    return expr
+
+
+def best_expression(poly: Polynomial) -> Expr:
+    """The cheaper of the direct SOP and the greedy Horner form."""
+    direct = expr_from_polynomial(poly)
+    horner = horner_greedy(poly)
+    if _op_weight(expr_op_count(horner)) < _op_weight(expr_op_count(direct)):
+        return horner
+    return direct
+
+
+def refactored_expression(poly: Polynomial, block_names: set[str]) -> Expr:
+    """Best expression of a polynomial with block variables as BlockRefs."""
+    return _retag_vars(best_expression(poly), block_names)
+
+
+def _op_weight(count: OpCount) -> int:
+    return count.weighted()
+
+
+def _live_closure(polys: list[Polynomial], defs: dict[str, Polynomial]) -> list[str]:
+    """Block names reachable from the polynomials, in definition order."""
+    live: set[str] = set()
+    frontier: list[str] = []
+    for poly in polys:
+        frontier.extend(v for v in poly.used_vars() if v in defs)
+    while frontier:
+        name = frontier.pop()
+        if name in live:
+            continue
+        live.add(name)
+        frontier.extend(v for v in defs[name].used_vars() if v in defs)
+    return [name for name in defs if name in live]
+
+
+def assemble_decomposition(
+    chosen: list[Representation],
+    registry: BlockRegistry,
+    options: SynthesisOptions,
+    method: str = "poly_synth",
+) -> Decomposition:
+    """Final CSE + expression refactoring for one combination.
+
+    Pure function: neither the registry nor the representations are
+    mutated, so the combination search can call it freely.
+    """
+    polys = Polynomial.unify_all([rep.poly for rep in chosen])
+    defs = dict(registry.defs)
+    live = _live_closure(polys, defs)
+    rows = polys + [defs[name] for name in live]
+
+    if options.enable_final_cse and rows:
+        result = eliminate_common_subexpressions(rows, prefix="_k")
+        rows = result.polys
+        extra_blocks = result.blocks
+    else:
+        extra_blocks = {}
+
+    n_outputs = len(polys)
+    out_rows = rows[:n_outputs]
+    def_rows = rows[n_outputs:]
+
+    block_defs: dict[str, Polynomial] = {}
+    for name, new_def in zip(live, def_rows):
+        block_defs[name] = new_def
+    for name, new_def in extra_blocks.items():
+        block_defs[name] = new_def
+
+    block_names = set(block_defs)
+    decomposition = Decomposition(method=method)
+    for name, def_poly in block_defs.items():
+        decomposition.blocks[name] = _retag_vars(best_expression(def_poly), block_names)
+    for row in out_rows:
+        decomposition.outputs.append(_retag_vars(best_expression(row), block_names))
+    decomposition.inline_trivial_blocks()
+    return decomposition
+
+
+def _score(
+    chosen: list[Representation],
+    registry: BlockRegistry,
+    options: SynthesisOptions,
+    signature: BitVectorSignature | None,
+) -> tuple[float, Decomposition]:
+    """Score one combination: estimated hardware area, or weighted ops.
+
+    The area objective matches what the paper ultimately reports
+    (Table 14.3); the op-count objective is the paper's fast in-flow
+    estimate and remains available for ablations.
+    """
+    decomposition = assemble_decomposition(chosen, registry, options)
+    ops = _weighted(decomposition.op_count(), options)
+    if options.objective == "area" and signature is not None:
+        from repro.cost import estimate_decomposition
+
+        area = estimate_decomposition(decomposition, signature).area
+        # Tie-break equal-area combinations with the operator surrogate.
+        return area + ops * 1e-6, decomposition
+    return float(ops), decomposition
+
+
+def _standalone_weight(poly: Polynomial, registry: BlockRegistry) -> int:
+    """Weighted SOP cost of a representation *including* its block closure.
+
+    A representation like ``12*_b7 + 9*_b8 + 2*_b10`` looks free until the
+    blocks it references are paid for; pruning must see the whole bill
+    (shared blocks are double-counted across candidates, which is fine
+    for a relative ranking).
+    """
+    total = 0
+    seen: set[str] = set()
+    frontier = [poly]
+    while frontier:
+        current = frontier.pop()
+        total += _op_weight(expr_op_count(expr_from_polynomial(current)))
+        for var in current.used_vars():
+            if var in registry.defs and var not in seen:
+                seen.add(var)
+                frontier.append(registry.defs[var])
+    return total
+
+
+def direct_cost(system: list[Polynomial], options: SynthesisOptions) -> OpCount:
+    """Cost of the naive expanded implementation (the paper's C_initial base)."""
+    total = OpCount()
+    for poly in system:
+        total = total + expr_op_count(expr_from_polynomial(poly))
+    return total
+
+
+def synthesize(
+    system: list[Polynomial],
+    signature: BitVectorSignature | None = None,
+    options: SynthesisOptions | None = None,
+    trace: FlowTrace | None = None,
+) -> SynthesisResult:
+    """Run the full integrated flow on a polynomial system.
+
+    ``signature`` enables the canonical-form representations (without it
+    only the integer-exact transformations run).  Pass a
+    :class:`~repro.core.trace.FlowTrace` to record what every phase did.
+    The returned decomposition is validated: integer-exact outputs must
+    expand to the original polynomials, canonical-form outputs must be
+    functionally equal over the signature.
+    """
+    options = options or SynthesisOptions()
+    trace = trace if trace is not None else FlowTrace()
+    system = Polynomial.unify_all(list(system))
+    if not system:
+        raise ValueError("cannot synthesize an empty system")
+    registry = BlockRegistry(system[0].vars)
+
+    # Phase 1: initial representation lists (Fig. 14.1a).
+    lists: list[list[Representation]] = []
+    for poly in system:
+        reps = initial_representations(
+            poly,
+            registry,
+            signature=signature if options.enable_canonical else None,
+            enable_canonical=options.enable_canonical,
+            enable_factoring=options.enable_factoring,
+        )
+        lists.append(reps)
+        trace.record(
+            "initial", f"{len(reps)} representation(s)",
+            tags=[r.tag for r in reps],
+        )
+
+    # Phase 1b: CSE exposure — shared multi-term sub-expressions of the
+    # *system as written* become registry blocks, so the later factoring /
+    # division phases can dig into them (e.g. a quadratic form shared by
+    # every shifted filter copy, which then factors into linear blocks).
+    if options.enable_cse_exposure:
+        exposure = eliminate_common_subexpressions(system, prefix="_pre")
+        mapping: dict[str, Polynomial] = {}
+        for pre_name, pre_def in exposure.blocks.items():
+            substituted = pre_def.subs(
+                {old: repl for old, repl in mapping.items()
+                 if old in pre_def.used_vars()}
+            )
+            try:
+                reg_name, sign = registry.register(substituted)
+            except ValueError:
+                continue  # trivial block (constant after substitution)
+            mapping[pre_name] = Polynomial.variable(reg_name).scale(sign)
+        trace.record(
+            "cse-exposure", f"{len(mapping)} shared sub-expression block(s)"
+        )
+        if mapping:
+            for poly, reps in zip(exposure.polys, lists):
+                rewritten = poly.subs(
+                    {old: repl for old, repl in mapping.items()
+                     if old in poly.used_vars()}
+                )
+                if rewritten.trim() != reps[0].poly.trim():
+                    reps.append(Representation(rewritten, "cse"))
+
+    # Phase 2: CCE on every representation.
+    if options.enable_cce:
+        cce_hits = 0
+        for reps in lists:
+            for rep in list(reps):
+                extracted = cce_representation(rep, registry)
+                if extracted is not None:
+                    reps.append(extracted)
+                    cce_hits += 1
+        trace.record("cce", f"{cce_hits} representation(s) extracted")
+
+    # Phase 3: Cube_Ex exposes linear kernels as divisor blocks, and the
+    # top homogeneous forms contribute their linear factors (shift-
+    # invariant structure CCE's filter cannot split).
+    if options.enable_cube_extraction:
+        all_rep_polys = [rep.poly for reps in lists for rep in reps]
+        cube_extraction(all_rep_polys, registry)
+    if options.enable_factoring:
+        from .cube_extract import expose_homogeneous_factors
+
+        exposed = expose_homogeneous_factors(list(system), registry)
+        trace.record(
+            "expose", f"{len(registry.defs)} block(s) in the registry",
+            homogeneous=[str(registry.ground[n]) for n in exposed],
+        )
+
+    # Phase 4: refine block definitions (factor + divide through blocks).
+    _factor_block_definitions(registry, options)
+    refined = refine_block_definitions(registry)
+    trace.record("refine", f"{refined} definition(s) rewritten through blocks")
+
+    # Phase 5: algebraic division candidates (Fig. 14.1b).
+    if options.enable_division:
+        for poly, reps in zip(system, lists):
+            for candidate in division_candidates(
+                poly, registry, options.max_division_candidates
+            ):
+                reps.append(Representation(candidate, "division"))
+            cce_reps = [r for r in reps if r.tag.startswith("cce")]
+            for rep in cce_reps:
+                for candidate in division_candidates(
+                    rep.poly, registry, 2
+                ):
+                    reps.append(
+                        Representation(candidate, f"division({rep.tag})", rep.modular)
+                    )
+
+    # Prune each list: dedupe, keep the cheapest few (always keep original).
+    pruned: list[list[Representation]] = []
+    for reps in lists:
+        reps = dedupe_representations(reps)
+        scored = sorted(
+            reps, key=lambda r: _standalone_weight(r.poly, registry)
+        )
+        keep = scored[: options.max_representations]
+        if reps[0] not in keep:
+            keep.append(reps[0])
+        pruned.append(keep)
+    lists = pruned
+
+    # Phase 6: combination search (Fig. 14.1c).
+    cache: dict[tuple[int, ...], tuple[float, Decomposition]] = {}
+    scored_counter = 0
+
+    def score_indices(indices: tuple[int, ...]) -> tuple[float, Decomposition]:
+        nonlocal scored_counter
+        if indices not in cache:
+            chosen = [lists[i][j] for i, j in enumerate(indices)]
+            cache[indices] = _score(chosen, registry, options, signature)
+            scored_counter += 1
+        return cache[indices]
+
+    sizes = [len(reps) for reps in lists]
+    total = 1
+    for size in sizes:
+        total *= size
+        if total > options.exhaustive_limit:
+            break
+
+    if total <= options.exhaustive_limit:
+        best_indices = None
+        best_cost = None
+        for indices in product(*(range(s) for s in sizes)):
+            cost, _ = score_indices(indices)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_indices = indices
+    else:
+        best_indices, best_cost = _seeded_descent(
+            lists, sizes, registry, options, score_indices
+        )
+
+    assert best_indices is not None
+    trace.record(
+        "search",
+        f"{scored_counter} combination(s) scored",
+        chosen=[lists[i][j].tag for i, j in enumerate(best_indices)],
+    )
+    _, decomposition = score_indices(best_indices)
+    chosen = [lists[i][j] for i, j in enumerate(best_indices)]
+
+    _validate(decomposition, system, chosen, signature)
+
+    initial = direct_cost(system, options)
+    return SynthesisResult(
+        decomposition=decomposition,
+        op_count=decomposition.op_count(),
+        initial_op_count=initial,
+        representation_lists=lists,
+        chosen=best_indices,
+        registry=registry,
+        combinations_scored=scored_counter,
+        trace=trace,
+    )
+
+
+def _search_seeds(
+    lists: list[list[Representation]],
+    registry: BlockRegistry,
+) -> list[tuple[int, ...]]:
+    """Starting points for the descent search.
+
+    Symmetric systems (shifted filter copies) want every polynomial to use
+    the *same family* of representation — mixing families breaks the
+    cross-polynomial matches the final CSE relies on.  Seeds:
+
+    * all-original (this makes the proposed flow a strict superset of the
+      factorization+CSE baseline: it can always fall back to it),
+    * one uniform seed per tag family (cce, factored, canonical, division),
+      falling back to original where a polynomial lacks the family,
+    * the per-polynomial standalone-cheapest combination.
+    """
+    families = ("original", "cse", "cce", "factored", "canonical", "division")
+    seeds: list[tuple[int, ...]] = []
+    for family in families:
+        indices = []
+        for reps in lists:
+            members = [
+                (j, _standalone_weight(rep.poly, registry))
+                for j, rep in enumerate(reps)
+                if rep.tag.startswith(family) or (family != "original" and family in rep.tag)
+            ]
+            if members:
+                indices.append(min(members, key=lambda item: item[1])[0])
+            else:
+                indices.append(0)  # original is always first
+        seeds.append(tuple(indices))
+    cheapest = tuple(
+        min(
+            range(len(reps)),
+            key=lambda j: _standalone_weight(reps[j].poly, registry),
+        )
+        for reps in lists
+    )
+    seeds.append(cheapest)
+    return list(dict.fromkeys(seeds))
+
+
+def _seeded_descent(
+    lists: list[list[Representation]],
+    sizes: list[int],
+    registry: BlockRegistry,
+    options: SynthesisOptions,
+    score_indices,
+) -> tuple[tuple[int, ...], float]:
+    """Score the family seeds, then coordinate-descend from the best one."""
+    best_indices: tuple[int, ...] | None = None
+    best_cost: float | None = None
+    for seed in _search_seeds(lists, registry):
+        cost, _ = score_indices(seed)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_indices = seed
+    assert best_indices is not None and best_cost is not None
+    # Coordinate descent, budgeted for large systems.
+    budget = options.descent_budget
+    scored = 0
+    for _ in range(options.descent_sweeps):
+        improved = False
+        for i in range(len(lists)):
+            for j in range(sizes[i]):
+                if j == best_indices[i]:
+                    continue
+                trial = best_indices[:i] + (j,) + best_indices[i + 1:]
+                cost, _ = score_indices(trial)
+                scored += 1
+                if cost < best_cost:
+                    best_cost = cost
+                    best_indices = trial
+                    improved = True
+                if scored >= budget:
+                    return best_indices, best_cost
+        if not improved:
+            break
+    return best_indices, best_cost
+
+
+def _factor_block_definitions(
+    registry: BlockRegistry, options: SynthesisOptions
+) -> None:
+    """Factor non-linear block definitions through (new) blocks.
+
+    The CCE block ``x^2 + 2xy + y^2`` factors to ``(x+y)^2``: the linear
+    factor is registered (feeding the divisor pool) and the definition is
+    rewritten as ``_bk^2``.
+    """
+    if not options.enable_factoring:
+        return
+    from repro.factor import factor_polynomial
+
+    for name in list(registry.defs):
+        ground = registry.ground[name]
+        if ground.is_linear:
+            continue
+        factorization = factor_polynomial(ground)
+        factors = factorization.factors
+        if len(factors) == 1 and factors[0][1] == 1:
+            continue
+        rebuilt = Polynomial.constant(factorization.content)
+        for base, multiplicity in factors:
+            if base.is_constant or (base.is_linear and len(base) == 1):
+                rebuilt = rebuilt * base ** multiplicity
+                continue
+            if registry.expand(base).trim() == ground.trim():
+                rebuilt = rebuilt * base ** multiplicity
+                continue
+            factor_name, sign = registry.register(base)
+            block_var = Polynomial.variable(factor_name)
+            rebuilt = rebuilt * (block_var.scale(sign)) ** multiplicity
+        if any(registry.is_block(v) for v in rebuilt.used_vars()):
+            registry.rewrite_definition(name, rebuilt)
+
+
+def _validate(
+    decomposition: Decomposition,
+    system: list[Polynomial],
+    chosen: list[Representation],
+    signature: BitVectorSignature | None,
+) -> None:
+    """Check the decomposition against the original system.
+
+    Integer-exact representations must expand to identical polynomials;
+    canonical-form representations must be functionally equal over the
+    bit-vector signature.
+    """
+    expanded = decomposition.to_polynomials()
+    if len(expanded) != len(system):
+        raise RuntimeError("decomposition lost outputs")
+    for index, (ours, original, rep) in enumerate(zip(expanded, system, chosen)):
+        if rep.modular:
+            if signature is None:
+                raise RuntimeError("modular representation without a signature")
+            if not functions_equal(ours, original, signature):
+                raise RuntimeError(
+                    f"output {index} ({rep.tag}) is not functionally equal "
+                    f"to the original over the signature"
+                )
+        elif ours != original:
+            raise RuntimeError(
+                f"output {index} ({rep.tag}) expands to {ours}, expected {original}"
+            )

@@ -1,0 +1,61 @@
+"""Structured tracing of the synthesis flow.
+
+``synthesize(..., trace=FlowTrace())`` records one event per meaningful
+action of every phase — representations generated, blocks registered,
+definitions refined, combinations scored — giving benches and debugging
+sessions the same visibility Fig. 14.1 gives the paper's reader.
+Tracing is opt-in and the flow never reads the trace back, so it cannot
+change results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """One recorded action."""
+
+    phase: str
+    message: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = f" {self.data}" if self.data else ""
+        return f"[{self.phase}] {self.message}{extra}"
+
+
+@dataclass
+class FlowTrace:
+    """An append-only log of flow events."""
+
+    events: list[FlowEvent] = field(default_factory=list)
+
+    def record(self, phase: str, message: str, **data: Any) -> None:
+        self.events.append(FlowEvent(phase, message, dict(data)))
+
+    def by_phase(self, phase: str) -> list[FlowEvent]:
+        return [e for e in self.events if e.phase == phase]
+
+    def phases(self) -> list[str]:
+        seen: list[str] = []
+        for event in self.events:
+            if event.phase not in seen:
+                seen.append(event.phase)
+        return seen
+
+    def summary(self) -> str:
+        lines = []
+        for phase in self.phases():
+            events = self.by_phase(phase)
+            lines.append(f"{phase}: {len(events)} event(s)")
+            for event in events[:8]:
+                lines.append(f"  - {event.message}")
+            if len(events) > 8:
+                lines.append(f"  ... and {len(events) - 8} more")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

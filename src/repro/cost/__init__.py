@@ -1,0 +1,52 @@
+"""Hardware cost models: the repo's Design Compiler substitute."""
+
+from .estimate import (
+    HardwareReport,
+    estimate_decomposition,
+    estimate_graph,
+    node_area,
+    node_delay,
+)
+from .hardware import (
+    adder_area,
+    adder_delay,
+    constant_multiplier_area,
+    constant_multiplier_delay,
+    csa_tree_area,
+    csa_tree_delay,
+    csd_digits,
+    csd_nonzero_count,
+    multiplier_area,
+    multiplier_delay,
+)
+from .model import DEFAULT_MODEL, TechnologyModel
+from .power import (
+    PowerReport,
+    estimate_power,
+    estimate_power_graph,
+    node_activities,
+)
+
+__all__ = [
+    "PowerReport",
+    "estimate_power",
+    "estimate_power_graph",
+    "node_activities",
+    "DEFAULT_MODEL",
+    "HardwareReport",
+    "TechnologyModel",
+    "adder_area",
+    "adder_delay",
+    "constant_multiplier_area",
+    "constant_multiplier_delay",
+    "csa_tree_area",
+    "csa_tree_delay",
+    "csd_digits",
+    "csd_nonzero_count",
+    "estimate_decomposition",
+    "estimate_graph",
+    "multiplier_area",
+    "multiplier_delay",
+    "node_area",
+    "node_delay",
+]

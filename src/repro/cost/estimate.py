@@ -1,0 +1,105 @@
+"""System-level area/delay estimation (the Design Compiler substitute).
+
+Lowers a decomposition to a shared dataflow graph, prices every operator
+node with the width-aware models of :mod:`repro.cost.hardware`, sums the
+area, and walks the critical path for delay.  The output mirrors the
+columns of the paper's Table 14.3: area (library units / um^2) and delay
+(ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dfg import DataFlowGraph, Node, NodeKind, build_dfg, critical_path
+from repro.expr import Decomposition
+from repro.rings import BitVectorSignature
+
+from .hardware import (
+    adder_area,
+    adder_delay,
+    constant_multiplier_area,
+    constant_multiplier_delay,
+    multiplier_area,
+    multiplier_delay,
+)
+from .model import DEFAULT_MODEL, TechnologyModel
+
+
+@dataclass(frozen=True)
+class HardwareReport:
+    """Area/delay estimate plus a resource census."""
+
+    area: float          # NAND2 equivalents
+    delay: float         # gate delays
+    area_um2: float
+    delay_ns: float
+    multipliers: int
+    adders: int
+    constant_multipliers: int
+    nodes: int
+
+    def __str__(self) -> str:
+        return (
+            f"area={self.area:.0f} GE ({self.area_um2:.0f} um^2), "
+            f"delay={self.delay:.0f} gates ({self.delay_ns:.2f} ns), "
+            f"{self.multipliers} MUL / {self.adders} ADD / "
+            f"{self.constant_multipliers} CMUL"
+        )
+
+
+def node_area(graph: DataFlowGraph, node: Node,
+              model: TechnologyModel = DEFAULT_MODEL) -> float:
+    """Area of one DFG node under the technology model."""
+    if node.kind in (NodeKind.ADD, NodeKind.SUB):
+        return adder_area(node.width, model)
+    if node.kind == NodeKind.MUL:
+        a, b = (graph.nodes[i].width for i in node.operands)
+        return multiplier_area(a, b, model)
+    if node.kind == NodeKind.CMUL:
+        (operand,) = node.operands
+        assert node.value is not None
+        return constant_multiplier_area(node.value, graph.nodes[operand].width, model)
+    return 0.0
+
+
+def node_delay(graph: DataFlowGraph, node: Node,
+               model: TechnologyModel = DEFAULT_MODEL) -> float:
+    """Delay of one DFG node under the technology model."""
+    if node.kind in (NodeKind.ADD, NodeKind.SUB):
+        return adder_delay(node.width, model)
+    if node.kind == NodeKind.MUL:
+        a, b = (graph.nodes[i].width for i in node.operands)
+        return multiplier_delay(a, b, model)
+    if node.kind == NodeKind.CMUL:
+        (operand,) = node.operands
+        assert node.value is not None
+        return constant_multiplier_delay(node.value, graph.nodes[operand].width, model)
+    return 0.0
+
+
+def estimate_graph(
+    graph: DataFlowGraph, model: TechnologyModel = DEFAULT_MODEL
+) -> HardwareReport:
+    """Price an already-built dataflow graph."""
+    area = sum(node_area(graph, node, model) for node in graph.nodes)
+    delay, _ = critical_path(graph, lambda node: node_delay(graph, node, model))
+    return HardwareReport(
+        area=area,
+        delay=delay,
+        area_um2=model.to_um2(area),
+        delay_ns=model.to_ns(delay),
+        multipliers=graph.count(NodeKind.MUL),
+        adders=graph.count(NodeKind.ADD) + graph.count(NodeKind.SUB),
+        constant_multipliers=graph.count(NodeKind.CMUL),
+        nodes=len(graph.nodes),
+    )
+
+
+def estimate_decomposition(
+    decomposition: Decomposition,
+    signature: BitVectorSignature,
+    model: TechnologyModel = DEFAULT_MODEL,
+) -> HardwareReport:
+    """Lower a decomposition and estimate its hardware cost."""
+    return estimate_graph(build_dfg(decomposition, signature), model)

@@ -1,0 +1,131 @@
+"""Area/delay models of the datapath resources.
+
+* ``adder(w)`` — ripple-carry: ``w`` full adders, carry chain delay.
+  (Ripple matches the paper's area-first synthesis; the resulting delay
+  penalty is exactly the trade-off Table 14.3 reports.)
+* ``multiplier(w1, w2)`` — array multiplier: ``w1*w2`` partial-product
+  AND gates plus ``(w1-1)`` rows of ``w2``-bit carry-save adders; delay
+  crosses roughly ``w1 + w2`` cells.
+* ``constant_multiplier(c, w)`` — canonical-signed-digit shift-add
+  network: one adder/subtractor per non-zero CSD digit beyond the first
+  (shifts are free wiring), arranged as a balanced tree for delay.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from .model import DEFAULT_MODEL, TechnologyModel
+
+
+def csd_digits(value: int) -> list[int]:
+    """Canonical signed-digit recoding (least-significant first).
+
+    Every digit is -1, 0 or +1 and no two adjacent digits are non-zero;
+    this minimizes the number of add/subtract stages of a constant
+    multiplier.
+    """
+    if value == 0:
+        return [0]
+    digits: list[int] = []
+    n = abs(value)
+    while n:
+        if n & 1:
+            remainder = 2 - (n % 4)  # +1 if n % 4 == 1, -1 if n % 4 == 3
+            digits.append(remainder)
+            n -= remainder
+        else:
+            digits.append(0)
+        n >>= 1
+    if value < 0:
+        digits = [-d for d in digits]
+    return digits
+
+
+def csd_nonzero_count(value: int) -> int:
+    """Number of non-zero CSD digits (add/sub terms of the shift-add net)."""
+    return sum(1 for d in csd_digits(value) if d)
+
+
+def adder_area(width: int, model: TechnologyModel = DEFAULT_MODEL) -> float:
+    """Ripple-carry adder (or subtractor) area."""
+    return width * model.full_adder_area
+
+
+def adder_delay(width: int, model: TechnologyModel = DEFAULT_MODEL) -> float:
+    """Ripple-carry adder delay (carry chain)."""
+    return width * model.full_adder_delay
+
+
+def multiplier_area(
+    width_a: int, width_b: int, model: TechnologyModel = DEFAULT_MODEL
+) -> float:
+    """Array multiplier area: partial products + carry-save reduction."""
+    partial_products = width_a * width_b * model.and_gate_area
+    reduction = max(width_a - 1, 0) * width_b * model.full_adder_area
+    return partial_products + reduction
+
+
+def multiplier_delay(
+    width_a: int, width_b: int, model: TechnologyModel = DEFAULT_MODEL
+) -> float:
+    """Array multiplier delay across the cell diagonal."""
+    return model.and_gate_delay + (width_a + width_b - 2) * model.full_adder_delay
+
+
+def csa_tree_area(
+    operands: int, width: int, model: TechnologyModel = DEFAULT_MODEL
+) -> float:
+    """Carry-save adder tree summing N operands (Verma & Ienne [24]).
+
+    ``N-2`` rows of 3:2 compressors (each ``width`` full adders) followed
+    by one carry-propagate adder.  For N <= 2 this degenerates to a plain
+    adder.
+    """
+    if operands < 2:
+        return 0.0
+    compressors = max(operands - 2, 0)
+    return compressors * width * model.full_adder_area + adder_area(width, model)
+
+
+def csa_tree_delay(
+    operands: int, width: int, model: TechnologyModel = DEFAULT_MODEL
+) -> float:
+    """Carry-save tree delay: log-depth compression + one carry chain.
+
+    Each 3:2 compression level costs a single full-adder delay (no carry
+    propagation inside the tree); a Wallace-style tree compresses N
+    operands in about ``log_{3/2}(N/2)`` levels.
+    """
+    if operands < 2:
+        return 0.0
+    from math import ceil, log
+
+    levels = 0 if operands <= 2 else ceil(log(operands / 2.0, 1.5))
+    return levels * model.full_adder_delay + adder_delay(width, model)
+
+
+def constant_multiplier_area(
+    coefficient: int, width: int, model: TechnologyModel = DEFAULT_MODEL
+) -> float:
+    """CSD shift-add network area for multiplying a width-bit bus by a constant."""
+    stages = max(csd_nonzero_count(coefficient) - 1, 0)
+    if coefficient < 0:
+        stages = max(stages, 1)  # at least a negation stage
+    operand_width = width + max(abs(coefficient).bit_length(), 1)
+    return stages * adder_area(operand_width, model)
+
+
+def constant_multiplier_delay(
+    coefficient: int, width: int, model: TechnologyModel = DEFAULT_MODEL
+) -> float:
+    """CSD shift-add network delay (balanced adder tree)."""
+    nonzero = csd_nonzero_count(coefficient)
+    stages = max(nonzero - 1, 0)
+    if coefficient < 0:
+        stages = max(stages, 1)
+    if stages == 0:
+        return 0.0
+    operand_width = width + max(abs(coefficient).bit_length(), 1)
+    tree_depth = ceil(log2(nonzero)) if nonzero > 1 else 1
+    return tree_depth * adder_delay(operand_width, model)

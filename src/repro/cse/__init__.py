@@ -1,0 +1,38 @@
+"""Kernel-based common sub-expression extraction (substitute for JuanCSE).
+
+Kernels/co-kernels per [13] plus a greedy kernel-intersection and
+common-cube extraction loop over whole polynomial systems.
+"""
+
+from .extract import (
+    CseResult,
+    eliminate_common_subexpressions,
+    expand_blocks,
+)
+from .kcm import (
+    KcmRow,
+    KernelCubeMatrix,
+    Rectangle,
+    best_rectangles,
+    build_kcm,
+    grow_rectangle,
+    rectangle_value,
+)
+from .kernels import KernelEntry, all_kernels, is_cube_free, iter_kernels
+
+__all__ = [
+    "CseResult",
+    "KcmRow",
+    "KernelCubeMatrix",
+    "KernelEntry",
+    "Rectangle",
+    "all_kernels",
+    "best_rectangles",
+    "build_kcm",
+    "eliminate_common_subexpressions",
+    "expand_blocks",
+    "grow_rectangle",
+    "is_cube_free",
+    "iter_kernels",
+    "rectangle_value",
+]

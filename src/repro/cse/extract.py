@@ -1,0 +1,522 @@
+"""Greedy multi-polynomial common sub-expression extraction.
+
+The repo's substitute for the JuanCSE tool [14]: an implementation of the
+kernel-intersection CSE of Hosangadi, Fallah & Kastner [13].  Each round:
+
+1. enumerate every kernel of every polynomial (:mod:`repro.cse.kernels`),
+2. build the candidate pool — whole kernels, pairwise kernel
+   intersections (multi-term sub-expressions), and common cubes with and
+   without an attached coefficient (single-term sub-expressions),
+3. score each candidate by the exact MULT/ADD operators its extraction
+   saves (weighted: a multiplier is worth several adders),
+4. extract the best candidate into a fresh building-block variable and
+   rewrite every occurrence, then iterate until nothing saves anything.
+
+Matching is *syntactic* with exact integer coefficients (and global sign),
+exactly like [13]: ``4 - 3ab`` in two kernels matches, ``8 - 6ab`` does
+not — closing that gap is the job of the paper's CCE and algebraic
+division, not of CSE.
+
+Coefficients are never split here; blocks become ordinary variables of the
+rewritten polynomials, so extraction composes transparently with every
+other transformation in the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.poly import Polynomial
+from repro.poly.monomial import Exponents, mono_literal_count, mono_mul
+
+from .kernels import all_kernels
+
+_MUL_WEIGHT = 20   # variable x variable multiply (array multiplier)
+_CMUL_WEIGHT = 2   # multiply by a compile-time constant (CSD shift-add)
+_ADD_WEIGHT = 1
+
+
+@dataclass
+class CseResult:
+    """Rewritten system plus the building blocks CSE introduced."""
+
+    polys: list[Polynomial]
+    blocks: dict[str, Polynomial] = field(default_factory=dict)
+    rounds: int = 0
+
+    @property
+    def block_names(self) -> list[str]:
+        return list(self.blocks)
+
+
+def _term_weight(coeff: int, exps: Exponents) -> int:
+    """Weighted operator cost of implementing one term's product.
+
+    Variable-by-variable multiplies dominate; the coefficient multiply is
+    a cheap shift-add network.
+    """
+    literals = mono_literal_count(exps)
+    weight = max(literals - 1, 0) * _MUL_WEIGHT
+    if abs(coeff) != 1 and literals:
+        weight += _CMUL_WEIGHT
+    return weight
+
+
+def _poly_weight(poly: Polynomial) -> int:
+    """Weighted operator cost of a polynomial implemented as a direct SOP."""
+    total = sum(_term_weight(c, e) for e, c in poly.terms.items())
+    if len(poly) > 1:
+        total += (len(poly) - 1) * _ADD_WEIGHT
+    return total
+
+
+def _normalize_sign(poly: Polynomial) -> tuple[Polynomial, int]:
+    """Return (positively-oriented polynomial, sign)."""
+    if poly.leading_coeff("grlex") < 0:
+        return -poly, -1
+    return poly, 1
+
+
+@dataclass(frozen=True)
+class _KernelCandidate:
+    body: Polynomial  # sign-normalized, >= 2 terms, cube-free
+
+
+@dataclass(frozen=True)
+class _CubeCandidate:
+    coeff: int  # 1 for a plain variable cube, else the exact shared coefficient
+    exps: Exponents
+
+
+class _Extractor:
+    """One CSE run over a system of polynomials."""
+
+    def __init__(
+        self,
+        polys: Sequence[Polynomial],
+        prefix: str,
+        start_index: int,
+        max_rounds: int,
+        enable_kernels: bool = True,
+        enable_cubes: bool = True,
+        enable_rectangles: bool = True,
+    ):
+        unified = Polynomial.unify_all(list(polys))
+        self.vars: tuple[str, ...] = unified[0].vars if unified else ()
+        self.polys: list[Polynomial] = unified
+        self.blocks: dict[str, Polynomial] = {}
+        self.prefix = prefix
+        self.counter = start_index
+        self.max_rounds = max_rounds
+        self.rounds = 0
+        self.enable_kernels = enable_kernels
+        self.enable_cubes = enable_cubes
+        self.enable_rectangles = enable_rectangles
+
+    # -- candidate generation ------------------------------------------
+
+    def _kernel_rows(self) -> list[tuple[int, Exponents, Polynomial]]:
+        rows = []
+        for index, poly in enumerate(self.polys):
+            for entry in all_kernels(poly):
+                rows.append((index, entry.cokernel, entry.kernel))
+        return rows
+
+    def _kernel_candidates(
+        self, rows: list[tuple[int, Exponents, Polynomial]]
+    ) -> list[_KernelCandidate]:
+        pool: dict[frozenset, Polynomial] = {}
+
+        def add(poly: Polynomial) -> None:
+            if len(poly) < 2:
+                return
+            normalized, _ = _normalize_sign(poly)
+            key = frozenset(normalized.terms.items())
+            pool.setdefault(key, normalized)
+
+        # Deduplicate kernels (shifted-copy systems repeat them massively)
+        # before the quadratic pairwise-intersection step.
+        unique: dict[frozenset, Polynomial] = {}
+        for _, _, kernel in rows:
+            unique.setdefault(frozenset(kernel.terms.items()), kernel)
+        kernels = list(unique.values())
+        for kernel in kernels:
+            add(kernel)
+        for left, right in combinations(range(len(kernels)), 2):
+            a, b = kernels[left], kernels[right]
+            shared = {
+                e: c for e, c in a.terms.items() if b.terms.get(e) == c
+            }
+            if len(shared) >= 2:
+                add(Polynomial(self.vars, shared))
+            # Also try the sign-flipped overlap (x - y vs y - x).
+            flipped = {
+                e: c for e, c in a.terms.items() if b.terms.get(e) == -c
+            }
+            if len(flipped) >= 2:
+                add(Polynomial(self.vars, flipped))
+        # k-way intersections via prime rectangles of the kernel-cube
+        # matrix (pairwise overlap misses bodies shared by 3+ rows only
+        # partially; the KCM's rectangles capture them exactly).
+        if self.enable_rectangles:
+            for body in self._rectangle_bodies(rows):
+                add(body)
+        return [_KernelCandidate(body) for body in pool.values()]
+
+    def _rectangle_bodies(
+        self, rows: list[tuple[int, Exponents, Polynomial]]
+    ) -> list[Polynomial]:
+        from .kcm import KcmRow, KernelCubeMatrix, best_rectangles
+
+        kcm_rows: list[KcmRow] = []
+        columns: list[tuple[Exponents, int]] = []
+        column_index: dict[tuple[Exponents, int], int] = {}
+        incidence: list[set[int]] = []
+        for index, cokernel, kernel in rows:
+            kcm_rows.append(KcmRow(index, cokernel))
+            present: set[int] = set()
+            for exps, coeff in kernel.terms.items():
+                cube = (exps, coeff)
+                where = column_index.get(cube)
+                if where is None:
+                    where = len(columns)
+                    column_index[cube] = where
+                    columns.append(cube)
+                present.add(where)
+            incidence.append(present)
+        kcm = KernelCubeMatrix(self.vars, kcm_rows, columns, incidence)
+        bodies = []
+        for rectangle in best_rectangles(kcm, limit=6):
+            if rectangle.num_columns >= 2:
+                bodies.append(kcm.column_sum(rectangle.column_indices))
+        return bodies
+
+    @staticmethod
+    def _sparse(exps: Exponents) -> tuple[tuple[int, int], ...]:
+        return tuple((i, e) for i, e in enumerate(exps) if e)
+
+    def _shared_cube(
+        self,
+        sparse_a: tuple[tuple[int, int], ...],
+        sparse_b: tuple[tuple[int, int], ...],
+        min_literals: int,
+    ) -> Exponents | None:
+        """Exponent-wise minimum of two sparse monomials, or None if small."""
+        if len(sparse_b) < len(sparse_a):
+            sparse_a, sparse_b = sparse_b, sparse_a
+        lookup = dict(sparse_b)
+        shared_pairs = []
+        literals = 0
+        for index, exp in sparse_a:
+            other = lookup.get(index)
+            if other:
+                smaller = exp if exp < other else other
+                shared_pairs.append((index, smaller))
+                literals += smaller
+        if literals < min_literals:
+            return None
+        nvars = len(self.vars)
+        out = [0] * nvars
+        for index, exp in shared_pairs:
+            out[index] = exp
+        return tuple(out)
+
+    def _cube_candidates(self) -> list[_CubeCandidate]:
+        # Deduplicate before the quadratic pairing: distinct monomials for
+        # plain cubes, distinct (|coeff|, monomial) pairs for coefficient
+        # cubes.  Sparse exponent pairs keep the inner loop proportional to
+        # monomial support, not to the (block-inflated) variable count.
+        pool: set[_CubeCandidate] = set()
+        monomials: set[Exponents] = set()
+        coeff_terms: set[tuple[int, Exponents]] = set()
+        for poly in self.polys:
+            for exps, coeff in poly.terms.items():
+                if mono_literal_count(exps) >= 2:
+                    monomials.add(exps)
+                if abs(coeff) != 1 and mono_literal_count(exps) >= 1:
+                    coeff_terms.add((abs(coeff), exps))
+        sparse_monos = [self._sparse(e) for e in sorted(monomials)]
+        for a, b in combinations(sparse_monos, 2):
+            shared = self._shared_cube(a, b, 2)
+            if shared is not None:
+                pool.add(_CubeCandidate(1, shared))
+        by_coeff: dict[int, list[Exponents]] = {}
+        for coeff, exps in coeff_terms:
+            by_coeff.setdefault(coeff, []).append(exps)
+        for coeff, group in by_coeff.items():
+            if len(group) < 2:
+                continue
+            sparse_group = [self._sparse(e) for e in sorted(group)]
+            for a, b in combinations(sparse_group, 2):
+                shared = self._shared_cube(a, b, 1)
+                if shared is not None:
+                    pool.add(_CubeCandidate(coeff, shared))
+        return list(pool)
+
+    # -- kernel candidate matching / application ------------------------
+
+    def _kernel_matches(
+        self,
+        candidate: _KernelCandidate,
+        rows: list[tuple[int, Exponents, Polynomial]],
+    ) -> list[tuple[int, Exponents, int]]:
+        """All (poly index, co-kernel, sign) occurrences of the candidate."""
+        matches = []
+        seen: set[tuple[int, Exponents, int]] = set()
+        body = candidate.body.terms
+        body_size = len(body)
+        for index, cokernel, kernel in rows:
+            terms = kernel.terms
+            if len(terms) < body_size:
+                continue
+            if all(terms.get(e) == c for e, c in body.items()):
+                key = (index, cokernel, 1)
+            elif all(terms.get(e) == -c for e, c in body.items()):
+                key = (index, cokernel, -1)
+            else:
+                continue
+            if key not in seen:
+                seen.add(key)
+                matches.append(key)
+        return matches
+
+    def _apply_kernel(
+        self,
+        candidate: _KernelCandidate,
+        matches: list[tuple[int, Exponents, int]],
+    ) -> int:
+        """Rewrite occurrences; returns how many were actually applied."""
+        used: dict[int, set[Exponents]] = {}
+        planned: list[tuple[int, Exponents, int, list[Exponents]]] = []
+        for index, cokernel, sign in matches:
+            poly = self.polys[index]
+            covered = []
+            ok = True
+            taken = used.setdefault(index, set())
+            for exps, coeff in candidate.body.terms.items():
+                target = mono_mul(cokernel, exps)
+                if target in taken or poly.terms.get(target) != sign * coeff:
+                    ok = False
+                    break
+                covered.append(target)
+            if ok:
+                taken.update(covered)
+                planned.append((index, cokernel, sign, covered))
+        if len(planned) < 2:
+            return 0
+        name = self._fresh_name()
+        new_vars = self.vars + (name,)
+        new_polys: list[Polynomial] = []
+        for index, poly in enumerate(self.polys):
+            padded = {e + (0,): c for e, c in poly.terms.items()}
+            new_polys.append(Polynomial(new_vars, padded))
+        for index, cokernel, sign, covered in planned:
+            terms = dict(new_polys[index].terms)
+            for target in covered:
+                del terms[target + (0,)]
+            block_exps = cokernel + (1,)
+            total = terms.get(block_exps, 0) + sign
+            if total:
+                terms[block_exps] = total
+            else:
+                terms.pop(block_exps, None)
+            new_polys[index] = Polynomial(new_vars, terms)
+        self.blocks[name] = candidate.body
+        self.vars = new_vars
+        self.polys = new_polys
+        return len(planned)
+
+    def _kernel_gain(
+        self,
+        candidate: _KernelCandidate,
+        matches: list[tuple[int, Exponents, int]],
+    ) -> int:
+        """Exact weighted operators saved by extracting the candidate.
+
+        Per occurrence: the covered terms' products and joining adds
+        disappear, replaced by a single ``cokernel * block`` term; the
+        block body itself is paid once.  Overlapping occurrences make this
+        an optimistic bound — the application step re-checks every term.
+        """
+        body = candidate.body.terms
+        saved = 0
+        for index, cokernel, sign in matches:
+            poly = self.polys[index]
+            occurrence = 0
+            complete = True
+            for exps in body:
+                target = mono_mul(cokernel, exps)
+                coeff = poly.terms.get(target)
+                if coeff is None:
+                    complete = False
+                    break
+                occurrence += _term_weight(coeff, target)
+            if not complete:
+                continue
+            occurrence += (len(body) - 1) * _ADD_WEIGHT
+            occurrence -= _term_weight(sign, cokernel + (1,))
+            saved += occurrence
+        return saved - _poly_weight(candidate.body)
+
+    # -- cube candidate matching / application --------------------------
+
+    def _cube_occurrences(self, candidate: _CubeCandidate) -> list[tuple[int, Exponents, int]]:
+        """(poly index, term exps, power) for every term the cube divides."""
+        out = []
+        sparse = self._sparse(candidate.exps)
+        for index, poly in enumerate(self.polys):
+            for exps, coeff in poly.terms.items():
+                power = None
+                for i, c in sparse:
+                    k = exps[i] // c
+                    if k == 0:
+                        power = 0
+                        break
+                    power = k if power is None else min(power, k)
+                if not power:
+                    continue
+                if candidate.coeff != 1:
+                    if coeff % candidate.coeff:
+                        continue
+                    power = min(power, 1)  # the coefficient divides once
+                out.append((index, exps, power))
+        return out
+
+    def _cube_savings(
+        self, candidate: _CubeCandidate, occurrences: list[tuple[int, Exponents, int]]
+    ) -> int:
+        block_cost = max(
+            mono_literal_count(candidate.exps) - 1, 0
+        ) * _MUL_WEIGHT + (_CMUL_WEIGHT if candidate.coeff != 1 else 0)
+        saved = 0
+        for index, exps, power in occurrences:
+            coeff = self.polys[index].terms[exps]
+            before = _term_weight(coeff, exps)
+            new_exps = tuple(
+                e - power * c for e, c in zip(exps, candidate.exps)
+            ) + (power,)
+            new_coeff = coeff // candidate.coeff if candidate.coeff != 1 else coeff
+            after = _term_weight(new_coeff, new_exps)
+            saved += before - after
+        return saved - block_cost
+
+    def _apply_cube(
+        self, candidate: _CubeCandidate, occurrences: list[tuple[int, Exponents, int]]
+    ) -> int:
+        if len(occurrences) < 2:
+            return 0
+        name = self._fresh_name()
+        block_poly = Polynomial(self.vars, {candidate.exps: candidate.coeff})
+        new_vars = self.vars + (name,)
+        by_poly: dict[int, list[tuple[Exponents, int]]] = {}
+        for index, exps, power in occurrences:
+            by_poly.setdefault(index, []).append((exps, power))
+        new_polys: list[Polynomial] = []
+        for index, poly in enumerate(self.polys):
+            terms = {e + (0,): c for e, c in poly.terms.items()}
+            for exps, power in by_poly.get(index, ()):
+                old_key = exps + (0,)
+                coeff = terms.pop(old_key)
+                new_exps = tuple(
+                    e - power * c for e, c in zip(exps, candidate.exps)
+                ) + (power,)
+                new_coeff = coeff // candidate.coeff if candidate.coeff != 1 else coeff
+                terms[new_exps] = terms.get(new_exps, 0) + new_coeff
+            new_polys.append(Polynomial(new_vars, terms))
+        self.blocks[name] = block_poly
+        self.vars = new_vars
+        self.polys = new_polys
+        return len(occurrences)
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _fresh_name(self) -> str:
+        self.counter += 1
+        return f"{self.prefix}{self.counter}"
+
+    # -- the greedy loop --------------------------------------------------
+
+    def run(self) -> CseResult:
+        while self.rounds < self.max_rounds:
+            rows = self._kernel_rows() if self.enable_kernels else []
+            best_gain = 0
+            best_action = None
+
+            if self.enable_kernels:
+                for candidate in self._kernel_candidates(rows):
+                    matches = self._kernel_matches(candidate, rows)
+                    if len(matches) < 2:
+                        continue
+                    gain = self._kernel_gain(candidate, matches)
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_action = ("kernel", candidate, matches)
+
+            if self.enable_cubes:
+                for candidate in self._cube_candidates():
+                    occurrences = self._cube_occurrences(candidate)
+                    if len(occurrences) < 2:
+                        continue
+                    gain = self._cube_savings(candidate, occurrences)
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_action = ("cube", candidate, occurrences)
+
+            if best_action is None:
+                break
+            kind, candidate, where = best_action
+            applied = (
+                self._apply_kernel(candidate, where)
+                if kind == "kernel"
+                else self._apply_cube(candidate, where)
+            )
+            if not applied:
+                break
+            self.rounds += 1
+        return CseResult(self.polys, dict(self.blocks), self.rounds)
+
+
+def eliminate_common_subexpressions(
+    polys: Iterable[Polynomial],
+    prefix: str = "_cse",
+    start_index: int = 0,
+    max_rounds: int = 200,
+    enable_kernels: bool = True,
+    enable_cubes: bool = True,
+    enable_rectangles: bool = True,
+) -> CseResult:
+    """Run kernel-intersection CSE over a system of polynomials.
+
+    Returns the rewritten polynomials (over the original variables plus
+    one fresh variable per extracted block) and the block definitions.
+    Rewriting is always exact: substituting every block definition back
+    reproduces the input system — tests enforce this invariant.
+
+    The ``enable_*`` switches turn off candidate classes (multi-term
+    kernels, single cubes, KCM rectangles) for ablation studies; the full
+    extractor is strictly stronger than any restriction.
+    """
+    extractor = _Extractor(
+        list(polys),
+        prefix,
+        start_index,
+        max_rounds,
+        enable_kernels=enable_kernels,
+        enable_cubes=enable_cubes,
+        enable_rectangles=enable_rectangles,
+    )
+    return extractor.run()
+
+
+def expand_blocks(poly: Polynomial, blocks: dict[str, Polynomial]) -> Polynomial:
+    """Substitute block definitions (repeatedly) back into a polynomial."""
+    current = poly
+    # Blocks may reference earlier blocks; substitute until none remain.
+    for _ in range(len(blocks) + 1):
+        present = [name for name in blocks if name in current.used_vars()]
+        if not present:
+            return current.trim()
+        current = current.subs({name: blocks[name] for name in present})
+    raise RuntimeError("cyclic block definitions")

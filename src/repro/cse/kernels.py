@@ -1,0 +1,116 @@
+"""Kernel / co-kernel extraction (paper Section 14.2.1, after [13]).
+
+For a polynomial ``P`` and a cube ``c``, ``P/c`` is a *kernel* when it is
+cube-free and has at least two terms; ``c`` is its *co-kernel*.  Kernels
+are where multiple-term common sub-expressions hide: two polynomials share
+a multi-term factor iff the factor appears within intersecting kernels
+(Brayton's theorem, carried over to polynomials by Hosangadi et al.).
+
+The generator below is the classical recursive enumeration adapted to
+integer exponents: literals are variables (coefficients are *never*
+divided here — the paper routes coefficient sharing through CCE instead),
+and dividing by a literal removes one power of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.poly import Polynomial
+from repro.poly.monomial import Exponents, mono_gcd_many, mono_is_one, mono_mul
+
+
+@dataclass(frozen=True)
+class KernelEntry:
+    """One (co-kernel cube, kernel polynomial) pair."""
+
+    cokernel: Exponents
+    kernel: Polynomial
+
+
+def _divide_by_literal(poly: Polynomial, index: int) -> Polynomial:
+    """Divide the sub-polynomial of terms containing variable ``index``."""
+    terms = {
+        e[:index] + (e[index] - 1,) + e[index + 1:]: c
+        for e, c in poly.terms.items()
+        if e[index]
+    }
+    return Polynomial(poly.vars, terms)
+
+
+def _common_cube(poly: Polynomial) -> Exponents:
+    return mono_gcd_many(poly.terms.keys()) if len(poly) else (0,) * len(poly.vars)
+
+
+def _divide_by_cube(poly: Polynomial, cube: Exponents) -> Polynomial:
+    if mono_is_one(cube):
+        return poly
+    return Polynomial(
+        poly.vars,
+        {tuple(x - y for x, y in zip(e, cube)): c for e, c in poly.terms.items()},
+    )
+
+
+def iter_kernels(poly: Polynomial) -> Iterator[KernelEntry]:
+    """Enumerate all (co-kernel, kernel) pairs of a polynomial.
+
+    Includes the polynomial itself (with co-kernel 1) when it is cube-free
+    with at least two terms, per the standard definition.  Duplicate paths
+    are pruned with the classical "no smaller literal in the extracted
+    cube" test.
+    """
+    if len(poly) < 2:
+        return
+    nvars = len(poly.vars)
+    unit = (0,) * nvars
+
+    seen: set[tuple[Exponents, frozenset]] = set()
+
+    def emit(cokernel: Exponents, kernel: Polynomial) -> Iterator[KernelEntry]:
+        key = (cokernel, frozenset(kernel.terms.items()))
+        if key not in seen:
+            seen.add(key)
+            yield KernelEntry(cokernel, kernel)
+
+    def recurse(current: Polynomial, cokernel: Exponents, min_index: int) -> Iterator[KernelEntry]:
+        for j in range(min_index, nvars):
+            count = sum(1 for e in current.terms if e[j])
+            if count < 2:
+                continue
+            divided = _divide_by_literal(current, j)
+            cube = _common_cube(divided)
+            if any(cube[k] for k in range(j)):
+                # A smaller literal divides the quotient: this kernel will
+                # be found (or was) through that literal instead.
+                continue
+            kernel = _divide_by_cube(divided, cube)
+            if len(kernel) < 2:
+                continue
+            step = mono_mul(
+                cokernel, mono_mul(cube, tuple(1 if k == j else 0 for k in range(nvars)))
+            )
+            yield from emit(step, kernel)
+            yield from recurse(kernel, step, j)
+
+    top_cube = _common_cube(poly)
+    top = _divide_by_cube(poly, top_cube)
+    if len(top) >= 2:
+        yield from emit(top_cube, top)
+    yield from recurse(top, top_cube, 0)
+    if not mono_is_one(top_cube):
+        # Also enumerate kernels of the original alignment (cube-free part
+        # already covered above; nothing else to add).
+        pass
+
+
+def all_kernels(poly: Polynomial) -> list[KernelEntry]:
+    """List of every kernel/co-kernel pair (see :func:`iter_kernels`)."""
+    return list(iter_kernels(poly))
+
+
+def is_cube_free(poly: Polynomial) -> bool:
+    """True when no non-unit cube divides every term."""
+    if poly.is_zero:
+        return False
+    return mono_is_one(_common_cube(poly))

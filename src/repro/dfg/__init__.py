@@ -1,0 +1,33 @@
+"""Dataflow graphs: decomposition lowering, sharing, and scheduling."""
+
+from .build import DfgBuilder, build_dfg
+from .graph import DataFlowGraph, Node, NodeKind
+from .pipeline import PipelineReport, pipeline_cuts, pipeline_report
+from .schedule import asap_levels, critical_path
+from .scheduling import (
+    Schedule,
+    alap_levels,
+    list_schedule,
+    mobility,
+    resource_class,
+)
+from .simulate import simulate
+
+__all__ = [
+    "DataFlowGraph",
+    "DfgBuilder",
+    "Node",
+    "NodeKind",
+    "PipelineReport",
+    "Schedule",
+    "pipeline_cuts",
+    "pipeline_report",
+    "alap_levels",
+    "asap_levels",
+    "build_dfg",
+    "critical_path",
+    "list_schedule",
+    "mobility",
+    "resource_class",
+    "simulate",
+]

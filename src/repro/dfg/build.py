@@ -1,0 +1,183 @@
+"""Lowering decompositions to dataflow graphs.
+
+Rules (chosen to match the paper's operator accounting):
+
+* an N-ary sum becomes a *balanced* binary adder tree; subtrahends
+  (operands of the form ``-E``) use subtractors rather than a negation;
+* an N-ary product becomes a chain of array multipliers, with a single
+  constant factor lowered to a shift-add constant multiplier (CMUL);
+* ``E^k`` is a chain of ``k-1`` multipliers;
+* a block reference resolves to the block's (structurally shared) root
+  node — this is where shared blocks become shared hardware.
+"""
+
+from __future__ import annotations
+
+from repro.expr import Decomposition
+from repro.expr.ast import Add, BlockRef, Const, Expr, Mul, Pow, Var
+from repro.rings import BitVectorSignature
+
+from .graph import DataFlowGraph, NodeKind
+
+
+class DfgBuilder:
+    """Builds one DFG for a whole decomposition.
+
+    ``balanced=True`` selects the delay-oriented lowering (tree-height
+    reduction [18]): products become balanced multiplier trees and powers
+    use square-and-multiply — same or fewer operators, logarithmic depth.
+    The default chains products and powers, which matches the paper's
+    operator accounting and its area-first flavour.
+    """
+
+    def __init__(
+        self,
+        decomposition: Decomposition,
+        signature: BitVectorSignature,
+        balanced: bool = False,
+    ):
+        self.decomposition = decomposition
+        self.signature = signature
+        self.balanced = balanced
+        self.graph = DataFlowGraph(output_width=signature.output_width)
+        self._block_cache: dict[str, int] = {}
+        self._building: set[str] = set()
+
+    def build(self) -> DataFlowGraph:
+        for index, expr in enumerate(self.decomposition.outputs):
+            self.graph.region = f"output:{index}"
+            self.graph.mark_output(self._lower(expr))
+        return self.graph
+
+    # ------------------------------------------------------------------
+
+    def _lower(self, expr: Expr) -> int:
+        if isinstance(expr, Const):
+            return self.graph.add_const(expr.value)
+        if isinstance(expr, Var):
+            try:
+                width = self.signature.width_of(expr.name)
+            except KeyError:
+                width = self.signature.output_width
+            return self.graph.add_input(expr.name, width)
+        if isinstance(expr, BlockRef):
+            return self._lower_block(expr.name)
+        if isinstance(expr, Add):
+            return self._lower_sum(list(expr.operands))
+        if isinstance(expr, Mul):
+            return self._lower_product(list(expr.operands))
+        if isinstance(expr, Pow):
+            base = self._lower(expr.base)
+            if self.balanced:
+                return self._square_and_multiply(base, expr.exponent)
+            node = base
+            for _ in range(expr.exponent - 1):
+                node = self.graph.add_op(NodeKind.MUL, (node, base))
+            return node
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    def _square_and_multiply(self, base: int, exponent: int) -> int:
+        """Logarithmic-depth power; structural hashing shares sub-powers."""
+        if exponent == 1:
+            return base
+        half = self._square_and_multiply(base, exponent // 2)
+        squared = self.graph.add_op(NodeKind.MUL, (half, half))
+        if exponent % 2:
+            return self.graph.add_op(NodeKind.MUL, (squared, base))
+        return squared
+
+    def _lower_block(self, name: str) -> int:
+        if name in self._block_cache:
+            return self._block_cache[name]
+        if name in self._building:
+            raise ValueError(f"cyclic block reference through {name!r}")
+        if name not in self.decomposition.blocks:
+            raise KeyError(f"undefined block {name!r}")
+        self._building.add(name)
+        saved_region = self.graph.region
+        self.graph.region = f"block:{name}"
+        node = self._lower(self.decomposition.blocks[name])
+        self.graph.region = saved_region
+        self._building.discard(name)
+        self._block_cache[name] = node
+        return node
+
+    @staticmethod
+    def _negated(expr: Expr) -> Expr | None:
+        """The operand of a ``(-1) * E`` product, or a negated constant."""
+        if isinstance(expr, Const) and expr.value < 0:
+            return Const(-expr.value)
+        if isinstance(expr, Mul):
+            consts = [op for op in expr.operands if isinstance(op, Const)]
+            if len(consts) == 1 and consts[0].value < 0:
+                rest = tuple(op for op in expr.operands if not isinstance(op, Const))
+                flipped = Const(-consts[0].value)
+                if flipped.value == 1:
+                    operands = rest
+                else:
+                    operands = (flipped,) + rest
+                if len(operands) == 1:
+                    return operands[0]
+                return Mul(operands)
+        return None
+
+    def _lower_sum(self, operands: list[Expr]) -> int:
+        positive: list[int] = []
+        negative: list[int] = []
+        for op in operands:
+            negated = self._negated(op)
+            if negated is not None:
+                negative.append(self._lower(negated))
+            else:
+                positive.append(self._lower(op))
+        if not positive:
+            # All-negative sum: materialize 0 - (sum of negatives).
+            positive.append(self.graph.add_const(0))
+        acc = self._balanced_tree(positive, NodeKind.ADD)
+        for node in negative:
+            acc = self.graph.add_op(NodeKind.SUB, (acc, node))
+        return acc
+
+    def _balanced_tree(self, nodes: list[int], kind: NodeKind) -> int:
+        work = list(nodes)
+        while len(work) > 1:
+            nxt: list[int] = []
+            for i in range(0, len(work) - 1, 2):
+                nxt.append(self.graph.add_op(kind, (work[i], work[i + 1])))
+            if len(work) % 2:
+                nxt.append(work[-1])
+            work = nxt
+        return work[0]
+
+    def _lower_product(self, operands: list[Expr]) -> int:
+        constant = 1
+        factors: list[int] = []
+        for op in operands:
+            if isinstance(op, Const):
+                constant *= op.value
+            else:
+                factors.append(self._lower(op))
+        if not factors:
+            return self.graph.add_const(constant)
+        if self.balanced:
+            acc = self._balanced_tree(factors, NodeKind.MUL)
+        else:
+            acc = factors[0]
+            for node in factors[1:]:
+                acc = self.graph.add_op(NodeKind.MUL, (acc, node))
+        if constant != 1:
+            if constant == -1:
+                # Sign inversions are absorbed by the consuming add/sub.
+                acc = self.graph.add_op(NodeKind.CMUL, (acc,), value=-1)
+            else:
+                acc = self.graph.add_op(NodeKind.CMUL, (acc,), value=constant)
+        return acc
+
+
+def build_dfg(
+    decomposition: Decomposition,
+    signature: BitVectorSignature,
+    balanced: bool = False,
+) -> DataFlowGraph:
+    """Lower a decomposition to a structurally-shared dataflow graph."""
+    return DfgBuilder(decomposition, signature, balanced).build()

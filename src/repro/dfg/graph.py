@@ -1,0 +1,116 @@
+"""Dataflow graphs for decomposed polynomial datapaths.
+
+The bridge between a :class:`~repro.expr.decomposition.Decomposition` and
+the hardware cost model: nodes are arithmetic resources (adders,
+subtractors, array multipliers, constant multipliers), edges are
+bit-vector buses.  Structural hashing guarantees that identical
+sub-computations — in particular every reference to a shared building
+block — map to one node, so the area model automatically charges shared
+logic once, the way the paper's block-level implementation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+
+class NodeKind(Enum):
+    """Arithmetic resource classes of the datapath."""
+
+    INPUT = "input"
+    CONST = "const"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    CMUL = "cmul"  # multiplication by a compile-time constant (shift-add)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One datapath resource."""
+
+    index: int
+    kind: NodeKind
+    width: int
+    operands: tuple[int, ...] = ()
+    value: int | None = None  # constant value (CONST) or coefficient (CMUL)
+    name: str | None = None   # input variable name
+
+    def is_operator(self) -> bool:
+        return self.kind in (NodeKind.ADD, NodeKind.SUB, NodeKind.MUL, NodeKind.CMUL)
+
+
+@dataclass
+class DataFlowGraph:
+    """A DAG of datapath nodes with *region-scoped* structural hashing.
+
+    Sharing across regions (output expressions, block definitions) happens
+    only through explicit block references — mirroring the paper's
+    methodology, where each block is synthesized separately with Design
+    Compiler and only the blocks the decomposition names are reused.
+    Within one region, identical subtrees are shared (a synthesizer would
+    fold them).  Inputs and constants are global: wires are free.
+    """
+
+    output_width: int
+    nodes: list[Node] = field(default_factory=list)
+    outputs: list[int] = field(default_factory=list)
+    _hash_table: dict[tuple, int] = field(default_factory=dict)
+    region: str = ""
+
+    def _intern(self, kind: NodeKind, width: int, operands: tuple[int, ...],
+                value: int | None = None, name: str | None = None) -> int:
+        scope = "" if kind in (NodeKind.INPUT, NodeKind.CONST) else self.region
+        key = (scope, kind, operands, value, name)
+        found = self._hash_table.get(key)
+        if found is not None:
+            return found
+        node = Node(len(self.nodes), kind, width, operands, value, name)
+        self.nodes.append(node)
+        self._hash_table[key] = node.index
+        return node.index
+
+    def _clip(self, width: int) -> int:
+        """Datapath buses never exceed the output width (mod-2^m wrap)."""
+        return max(1, min(width, self.output_width))
+
+    def add_input(self, name: str, width: int) -> int:
+        return self._intern(NodeKind.INPUT, self._clip(width), (), None, name)
+
+    def add_const(self, value: int) -> int:
+        width = max(abs(value).bit_length(), 1) + (1 if value < 0 else 0)
+        return self._intern(NodeKind.CONST, self._clip(width), (), value)
+
+    def add_op(self, kind: NodeKind, operands: tuple[int, ...],
+               value: int | None = None) -> int:
+        widths = [self.nodes[i].width for i in operands]
+        if kind in (NodeKind.ADD, NodeKind.SUB):
+            width = max(widths) + 1
+        elif kind == NodeKind.MUL:
+            width = sum(widths)
+        elif kind == NodeKind.CMUL:
+            assert value is not None
+            width = widths[0] + max(abs(value).bit_length(), 1)
+        else:
+            raise ValueError(f"not an operator kind: {kind}")
+        # Commutative resources: canonical operand order improves sharing.
+        if kind in (NodeKind.ADD, NodeKind.MUL):
+            operands = tuple(sorted(operands))
+        return self._intern(kind, self._clip(width), operands, value)
+
+    def mark_output(self, index: int) -> None:
+        self.outputs.append(index)
+
+    def operator_nodes(self) -> Iterator[Node]:
+        for node in self.nodes:
+            if node.is_operator():
+                yield node
+
+    def count(self, kind: NodeKind) -> int:
+        return sum(1 for node in self.nodes if node.kind == kind)
+
+    def stats(self) -> dict[str, int]:
+        """Resource census, e.g. ``{"mul": 8, "add": 1, ...}``."""
+        return {kind.value: self.count(kind) for kind in NodeKind}

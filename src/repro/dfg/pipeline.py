@@ -1,0 +1,146 @@
+"""Pipelining of combinational dataflow graphs.
+
+The paper's area-optimized decompositions pay in combinational delay
+(Table 14.3's negative delay columns); the standard systems answer is to
+pipeline.  This module cuts a DFG into stages at operator levels and
+reports the register cost and the resulting stage delay:
+
+* :func:`pipeline_cuts` — choose cut levels so no stage exceeds a target
+  combinational delay,
+* :func:`pipeline_report` — registers needed per cut (every bus crossing
+  the cut is registered), total register area, achieved stage delay
+  (= clock period) and latency in cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.model import DEFAULT_MODEL, TechnologyModel
+
+from .graph import DataFlowGraph
+from .schedule import asap_levels
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Outcome of pipelining a graph to a delay target."""
+
+    stages: int
+    cut_levels: tuple[int, ...]
+    registers: int           # total registered bits across all cuts
+    register_area: float     # in gate equivalents
+    stage_delay: float       # worst combinational delay between registers
+    latency_cycles: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.stages} stage(s), {self.registers} register bits "
+            f"({self.register_area:.0f} GE), stage delay {self.stage_delay:.0f}"
+        )
+
+
+def _node_delays(graph: DataFlowGraph, model: TechnologyModel) -> dict[int, float]:
+    from repro.cost.estimate import node_delay
+
+    return {node.index: node_delay(graph, node, model) for node in graph.nodes}
+
+
+def _arrival_times(graph: DataFlowGraph, delays: dict[int, float]) -> dict[int, float]:
+    arrival: dict[int, float] = {}
+    for node in graph.nodes:
+        own = delays[node.index]
+        if not node.operands:
+            arrival[node.index] = own
+        else:
+            arrival[node.index] = own + max(arrival[op] for op in node.operands)
+    return arrival
+
+
+def pipeline_cuts(
+    graph: DataFlowGraph,
+    target_delay: float,
+    model: TechnologyModel = DEFAULT_MODEL,
+) -> tuple[int, ...]:
+    """Operator levels after which to place registers.
+
+    Greedy ASAP-based heuristic: walk the levels in order, accumulate the
+    worst per-level delay, and cut whenever adding the next level would
+    exceed the target.  A single level whose own delay exceeds the target
+    gets a stage of its own (the target is then unreachable and the
+    report's ``stage_delay`` says so).
+    """
+    if target_delay <= 0:
+        raise ValueError(f"target delay must be positive, got {target_delay}")
+    levels = asap_levels(graph)
+    delays = _node_delays(graph, model)
+    if not graph.nodes:
+        return ()
+    max_level = max(levels.values())
+    level_delay: dict[int, float] = {}
+    for node in graph.nodes:
+        if node.is_operator():
+            level = levels[node.index]
+            level_delay[level] = max(level_delay.get(level, 0.0), delays[node.index])
+    cuts: list[int] = []
+    accumulated = 0.0
+    for level in range(1, max_level + 1):
+        step = level_delay.get(level, 0.0)
+        if accumulated > 0 and accumulated + step > target_delay:
+            cuts.append(level - 1)
+            accumulated = step
+        else:
+            accumulated += step
+    return tuple(cuts)
+
+
+def pipeline_report(
+    graph: DataFlowGraph,
+    target_delay: float,
+    model: TechnologyModel = DEFAULT_MODEL,
+) -> PipelineReport:
+    """Pipeline the graph and account for the registers."""
+    cuts = pipeline_cuts(graph, target_delay, model)
+    levels = asap_levels(graph)
+    delays = _node_delays(graph, model)
+
+    # A value crossing a cut is any edge (producer, consumer) with the
+    # producer at or below the cut level and the consumer above it; each
+    # crossing value is registered once per cut it spans (width bits).
+    registers = 0
+    for cut in cuts:
+        crossing: set[int] = set()
+        for node in graph.nodes:
+            if levels[node.index] <= cut:
+                continue
+            for op in node.operands:
+                if levels[op] <= cut:
+                    crossing.add(op)
+        for index in crossing:
+            registers += graph.nodes[index].width
+    # Outputs after the last cut also land in output registers for every
+    # earlier stage they skipped — omitted: we count internal cuts only.
+
+    # Worst stage delay under the chosen cuts.
+    boundaries = [0, *[c + 0.5 for c in cuts], float("inf")]
+    stage_delay = 0.0
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        stage_total: dict[int, float] = {}
+        for node in graph.nodes:
+            if not node.is_operator():
+                continue
+            level = levels[node.index]
+            if lo < level <= hi or (lo == 0 and level <= hi):
+                stage_total[level] = max(
+                    stage_total.get(level, 0.0), delays[node.index]
+                )
+        stage_delay = max(stage_delay, sum(stage_total.values()))
+
+    return PipelineReport(
+        stages=len(cuts) + 1,
+        cut_levels=cuts,
+        registers=registers,
+        register_area=registers * model.register_area,
+        stage_delay=stage_delay,
+        latency_cycles=len(cuts) + 1,
+    )

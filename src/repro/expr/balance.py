@@ -1,0 +1,46 @@
+"""Tree-height reduction (Nicolau & Potasman [18], paper Section 14.2).
+
+Operator *count* is the paper's area story; operator tree *height* is the
+delay story.  This module measures and reduces expression depth:
+
+* :func:`expr_depth` — operator levels on the critical path of one
+  expression (powers count as their chain length under naive lowering,
+  or logarithmically under square-and-multiply),
+* :func:`tree_height_reduction_gain` — levels saved by the balanced
+  lowering (n-ary sums/products as logarithmic trees, powers by
+  square-and-multiply; ``x^8`` needs 3 multiplies at depth 3 instead of a
+  chain of 7).
+
+The actual restructuring happens at DFG lowering
+(:class:`repro.dfg.build.DfgBuilder` with ``balanced=True``), where the
+region's structural hashing shares the repeated sub-powers that
+square-and-multiply creates.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from .ast import Add, BlockRef, Const, Expr, Mul, Pow, Var
+
+
+def expr_depth(expr: Expr, balanced_pow: bool = False) -> int:
+    """Operator depth of the expression tree (leaves at depth 0)."""
+    if isinstance(expr, (Const, Var, BlockRef)):
+        return 0
+    if isinstance(expr, (Add, Mul)):
+        operands = expr.operands
+        inner = max(expr_depth(op, balanced_pow) for op in operands)
+        effective = len(operands)
+        return inner + max(ceil(log2(effective)) if effective > 1 else 0, 1)
+    if isinstance(expr, Pow):
+        inner = expr_depth(expr.base, balanced_pow)
+        if balanced_pow:
+            return inner + max(ceil(log2(expr.exponent)), 1)
+        return inner + (expr.exponent - 1)
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def tree_height_reduction_gain(expr: Expr) -> int:
+    """Levels saved by balanced lowering vs. naive chains."""
+    return expr_depth(expr, balanced_pow=False) - expr_depth(expr, balanced_pow=True)

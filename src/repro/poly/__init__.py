@@ -1,0 +1,87 @@
+"""Sparse multivariate polynomial arithmetic over the integers.
+
+This subpackage is the from-scratch computer-algebra substrate standing in
+for the Maple routines the paper drives (see DESIGN.md, substitution
+table).  It provides the :class:`~repro.poly.polynomial.Polynomial` type,
+term orders, division algorithms, and multivariate GCDs, on top of which
+:mod:`repro.factor`, :mod:`repro.rings`, :mod:`repro.cse`, and
+:mod:`repro.core` are built.
+"""
+
+from .division import (
+    divide_out_all,
+    divides,
+    divmod_poly,
+    exact_divide,
+    pseudo_divmod,
+)
+from .gcd import (
+    content_wrt,
+    coprime,
+    poly_gcd,
+    poly_gcd_many,
+    poly_lcm,
+    primitive_wrt,
+)
+from .monomial import (
+    mono_degree,
+    mono_div,
+    mono_divides,
+    mono_gcd,
+    mono_gcd_many,
+    mono_is_one,
+    mono_lcm,
+    mono_literal_count,
+    mono_mul,
+    mono_one,
+    mono_pow,
+    mono_support,
+)
+from .orderings import available_orders, grevlex_key, grlex_key, lex_key, order_key
+from .parser import PolynomialSyntaxError, parse_polynomial, parse_system
+from .polynomial import Polynomial, poly_prod, poly_sum
+from .printer import format_monomial, format_polynomial, format_term
+from .resultant import discriminant, resultant, sylvester_matrix
+
+__all__ = [
+    "Polynomial",
+    "PolynomialSyntaxError",
+    "available_orders",
+    "content_wrt",
+    "coprime",
+    "discriminant",
+    "divide_out_all",
+    "divides",
+    "divmod_poly",
+    "exact_divide",
+    "format_monomial",
+    "format_polynomial",
+    "format_term",
+    "grevlex_key",
+    "grlex_key",
+    "lex_key",
+    "mono_degree",
+    "mono_div",
+    "mono_divides",
+    "mono_gcd",
+    "mono_gcd_many",
+    "mono_is_one",
+    "mono_lcm",
+    "mono_literal_count",
+    "mono_mul",
+    "mono_one",
+    "mono_pow",
+    "mono_support",
+    "order_key",
+    "parse_polynomial",
+    "parse_system",
+    "poly_gcd",
+    "poly_gcd_many",
+    "poly_lcm",
+    "poly_prod",
+    "poly_sum",
+    "primitive_wrt",
+    "pseudo_divmod",
+    "resultant",
+    "sylvester_matrix",
+]

@@ -1,0 +1,165 @@
+"""Polynomial division algorithms over the integers.
+
+Three flavours are provided, each serving a different consumer:
+
+* :func:`divmod_poly` — the multivariate division algorithm with respect to
+  a term order.  Over ``Z`` a term is moved to the quotient only when both
+  the leading monomial *and* the leading coefficient divide; the invariant
+  ``a == q*b + r`` always holds exactly.  This is the engine behind the
+  paper's *algebraic division* step (Section 14.4.3).
+* :func:`exact_divide` — division that must leave no remainder (returns
+  ``None`` otherwise); used by factor verification and GCD cofactors.
+* :func:`pseudo_divmod` — univariate pseudo-division with polynomial
+  coefficients (``lc(b)^k * a == q*b + r``), the primitive used by the
+  subresultant PRS multivariate GCD in :mod:`repro.poly.gcd`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .monomial import mono_div, mono_divides
+from .orderings import OrderKey, order_key
+from .polynomial import Polynomial
+
+
+def divmod_poly(
+    dividend: Polynomial,
+    divisor: Polynomial,
+    order: str | OrderKey = "grevlex",
+) -> Tuple[Polynomial, Polynomial]:
+    """Divide ``dividend`` by ``divisor`` under a term order.
+
+    Returns ``(quotient, remainder)`` with the exact integer identity
+    ``dividend == quotient * divisor + remainder``, and no term of the
+    remainder divisible (monomial- and coefficient-wise) by the leading
+    term of the divisor.
+    """
+    if divisor.is_zero:
+        raise ZeroDivisionError("polynomial division by zero")
+    key = order_key(order) if isinstance(order, str) else order
+    dividend, divisor = Polynomial.unify(dividend, divisor)
+    lead_exps, lead_coeff = divisor.leading_term(key)
+    divisor_terms = divisor.terms
+
+    # Work on plain dicts: constructing a Polynomial per reduction step is
+    # the dominant cost of the synthesis flow's division phase.
+    work = dict(dividend.terms)
+    quotient: dict = {}
+    remainder: dict = {}
+    from .monomial import mono_mul
+
+    while work:
+        w_exps = max(work, key=key)
+        w_coeff = work[w_exps]
+        if mono_divides(lead_exps, w_exps) and w_coeff % lead_coeff == 0:
+            q_exps = mono_div(w_exps, lead_exps)
+            q_coeff = w_coeff // lead_coeff
+            quotient[q_exps] = quotient.get(q_exps, 0) + q_coeff
+            for d_exps, d_coeff in divisor_terms.items():
+                target = mono_mul(q_exps, d_exps)
+                value = work.get(target, 0) - q_coeff * d_coeff
+                if value:
+                    work[target] = value
+                else:
+                    work.pop(target, None)
+        else:
+            remainder[w_exps] = w_coeff
+            del work[w_exps]
+    return (
+        Polynomial._raw(dividend.vars, {e: c for e, c in quotient.items() if c}),
+        Polynomial._raw(dividend.vars, remainder),
+    )
+
+
+def exact_divide(dividend: Polynomial, divisor: Polynomial) -> Polynomial | None:
+    """Return ``dividend / divisor`` when exact, else ``None``.
+
+    Uses lex order, under which exact divisibility over ``Z`` is decided
+    correctly by the division algorithm (any admissible order works for
+    exactness; the quotient is unique either way).
+    """
+    if divisor.is_zero:
+        raise ZeroDivisionError("polynomial division by zero")
+    if dividend.is_zero:
+        return Polynomial.zero(dividend.vars)
+    # Cheap rejections before running the full division.
+    if divisor.total_degree() > dividend.total_degree():
+        return None
+    quotient, remainder = divmod_poly(dividend, divisor, "grevlex")
+    if remainder.is_zero:
+        return quotient
+    return None
+
+
+def divides(divisor: Polynomial, dividend: Polynomial) -> bool:
+    """True when ``divisor`` divides ``dividend`` exactly over ``Z``."""
+    return exact_divide(dividend, divisor) is not None
+
+
+def pseudo_divmod(
+    dividend: Polynomial, divisor: Polynomial, var: str
+) -> Tuple[Polynomial, Polynomial, int]:
+    """Pseudo-division viewing both operands as univariate in ``var``.
+
+    Returns ``(quotient, remainder, power)`` such that::
+
+        lc(divisor)^power * dividend == quotient * divisor + remainder
+
+    where ``lc`` is the leading coefficient polynomial in ``var`` and
+    ``deg_var(remainder) < deg_var(divisor)``.  This never requires
+    coefficient divisibility, which is what the subresultant PRS needs.
+    """
+    if divisor.is_zero:
+        raise ZeroDivisionError("polynomial pseudo-division by zero")
+    dividend, divisor = Polynomial.unify(dividend, divisor)
+    deg_b = divisor.degree(var)
+    if deg_b <= -1:
+        raise ZeroDivisionError("polynomial pseudo-division by zero")
+    b_coeffs = divisor.as_univariate(var)
+    lead_b = b_coeffs[deg_b]
+    x = Polynomial.variable(var, dividend.vars)
+
+    remainder = dividend
+    quotient = Polynomial.zero(dividend.vars)
+    power = 0
+    deg_r = remainder.degree(var)
+    while not remainder.is_zero and deg_r >= deg_b:
+        r_coeffs = remainder.as_univariate(var)
+        lead_r = r_coeffs[deg_r].with_vars(dividend.vars)
+        shift = x ** (deg_r - deg_b)
+        quotient = quotient * lead_b.with_vars(dividend.vars) + lead_r * shift
+        remainder = (
+            remainder * lead_b.with_vars(dividend.vars) - lead_r * shift * divisor
+        )
+        power += 1
+        new_deg = remainder.degree(var)
+        if new_deg >= deg_r and not remainder.is_zero:
+            raise RuntimeError("pseudo-division failed to reduce degree (internal error)")
+        deg_r = new_deg
+    return quotient, remainder, power
+
+
+def divide_out_all(
+    dividend: Polynomial, divisor: Polynomial
+) -> Tuple[Polynomial, int]:
+    """Divide by ``divisor`` as many times as exactly possible.
+
+    Returns ``(reduced, multiplicity)`` with
+    ``dividend == reduced * divisor^multiplicity`` and ``divisor`` not
+    dividing ``reduced``.  Used to discover powers of building blocks,
+    e.g. ``x^2+6xy+9y^2 == (x+3y)^2`` in the motivating example.
+    """
+    if divisor.is_zero:
+        raise ZeroDivisionError("polynomial division by zero")
+    if divisor.is_constant and abs(divisor.constant_term) == 1:
+        raise ValueError("dividing out a unit never terminates")
+    count = 0
+    current = dividend
+    while not current.is_zero:
+        quotient = exact_divide(current, divisor)
+        if quotient is None:
+            break
+        current = quotient
+        count += 1
+    return current, count

@@ -1,0 +1,69 @@
+"""Monomial (term) orders for multivariate polynomials.
+
+A *term order* decides which monomial of a polynomial is "leading"; the
+division and kernel-extraction algorithms in this package are parametric in
+the order.  Three classical admissible orders are provided:
+
+``lex``
+    Pure lexicographic: compare exponent vectors left to right.
+``grlex``
+    Graded lexicographic: compare total degree first, break ties with lex.
+``grevlex``
+    Graded reverse lexicographic: compare total degree first, break ties by
+    the *smallest* exponent read right-to-left (the usual default in
+    computer algebra because it tends to keep intermediate results small).
+
+Each order is exposed as a key function mapping an exponent tuple to a
+sortable key such that ``key(a) > key(b)`` iff monomial ``a`` is larger.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+Exponents = Tuple[int, ...]
+OrderKey = Callable[[Exponents], tuple]
+
+
+def lex_key(exponents: Exponents) -> tuple:
+    """Key for pure lexicographic order (first variable dominates)."""
+    return exponents
+
+
+def grlex_key(exponents: Exponents) -> tuple:
+    """Key for graded lexicographic order (total degree, then lex)."""
+    return (sum(exponents), exponents)
+
+
+def grevlex_key(exponents: Exponents) -> tuple:
+    """Key for graded reverse lexicographic order.
+
+    Between monomials of equal total degree, the larger one is the one with
+    the *smaller* exponent in the last variable where they differ.
+    """
+    return (sum(exponents), tuple(-e for e in reversed(exponents)))
+
+
+_ORDERS: dict[str, OrderKey] = {
+    "lex": lex_key,
+    "grlex": grlex_key,
+    "grevlex": grevlex_key,
+}
+
+
+def order_key(name: str) -> OrderKey:
+    """Resolve an order name to its key function.
+
+    Raises ``ValueError`` for unknown names so callers fail loudly instead
+    of silently sorting with the wrong order.
+    """
+    try:
+        return _ORDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_ORDERS))
+        raise ValueError(f"unknown term order {name!r}; expected one of: {known}") from None
+
+
+def available_orders() -> tuple[str, ...]:
+    """Names of the supported term orders."""
+    return tuple(sorted(_ORDERS))

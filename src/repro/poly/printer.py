@@ -1,0 +1,53 @@
+"""Deterministic text formatting for polynomials.
+
+Terms are printed in descending graded-lexicographic order, so equal
+polynomials always print identically — useful both for human inspection
+and for golden-output tests.  The syntax round-trips through
+:mod:`repro.poly.parser`.
+"""
+
+from __future__ import annotations
+
+from .monomial import Exponents
+from .orderings import grlex_key
+
+
+def format_monomial(exponents: Exponents, variables: tuple[str, ...]) -> str:
+    """Render an exponent tuple as ``x^2*y`` (empty string for the unit)."""
+    parts = []
+    for var, e in zip(variables, exponents):
+        if e == 0:
+            continue
+        if e == 1:
+            parts.append(var)
+        else:
+            parts.append(f"{var}^{e}")
+    return "*".join(parts)
+
+
+def format_term(coeff: int, exponents: Exponents, variables: tuple[str, ...]) -> str:
+    """Render one signed term, e.g. ``-3*x*y^2`` or ``7``."""
+    mono = format_monomial(exponents, variables)
+    if not mono:
+        return str(coeff)
+    if coeff == 1:
+        return mono
+    if coeff == -1:
+        return f"-{mono}"
+    return f"{coeff}*{mono}"
+
+
+def format_polynomial(poly) -> str:
+    """Render a :class:`~repro.poly.polynomial.Polynomial` as text."""
+    if poly.is_zero:
+        return "0"
+    pieces: list[str] = []
+    for exps, coeff in poly.sorted_terms(grlex_key):
+        text = format_term(coeff, exps, poly.vars)
+        if not pieces:
+            pieces.append(text)
+        elif text.startswith("-"):
+            pieces.append(f"- {text[1:]}")
+        else:
+            pieces.append(f"+ {text}")
+    return " ".join(pieces)

@@ -1,0 +1,132 @@
+"""Resultants and discriminants of polynomials.
+
+Classical elimination tools used across the factorization substrate:
+
+* :func:`sylvester_matrix` / :func:`resultant` — the resultant of two
+  univariate polynomials (entries may be polynomials in other variables,
+  so this doubles as a multivariate elimination step);
+* :func:`discriminant` — ``disc(f) = (-1)^(n(n-1)/2) res(f, f') / lc(f)``,
+  zero exactly when ``f`` has a repeated root; the factorization driver
+  uses it to pick primes that keep square-free polynomials square-free
+  mod p.
+
+The resultant is computed by Bareiss-style fraction-free Gaussian
+elimination on the Sylvester matrix, which stays in ``Z[x_2, ..., x_d]``
+throughout (no rational arithmetic).
+"""
+
+from __future__ import annotations
+
+from repro.poly.polynomial import Polynomial
+
+from .division import exact_divide
+
+
+def sylvester_matrix(
+    f: Polynomial, g: Polynomial, var: str
+) -> list[list[Polynomial]]:
+    """The Sylvester matrix of ``f`` and ``g`` with respect to ``var``.
+
+    Entries are polynomials in the remaining variables.  Requires both
+    degrees to be at least 1.
+    """
+    m = f.degree(var)
+    n = g.degree(var)
+    if m < 1 or n < 1:
+        raise ValueError(
+            f"sylvester_matrix needs positive degrees, got {m} and {n}"
+        )
+    f_coeffs = f.as_univariate(var)
+    g_coeffs = g.as_univariate(var)
+    size = m + n
+    zero = Polynomial.zero()
+
+    def f_at(k: int) -> Polynomial:
+        return f_coeffs.get(k, zero)
+
+    def g_at(k: int) -> Polynomial:
+        return g_coeffs.get(k, zero)
+
+    matrix: list[list[Polynomial]] = []
+    for row in range(n):
+        matrix.append(
+            [f_at(m - (col - row)) if 0 <= col - row <= m else zero for col in range(size)]
+        )
+    for row in range(m):
+        matrix.append(
+            [g_at(n - (col - row)) if 0 <= col - row <= n else zero for col in range(size)]
+        )
+    return matrix
+
+
+def _bareiss_determinant(matrix: list[list[Polynomial]]) -> Polynomial:
+    """Fraction-free determinant (Bareiss) over Z[x...]."""
+    size = len(matrix)
+    if size == 0:
+        return Polynomial.constant(1)
+    work = [row[:] for row in matrix]
+    sign = 1
+    previous_pivot = Polynomial.constant(1)
+    for k in range(size - 1):
+        if work[k][k].is_zero:
+            swap = next(
+                (r for r in range(k + 1, size) if not work[r][k].is_zero), None
+            )
+            if swap is None:
+                return Polynomial.zero()
+            work[k], work[swap] = work[swap], work[k]
+            sign = -sign
+        pivot = work[k][k]
+        for i in range(k + 1, size):
+            for j in range(k + 1, size):
+                numerator = work[i][j] * pivot - work[i][k] * work[k][j]
+                quotient = exact_divide(numerator, previous_pivot)
+                if quotient is None:
+                    raise RuntimeError("Bareiss division not exact (internal error)")
+                work[i][j] = quotient
+            work[i][k] = Polynomial.zero()
+        previous_pivot = pivot
+    result = work[size - 1][size - 1]
+    return -result if sign < 0 else result
+
+
+def resultant(f: Polynomial, g: Polynomial, var: str) -> Polynomial:
+    """Resultant of ``f`` and ``g`` with respect to ``var``.
+
+    Zero iff the two share a non-constant common factor involving ``var``
+    (over the fraction field of the remaining variables).  Degenerate
+    degrees follow the textbook conventions.
+    """
+    def safe_degree(p: Polynomial) -> int:
+        return p.degree(var) if var in p.vars else (0 if not p.is_zero else -1)
+
+    m = safe_degree(f)
+    n = safe_degree(g)
+    if f.is_zero or g.is_zero:
+        return Polynomial.zero()
+    if m <= 0 and n <= 0:
+        return Polynomial.constant(1)
+    if m <= 0:
+        # res(c, g) = c^deg(g)
+        return f ** n
+    if n <= 0:
+        return g ** m
+    return _bareiss_determinant(sylvester_matrix(f, g, var)).trim()
+
+
+def discriminant(f: Polynomial, var: str) -> Polynomial:
+    """Discriminant of ``f`` with respect to ``var``.
+
+    Zero exactly when ``f`` has a repeated factor involving ``var``.
+    """
+    n = f.degree(var)
+    if n < 1:
+        raise ValueError(f"discriminant needs degree >= 1 in {var!r}")
+    res = resultant(f, f.derivative(var), var)
+    lead = f.as_univariate(var)[n]
+    quotient = exact_divide(res, lead)
+    if quotient is None:
+        raise RuntimeError("leading coefficient does not divide resultant")
+    if (n * (n - 1) // 2) % 2:
+        quotient = -quotient
+    return quotient.trim()

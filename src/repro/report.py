@@ -1,0 +1,85 @@
+"""Human-readable reports of method comparisons.
+
+Packages :func:`repro.api.compare_methods` results as aligned text or
+Markdown — what a user pastes into an issue or a paper draft.  Used by
+the CLI's ``compare --markdown`` flag and directly importable.
+"""
+
+from __future__ import annotations
+
+from repro.api import MethodOutcome, improvement
+from repro.system import PolySystem
+
+_METHOD_ORDER = ("direct", "horner", "factor+cse", "library-match", "proposed")
+
+
+def comparison_rows(
+    outcomes: dict[str, MethodOutcome]
+) -> list[tuple[str, int, int, float, float]]:
+    """(method, MULT, ADD, area, delay) rows in canonical method order."""
+    rows = []
+    for method in _METHOD_ORDER:
+        if method not in outcomes:
+            continue
+        outcome = outcomes[method]
+        rows.append(
+            (
+                method,
+                outcome.op_count.mul,
+                outcome.op_count.add,
+                outcome.hardware.area,
+                outcome.hardware.delay,
+            )
+        )
+    for method, outcome in outcomes.items():
+        if method not in _METHOD_ORDER:
+            rows.append(
+                (
+                    method,
+                    outcome.op_count.mul,
+                    outcome.op_count.add,
+                    outcome.hardware.area,
+                    outcome.hardware.delay,
+                )
+            )
+    return rows
+
+
+def text_report(system: PolySystem, outcomes: dict[str, MethodOutcome]) -> str:
+    """Fixed-width table plus the headline improvement line."""
+    lines = [
+        f"system: {system}",
+        f"{'method':14s} {'MULT':>5s} {'ADD':>5s} {'area/GE':>10s} {'delay':>7s}",
+    ]
+    for method, mul, add, area, delay in comparison_rows(outcomes):
+        lines.append(f"{method:14s} {mul:5d} {add:5d} {area:10.0f} {delay:7.0f}")
+    lines.append(_headline(outcomes))
+    return "\n".join(lines)
+
+
+def markdown_report(system: PolySystem, outcomes: dict[str, MethodOutcome]) -> str:
+    """GitHub-flavoured Markdown table."""
+    lines = [
+        f"### {system.name} ({system.characteristics()}, "
+        f"{system.num_polys} polynomial{'s' if system.num_polys != 1 else ''})",
+        "",
+        "| method | MULT | ADD | area (GE) | delay (gates) |",
+        "|---|---:|---:|---:|---:|",
+    ]
+    for method, mul, add, area, delay in comparison_rows(outcomes):
+        lines.append(f"| {method} | {mul} | {add} | {area:.0f} | {delay:.0f} |")
+    lines.append("")
+    lines.append(_headline(outcomes))
+    return "\n".join(lines)
+
+
+def _headline(outcomes: dict[str, MethodOutcome]) -> str:
+    if "proposed" in outcomes and "factor+cse" in outcomes:
+        base = outcomes["factor+cse"].hardware
+        prop = outcomes["proposed"].hardware
+        return (
+            f"area improvement over factorization+CSE: "
+            f"{improvement(base.area, prop.area):.1f}% "
+            f"(delay {improvement(base.delay, prop.delay):+.1f}%)"
+        )
+    return ""

@@ -1,0 +1,65 @@
+"""Polynomial functions over finite integer rings Z_2^m (paper Sec. 14.3.1).
+
+Falling factorials, Stirling conversions, Chen's canonical form, and the
+vanishing ideal of a bit-vector signature.
+"""
+
+from .canonical import (
+    BitVectorSignature,
+    CanonicalForm,
+    canonical_reduce,
+    exhaustive_functions_equal,
+    functions_equal,
+    to_canonical,
+)
+from .interpolate import fit_function, fit_table, model_polynomial
+from .falling import (
+    falling_eval,
+    falling_factorial_dense,
+    falling_factorial_expr,
+    falling_factorial_poly,
+    falling_to_power,
+    power_to_falling,
+    stirling_first_signed,
+    stirling_second,
+)
+from .modular import (
+    coefficient_modulus,
+    degree_bound,
+    factorial_two_adic_valuation,
+    smarandache_lambda,
+    two_adic_valuation,
+)
+from .vanishing import (
+    is_vanishing,
+    smallest_vanishing_degree,
+    vanishing_generators,
+)
+
+__all__ = [
+    "BitVectorSignature",
+    "CanonicalForm",
+    "canonical_reduce",
+    "coefficient_modulus",
+    "degree_bound",
+    "exhaustive_functions_equal",
+    "factorial_two_adic_valuation",
+    "falling_eval",
+    "falling_factorial_dense",
+    "falling_factorial_expr",
+    "falling_factorial_poly",
+    "falling_to_power",
+    "fit_function",
+    "fit_table",
+    "functions_equal",
+    "model_polynomial",
+    "is_vanishing",
+    "power_to_falling",
+    "smallest_vanishing_degree",
+    "smarandache_lambda",
+    "stirling_first_signed",
+    "stirling_second",
+    "to_canonical",
+    "two_adic_valuation",
+    "vanishing_generators",
+]

@@ -1,0 +1,117 @@
+"""Falling factorials and basis conversion (paper Definition 14.1).
+
+``Y_k(x) = x (x-1) ... (x-k+1)`` is the degree-``k`` falling factorial.
+Power-basis and falling-factorial-basis coefficients are related by the
+Stirling numbers::
+
+    x^n      = sum_k S2(n, k) * Y_k(x)        (second kind)
+    Y_k(x)   = sum_n s1(k, n) * x^n           (first kind, signed)
+
+both of which are computed here with exact integer recurrences and cached.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.expr import Expr, Var, make_add, make_mul
+from repro.poly import Polynomial
+
+
+@lru_cache(maxsize=None)
+def stirling_second(n: int, k: int) -> int:
+    """Stirling number of the second kind S2(n, k)."""
+    if n < 0 or k < 0:
+        raise ValueError("Stirling numbers need non-negative arguments")
+    if n == k:
+        return 1
+    if k == 0 or k > n:
+        return 0
+    return k * stirling_second(n - 1, k) + stirling_second(n - 1, k - 1)
+
+
+@lru_cache(maxsize=None)
+def stirling_first_signed(k: int, n: int) -> int:
+    """Signed Stirling number of the first kind s1(k, n).
+
+    ``Y_k(x) = sum_n s1(k, n) x^n``.
+    """
+    if k < 0 or n < 0:
+        raise ValueError("Stirling numbers need non-negative arguments")
+    if k == n:
+        return 1
+    if n == 0 or n > k:
+        return 0
+    return stirling_first_signed(k - 1, n - 1) - (k - 1) * stirling_first_signed(k - 1, n)
+
+
+@lru_cache(maxsize=None)
+def falling_factorial_dense(k: int) -> tuple[int, ...]:
+    """Dense power-basis coefficients of ``Y_k`` (cached, exact)."""
+    coeffs = [1]
+    for j in range(k):
+        # multiply by (x - j)
+        shifted = [0] + coeffs
+        for i, c in enumerate(coeffs):
+            shifted[i] -= j * c
+        coeffs = shifted
+    return tuple(coeffs)
+
+
+def falling_factorial_poly(var: str, k: int) -> Polynomial:
+    """``Y_k(var)`` as a polynomial."""
+    return Polynomial.from_dense(list(falling_factorial_dense(k)), var)
+
+
+def falling_factorial_expr(var: str, k: int) -> Expr:
+    """``Y_k(var)`` in product form ``x*(x-1)*...*(x-k+1)``.
+
+    This is the *implementation* shape the paper costs: ``k-1``
+    multipliers and ``k-1`` constant subtractions.
+    """
+    if k == 0:
+        return make_mul()  # Const(1)
+    factors: list[Expr] = [Var(var)]
+    for j in range(1, k):
+        factors.append(make_add(Var(var), -j))
+    return make_mul(*factors)
+
+
+def power_to_falling(dense: list[int]) -> dict[int, int]:
+    """Convert dense power-basis coefficients to falling-factorial ones.
+
+    Returns ``{k: coefficient of Y_k}`` with zeros omitted.
+    """
+    out: dict[int, int] = {}
+    for n, coeff in enumerate(dense):
+        if not coeff:
+            continue
+        for k in range(n + 1):
+            s = stirling_second(n, k)
+            if s:
+                out[k] = out.get(k, 0) + coeff * s
+    return {k: c for k, c in out.items() if c}
+
+
+def falling_to_power(coeffs: dict[int, int]) -> list[int]:
+    """Convert ``{k: c_k}`` falling-factorial coefficients to a dense list."""
+    if not coeffs:
+        return []
+    degree = max(coeffs)
+    dense = [0] * (degree + 1)
+    for k, c in coeffs.items():
+        if not c:
+            continue
+        for n, s in enumerate(falling_factorial_dense(k)):
+            dense[n] += c * s
+    while dense and dense[-1] == 0:
+        dense.pop()
+    return dense
+
+
+def falling_eval(k: int, x: int) -> int:
+    """Evaluate ``Y_k`` at an integer."""
+    result = 1
+    for j in range(k):
+        result *= x - j
+    return result

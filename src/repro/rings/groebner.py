@@ -1,0 +1,185 @@
+"""Buchberger's algorithm over Q (paper references [2, 3, 19]).
+
+The paper's related work [19] (Peymandoust & De Micheli) decomposes
+polynomials against a component library with a Buchberger-variant: adjoin
+one fresh variable per library element, compute a Groebner basis of the
+ideal ``{ u_L - L(x) }`` under an elimination order with the ``x``
+variables largest, and reduce the target polynomial — the normal form
+rewrites datapath variables into library outputs wherever possible.
+
+Coefficients here are exact rationals (``fractions.Fraction``): Groebner
+reduction requires dividing by leading coefficients, so the integer-only
+arithmetic of :mod:`repro.poly` does not suffice.  Polynomials cross the
+boundary through :func:`from_integer_polynomial` /
+:func:`to_integer_polynomial`.
+
+This is a reference implementation (Buchberger with the Buchberger
+product/chain criteria would be faster; systems here are tiny).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.poly import Polynomial
+from repro.poly.monomial import Exponents, mono_div, mono_divides, mono_lcm, mono_mul
+from repro.poly.orderings import OrderKey, order_key
+
+QTerms = dict[Exponents, Fraction]
+
+
+class QPolynomial:
+    """A sparse multivariate polynomial with rational coefficients."""
+
+    __slots__ = ("vars", "terms")
+
+    def __init__(self, variables: tuple[str, ...], terms: Mapping[Exponents, Fraction]):
+        self.vars = tuple(variables)
+        self.terms: QTerms = {
+            tuple(e): Fraction(c) for e, c in terms.items() if c
+        }
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def leading(self, key: OrderKey) -> tuple[Exponents, Fraction]:
+        exps = max(self.terms, key=key)
+        return exps, self.terms[exps]
+
+    def __sub__(self, other: "QPolynomial") -> "QPolynomial":
+        out = dict(self.terms)
+        for exps, coeff in other.terms.items():
+            total = out.get(exps, 0) - coeff
+            if total:
+                out[exps] = total
+            else:
+                out.pop(exps, None)
+        return QPolynomial(self.vars, out)
+
+    def scale_shift(self, coeff: Fraction, shift: Exponents) -> "QPolynomial":
+        """``coeff * x^shift * self``."""
+        return QPolynomial(
+            self.vars,
+            {mono_mul(e, shift): c * coeff for e, c in self.terms.items()},
+        )
+
+    def monic(self, key: OrderKey) -> "QPolynomial":
+        if self.is_zero:
+            return self
+        _, lead = self.leading(key)
+        return QPolynomial(self.vars, {e: c / lead for e, c in self.terms.items()})
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, QPolynomial) and (
+            self.vars == other.vars and self.terms == other.terms
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QPolynomial({self.terms!r})"
+
+
+def from_integer_polynomial(
+    poly: Polynomial, variables: tuple[str, ...] | None = None
+) -> QPolynomial:
+    """Lift an integer polynomial into the rational domain."""
+    target = variables if variables is not None else poly.vars
+    aligned = poly.with_vars(target) if poly.vars != tuple(target) else poly
+    return QPolynomial(tuple(target), {e: Fraction(c) for e, c in aligned.terms.items()})
+
+
+def to_integer_polynomial(poly: QPolynomial) -> Polynomial:
+    """Convert back to integers; raises when any coefficient is fractional."""
+    terms: dict[Exponents, int] = {}
+    for exps, coeff in poly.terms.items():
+        if coeff.denominator != 1:
+            raise ValueError(f"coefficient {coeff} is not an integer")
+        terms[exps] = int(coeff)
+    return Polynomial(poly.vars, terms)
+
+
+def reduce_polynomial(
+    poly: QPolynomial,
+    basis: Iterable[QPolynomial],
+    order: str | OrderKey = "lex",
+) -> QPolynomial:
+    """Full normal form of ``poly`` modulo a list of reducers."""
+    key = order_key(order) if isinstance(order, str) else order
+    basis = [b for b in basis if not b.is_zero]
+    leads = [b.leading(key) for b in basis]
+    work = QPolynomial(poly.vars, dict(poly.terms))
+    remainder: QTerms = {}
+    while not work.is_zero:
+        exps, coeff = work.leading(key)
+        reduced = False
+        for reducer, (lead_exps, lead_coeff) in zip(basis, leads):
+            if mono_divides(lead_exps, exps):
+                shift = mono_div(exps, lead_exps)
+                work = work - reducer.scale_shift(coeff / lead_coeff, shift)
+                reduced = True
+                break
+        if not reduced:
+            remainder[exps] = coeff
+            work = QPolynomial(work.vars, {e: c for e, c in work.terms.items() if e != exps})
+    return QPolynomial(poly.vars, remainder)
+
+
+def s_polynomial(f: QPolynomial, g: QPolynomial, key: OrderKey) -> QPolynomial:
+    """The S-polynomial cancelling the two leading terms."""
+    f_exps, f_coeff = f.leading(key)
+    g_exps, g_coeff = g.leading(key)
+    lcm = mono_lcm(f_exps, g_exps)
+    left = f.scale_shift(Fraction(1) / f_coeff, mono_div(lcm, f_exps))
+    right = g.scale_shift(Fraction(1) / g_coeff, mono_div(lcm, g_exps))
+    return left - right
+
+
+def buchberger(
+    generators: Iterable[QPolynomial],
+    order: str | OrderKey = "lex",
+    max_basis: int = 64,
+) -> list[QPolynomial]:
+    """A (reduced-ish) Groebner basis of the ideal the generators span.
+
+    Classic Buchberger with the first (coprime-leads) criterion; bases are
+    kept monic and inter-reduced at the end.  ``max_basis`` guards against
+    runaway growth on inputs far beyond the library-matching use case.
+    """
+    key = order_key(order) if isinstance(order, str) else order
+    basis = [g.monic(key) for g in generators if not g.is_zero]
+    pairs = [(i, j) for i in range(len(basis)) for j in range(i + 1, len(basis))]
+    while pairs:
+        i, j = pairs.pop()
+        lead_i, _ = basis[i].leading(key)
+        lead_j, _ = basis[j].leading(key)
+        if mono_mul(lead_i, lead_j) == mono_lcm(lead_i, lead_j):
+            continue  # coprime leading monomials: S-poly reduces to zero
+        remainder = reduce_polynomial(s_polynomial(basis[i], basis[j], key), basis, key)
+        if remainder.is_zero:
+            continue
+        basis.append(remainder.monic(key))
+        if len(basis) > max_basis:
+            raise RuntimeError("Groebner basis exceeded the size guard")
+        new_index = len(basis) - 1
+        pairs.extend((k, new_index) for k in range(new_index))
+    # inter-reduce
+    reduced: list[QPolynomial] = []
+    for index, b in enumerate(basis):
+        others = basis[:index] + basis[index + 1:]
+        nf = reduce_polynomial(b, others, key)
+        if not nf.is_zero:
+            reduced.append(nf.monic(key))
+    # dedupe identical elements
+    unique: list[QPolynomial] = []
+    for b in reduced:
+        if all(b != u for u in unique):
+            unique.append(b)
+    return unique
+
+
+def ideal_membership(
+    poly: QPolynomial, basis: list[QPolynomial], order: str | OrderKey = "lex"
+) -> bool:
+    """Is ``poly`` in the ideal generated by a Groebner basis?"""
+    return reduce_polynomial(poly, basis, order).is_zero

@@ -1,0 +1,127 @@
+"""Polynomial modeling of bit-vector functions (related work [20, 21]).
+
+Smith & De Micheli derive polynomial models of complex computational
+blocks by polynomial approximation; this module implements the exact
+variant appropriate for finite rings: **Newton forward-difference
+interpolation in the falling-factorial basis**, which recovers, for any
+function given on the grid ``{0..2^n1-1} x ... x {0..2^nd-1}``, precisely
+the canonical-form coefficients of Section 14.3.1:
+
+    f = sum_k  c_k * Y_k1(x_1) ... Y_kd(x_d),   c_k = (Delta^k f)(0) / k!
+
+where ``Delta^k`` is the mixed finite difference.  Over ``Z_2^m`` the
+division by ``k!`` is exact *as a residue*: the difference is always
+divisible by the even part of ``k!``, and the odd part is invertible.
+Not every function ``Z_2^n -> Z_2^m`` is a polynomial function; the
+divisibility of the mixed differences is exactly Chen's criterion.
+:func:`fit_function` raises when a low-order difference already violates
+it; for arbitrary (non-polynomial-shaped) functions the returned model
+should additionally be verified against the full grid, which the tests
+do exhaustively for small widths.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+from typing import Callable, Mapping
+
+from repro.poly import Polynomial
+
+from .canonical import BitVectorSignature, CanonicalForm, to_canonical
+from .modular import degree_bound, factorial_two_adic_valuation
+
+
+def _mixed_differences(
+    values: dict[tuple[int, ...], int], shape: tuple[int, ...], modulus: int
+) -> dict[tuple[int, ...], int]:
+    """Iterated forward differences ``(Delta^k f)(0)`` for all k in shape."""
+    table = dict(values)
+    for axis in range(len(shape)):
+        new_table: dict[tuple[int, ...], int] = {}
+        # Differences along `axis`: for each fixed prefix/suffix, run the
+        # forward-difference ladder and keep (Delta^order f) at base 0.
+        grouped: dict[tuple[tuple[int, ...], tuple[int, ...]], list[int]] = {}
+        for point, value in table.items():
+            prefix, coord, suffix = point[:axis], point[axis], point[axis + 1:]
+            grouped.setdefault((prefix, suffix), [0] * shape[axis])
+            grouped[(prefix, suffix)][coord] = value
+        for (prefix, suffix), row in grouped.items():
+            ladder = list(row)
+            for order in range(len(row)):
+                new_table[prefix + (order,) + suffix] = ladder[0] % modulus
+                ladder = [b - a for a, b in zip(ladder, ladder[1:])]
+                if not ladder:
+                    break
+        table = new_table
+    return table
+
+
+def fit_function(
+    func: Callable[..., int], signature: BitVectorSignature
+) -> CanonicalForm:
+    """Exact polynomial model of a bit-vector function.
+
+    ``func`` takes one non-negative integer per signature variable (in
+    signature order) and returns an integer; only its residue mod ``2^m``
+    matters.  The result is the unique canonical form computing the same
+    function — by Chen's theorem every total function on the grid *that
+    is a polynomial function* is recovered, and the divisibility check
+    raises ``ValueError`` for non-polynomial functions.
+    """
+    variables = signature.variables
+    widths = [signature.width_of(v) for v in variables]
+    shape = tuple(1 << w for w in widths)
+    modulus = signature.modulus
+
+    values: dict[tuple[int, ...], int] = {}
+    bounds = [degree_bound(w, signature.output_width) for w in widths]
+    # Only grid points up to the degree bound matter for the differences.
+    capped = tuple(min(s, b) for s, b in zip(shape, bounds))
+    from itertools import product as iproduct
+
+    for point in iproduct(*(range(c) for c in capped)):
+        values[point] = func(*point) % modulus
+
+    differences = _mixed_differences(values, capped, modulus)
+
+    coefficients: dict[tuple[int, ...], int] = {}
+    for k_tuple, diff in differences.items():
+        if not any(k_tuple) and diff == 0:
+            continue
+        fact = 1
+        for k in k_tuple:
+            fact *= factorial(k)
+        # Split k! into 2-adic and odd parts: the odd part is invertible
+        # mod 2^m; the 2-adic part must divide the difference.
+        two_power = 1 << sum(factorial_two_adic_valuation(k) for k in k_tuple)
+        odd = fact // two_power
+        if diff % two_power:
+            raise ValueError(
+                f"function is not polynomial over the signature "
+                f"(difference at {k_tuple} not divisible by {two_power})"
+            )
+        reduced = (diff // two_power) * pow(odd, -1, modulus) % modulus
+        if reduced:
+            coefficients[k_tuple] = reduced
+
+    # Round-trip through to_canonical for the unique reduced representative.
+    poly = CanonicalForm(signature, tuple(sorted(coefficients.items()))).to_polynomial()
+    return to_canonical(poly, signature)
+
+
+def fit_table(
+    table: Mapping[tuple[int, ...], int], signature: BitVectorSignature
+) -> CanonicalForm:
+    """Polynomial model of a function given as a full grid table."""
+
+    def lookup(*point: int) -> int:
+        return table[tuple(point)]
+
+    return fit_function(lookup, signature)
+
+
+def model_polynomial(
+    func: Callable[..., int], signature: BitVectorSignature
+) -> Polynomial:
+    """Convenience: the power-basis polynomial model of a function."""
+    return fit_function(func, signature).to_polynomial()

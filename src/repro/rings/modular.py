@@ -1,0 +1,82 @@
+"""Number-theoretic helpers for the finite integer rings Z_2^m.
+
+A bit-vector of width ``m`` carries arithmetic modulo ``2^m``; the
+canonical form of Section 14.3.1 needs two quantities from number theory:
+
+* the *Smarandache function* value ``lambda(2^m)`` — the least integer
+  whose factorial is divisible by ``2^m`` (written ``lambda`` in the
+  paper's Eq. 14.1 side conditions), and
+* the coefficient modulus ``2^m / gcd(2^m, prod k_i!)`` that each
+  falling-factorial coefficient is unique modulo.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import gcd
+
+
+def two_adic_valuation(n: int) -> int:
+    """Exponent of 2 in ``n`` (``n > 0``)."""
+    if n <= 0:
+        raise ValueError(f"two_adic_valuation needs a positive integer, got {n}")
+    count = 0
+    while n % 2 == 0:
+        n //= 2
+        count += 1
+    return count
+
+
+def factorial_two_adic_valuation(n: int) -> int:
+    """Exponent of 2 in ``n!`` by Legendre's formula: ``n - popcount(n)``."""
+    if n < 0:
+        raise ValueError(f"factorial of negative {n}")
+    return n - bin(n).count("1")
+
+
+@lru_cache(maxsize=None)
+def smarandache_lambda(m: int) -> int:
+    """Least ``lam`` with ``2^m`` dividing ``lam!`` (paper Eq. 14.1).
+
+    For example ``lambda(2^3) = 4`` because ``4! = 24`` is the first
+    factorial divisible by 8.
+    """
+    if m < 0:
+        raise ValueError(f"negative modulus exponent {m}")
+    if m == 0:
+        return 0
+    lam = 1
+    while factorial_two_adic_valuation(lam) < m:
+        lam += 1
+    return lam
+
+
+@lru_cache(maxsize=None)
+def _factorial(n: int) -> int:
+    result = 1
+    for i in range(2, n + 1):
+        result *= i
+    return result
+
+
+def coefficient_modulus(m: int, k_tuple: tuple[int, ...]) -> int:
+    """The modulus ``2^m / gcd(2^m, prod k_i!)`` for coefficient ``c_k``.
+
+    ``Y_k(x) = k! * C(x, k)`` is always divisible by ``k!``; multiplying a
+    falling-factorial product by any multiple of this modulus therefore
+    vanishes mod ``2^m``, making ``c_k`` unique modulo it (Chen's theorem).
+    """
+    power = 1 << m
+    divisor_valuation = sum(factorial_two_adic_valuation(k) for k in k_tuple)
+    return power // gcd(power, 1 << min(divisor_valuation, m))
+
+
+def degree_bound(input_width: int, output_width: int) -> int:
+    """``mu_i = min(2^n_i, lambda)`` — the useful falling-factorial degrees.
+
+    ``Y_k(x_i)`` with ``k >= 2^n_i`` vanishes on every point of
+    ``Z_2^n_i`` (all residues are smaller than ``k``), and ``k >= lambda``
+    makes ``k!`` kill the coefficient mod ``2^m``; either way the term
+    contributes nothing.
+    """
+    return min(1 << input_width, smarandache_lambda(output_width))

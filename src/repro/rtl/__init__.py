@@ -1,0 +1,18 @@
+"""RTL generation: emit synthesizable Verilog from decompositions.
+
+The final product of the paper's flow is hardware; this subpackage closes
+the loop by emitting a combinational Verilog module for any
+:class:`~repro.expr.decomposition.Decomposition` under a bit-vector
+signature — one wire per dataflow node, shared blocks shared by
+construction.
+"""
+
+from .testbench import generate_vectors, testbench_for_system
+from .verilog import decomposition_to_verilog, graph_to_verilog
+
+__all__ = [
+    "decomposition_to_verilog",
+    "generate_vectors",
+    "graph_to_verilog",
+    "testbench_for_system",
+]

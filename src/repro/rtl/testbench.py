@@ -1,0 +1,89 @@
+"""Self-checking Verilog testbench generation.
+
+Closes the verification loop at the RTL level: the testbench drives the
+emitted :mod:`repro.rtl.verilog` module with deterministic pseudo-random
+vectors, compares each output against the *polynomial* semantics
+(computed in Python, mod ``2^m``), and reports PASS/FAIL per vector.  Any
+Verilog simulator can run the pair; no tool is needed to *generate* it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.poly import Polynomial
+from repro.rings import BitVectorSignature
+
+from .verilog import _sanitize
+
+
+def generate_vectors(
+    signature: BitVectorSignature, count: int, seed: int = 0xBEEF
+) -> list[dict[str, int]]:
+    """Deterministic pseudo-random input vectors for a signature."""
+    rng = random.Random(seed)
+    vectors = []
+    for _ in range(count):
+        vectors.append(
+            {
+                var: rng.randrange(1 << signature.width_of(var))
+                for var in signature.variables
+            }
+        )
+    return vectors
+
+
+def testbench_for_system(
+    system: Sequence[Polynomial],
+    signature: BitVectorSignature,
+    module_name: str = "datapath",
+    vectors: int = 20,
+    seed: int = 0xBEEF,
+) -> str:
+    """A self-checking testbench for the module emitted for ``system``.
+
+    Expected values come from the polynomial semantics mod ``2^m`` — the
+    same oracle :func:`repro.dfg.simulate` is tested against, so a
+    simulator disagreement isolates the RTL emission.
+    """
+    width = signature.output_width
+    modulus = signature.modulus
+    inputs = [_sanitize(v) for v in signature.variables]
+    outputs = [f"p{i}" for i in range(len(system))]
+    stimuli = generate_vectors(signature, vectors, seed)
+
+    lines: list[str] = []
+    lines.append("`timescale 1ns/1ps")
+    lines.append(f"module {module_name}_tb;")
+    for name in inputs:
+        lines.append(f"  reg  [{width - 1}:0] {name};")
+    for name in outputs:
+        lines.append(f"  wire [{width - 1}:0] {name};")
+    lines.append("  integer errors;")
+    lines.append("")
+    ports = ", ".join(
+        [f".{n}({n})" for n in inputs] + [f".{n}({n})" for n in outputs]
+    )
+    lines.append(f"  {module_name} dut({ports});")
+    lines.append("")
+    lines.append("  initial begin")
+    lines.append("    errors = 0;")
+    for index, env in enumerate(stimuli):
+        for var, name in zip(signature.variables, inputs):
+            lines.append(f"    {name} = {width}'d{env[var]};")
+        lines.append("    #1;")
+        for out_index, poly in enumerate(system):
+            expected = poly.evaluate_mod(env, modulus)
+            lines.append(
+                f"    if (p{out_index} !== {width}'d{expected}) begin "
+                f'$display("FAIL vector {index} output {out_index}: '
+                f'got %0d want {expected}", p{out_index}); '
+                f"errors = errors + 1; end"
+            )
+    lines.append('    if (errors == 0) $display("PASS: all vectors matched");')
+    lines.append('    else $display("FAIL: %0d mismatches", errors);')
+    lines.append("    $finish;")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

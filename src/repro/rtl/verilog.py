@@ -1,0 +1,103 @@
+"""Verilog emission for synthesized polynomial datapaths.
+
+The module computes every output polynomial combinationally; all buses are
+``m`` bits wide (the datapath width — truncation mod ``2^m`` is the
+bit-vector semantics of the paper, and keeping a uniform width makes the
+emitted text simulate exactly like :func:`repro.dfg.simulate`).  Constant
+multiplications are emitted as plain ``*`` and left to the downstream
+synthesis tool's constant propagation, matching how the paper hands
+blocks to Design Compiler.
+
+The emitter is deterministic: equal decompositions produce byte-identical
+text, so golden tests are stable.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dfg import DataFlowGraph, NodeKind, build_dfg
+from repro.expr import Decomposition
+from repro.rings import BitVectorSignature
+
+_IDENT_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    """Turn an arbitrary variable name into a Verilog identifier."""
+    clean = _IDENT_RE.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = f"v_{clean}"
+    return clean
+
+
+def graph_to_verilog(
+    graph: DataFlowGraph, module_name: str = "datapath"
+) -> str:
+    """Emit a combinational Verilog module for a dataflow graph."""
+    width = graph.output_width
+    inputs = [node for node in graph.nodes if node.kind == NodeKind.INPUT]
+    port_names = [_sanitize(node.name or f"in{node.index}") for node in inputs]
+    if len(set(port_names)) != len(port_names):
+        raise ValueError(f"input names collide after sanitizing: {port_names}")
+    output_ports = [f"p{index}" for index in range(len(graph.outputs))]
+
+    lines: list[str] = []
+    ports = ", ".join(port_names + output_ports)
+    lines.append(f"module {module_name}({ports});")
+    for name in port_names:
+        lines.append(f"  input  [{width - 1}:0] {name};")
+    for name in output_ports:
+        lines.append(f"  output [{width - 1}:0] {name};")
+    lines.append("")
+
+    signal: dict[int, str] = {}
+    assigns: list[str] = []
+    wires: list[str] = []
+    for node in graph.nodes:
+        if node.kind == NodeKind.INPUT:
+            signal[node.index] = _sanitize(node.name or f"in{node.index}")
+            continue
+        if node.kind == NodeKind.CONST:
+            assert node.value is not None
+            value = node.value % (1 << width)
+            signal[node.index] = f"{width}'d{value}"
+            continue
+        name = f"n{node.index}"
+        signal[node.index] = name
+        wires.append(f"  wire [{width - 1}:0] {name};")
+        if node.kind == NodeKind.ADD:
+            a, b = node.operands
+            expression = f"{signal[a]} + {signal[b]}"
+        elif node.kind == NodeKind.SUB:
+            a, b = node.operands
+            expression = f"{signal[a]} - {signal[b]}"
+        elif node.kind == NodeKind.MUL:
+            a, b = node.operands
+            expression = f"{signal[a]} * {signal[b]}"
+        elif node.kind == NodeKind.CMUL:
+            (a,) = node.operands
+            assert node.value is not None
+            constant = node.value % (1 << width)
+            expression = f"{signal[a]} * {width}'d{constant}"
+        else:  # pragma: no cover - exhaustive over NodeKind
+            raise TypeError(f"unknown node kind {node.kind}")
+        assigns.append(f"  assign {name} = {expression};")
+
+    lines.extend(wires)
+    lines.append("")
+    lines.extend(assigns)
+    lines.append("")
+    for port, index in zip(output_ports, graph.outputs):
+        lines.append(f"  assign {port} = {signal[index]};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def decomposition_to_verilog(
+    decomposition: Decomposition,
+    signature: BitVectorSignature,
+    module_name: str = "datapath",
+) -> str:
+    """Lower a decomposition to a DFG and emit Verilog."""
+    return graph_to_verilog(build_dfg(decomposition, signature), module_name)

@@ -1,0 +1,182 @@
+"""JSON serialization of systems and decompositions.
+
+A synthesis tool's results must outlive the process: this module
+round-trips :class:`~repro.poly.polynomial.Polynomial`,
+:class:`~repro.system.PolySystem`, and
+:class:`~repro.expr.decomposition.Decomposition` through plain JSON-able
+dictionaries (and strings via :func:`dumps`/:func:`loads` helpers).
+
+Formats are versioned with a ``"kind"`` tag; loading validates shape and
+re-checks decomposition well-formedness (cycle-free blocks).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.expr import Decomposition
+from repro.expr.ast import Add, BlockRef, Const, Expr, Mul, Pow, Var
+from repro.poly import Polynomial
+from repro.rings import BitVectorSignature
+from repro.system import PolySystem
+
+
+# ----------------------------------------------------------------------
+# Polynomials
+# ----------------------------------------------------------------------
+
+def polynomial_to_dict(poly: Polynomial) -> dict[str, Any]:
+    return {
+        "kind": "polynomial",
+        "vars": list(poly.vars),
+        "terms": [[list(exps), coeff] for exps, coeff in sorted(poly.terms.items())],
+    }
+
+
+def polynomial_from_dict(data: dict[str, Any]) -> Polynomial:
+    if data.get("kind") != "polynomial":
+        raise ValueError(f"not a polynomial payload: {data.get('kind')!r}")
+    terms = {tuple(exps): int(coeff) for exps, coeff in data["terms"]}
+    return Polynomial(tuple(data["vars"]), terms)
+
+
+# ----------------------------------------------------------------------
+# Signatures and systems
+# ----------------------------------------------------------------------
+
+def signature_to_dict(signature: BitVectorSignature) -> dict[str, Any]:
+    return {
+        "kind": "signature",
+        "inputs": [[name, width] for name, width in signature.input_widths],
+        "output_width": signature.output_width,
+    }
+
+
+def signature_from_dict(data: dict[str, Any]) -> BitVectorSignature:
+    if data.get("kind") != "signature":
+        raise ValueError(f"not a signature payload: {data.get('kind')!r}")
+    return BitVectorSignature(
+        tuple((str(n), int(w)) for n, w in data["inputs"]),
+        int(data["output_width"]),
+    )
+
+
+def system_to_dict(system: PolySystem) -> dict[str, Any]:
+    return {
+        "kind": "system",
+        "name": system.name,
+        "description": system.description,
+        "signature": signature_to_dict(system.signature),
+        "polys": [polynomial_to_dict(p) for p in system.polys],
+    }
+
+
+def system_from_dict(data: dict[str, Any]) -> PolySystem:
+    if data.get("kind") != "system":
+        raise ValueError(f"not a system payload: {data.get('kind')!r}")
+    return PolySystem(
+        name=str(data["name"]),
+        polys=tuple(polynomial_from_dict(p) for p in data["polys"]),
+        signature=signature_from_dict(data["signature"]),
+        description=str(data.get("description", "")),
+    )
+
+
+# ----------------------------------------------------------------------
+# Expressions and decompositions
+# ----------------------------------------------------------------------
+
+def expr_to_dict(expr: Expr) -> dict[str, Any]:
+    if isinstance(expr, Const):
+        return {"op": "const", "value": expr.value}
+    if isinstance(expr, Var):
+        return {"op": "var", "name": expr.name}
+    if isinstance(expr, BlockRef):
+        return {"op": "block", "name": expr.name}
+    if isinstance(expr, Add):
+        return {"op": "add", "operands": [expr_to_dict(o) for o in expr.operands]}
+    if isinstance(expr, Mul):
+        return {"op": "mul", "operands": [expr_to_dict(o) for o in expr.operands]}
+    if isinstance(expr, Pow):
+        return {"op": "pow", "base": expr_to_dict(expr.base), "exponent": expr.exponent}
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def expr_from_dict(data: dict[str, Any]) -> Expr:
+    op = data.get("op")
+    if op == "const":
+        return Const(int(data["value"]))
+    if op == "var":
+        return Var(str(data["name"]))
+    if op == "block":
+        return BlockRef(str(data["name"]))
+    if op == "add":
+        return Add(tuple(expr_from_dict(o) for o in data["operands"]))
+    if op == "mul":
+        return Mul(tuple(expr_from_dict(o) for o in data["operands"]))
+    if op == "pow":
+        return Pow(expr_from_dict(data["base"]), int(data["exponent"]))
+    raise ValueError(f"unknown expression op {op!r}")
+
+
+def decomposition_to_dict(decomposition: Decomposition) -> dict[str, Any]:
+    return {
+        "kind": "decomposition",
+        "method": decomposition.method,
+        "blocks": {
+            name: expr_to_dict(expr) for name, expr in decomposition.blocks.items()
+        },
+        "outputs": [expr_to_dict(expr) for expr in decomposition.outputs],
+    }
+
+
+def decomposition_from_dict(data: dict[str, Any]) -> Decomposition:
+    if data.get("kind") != "decomposition":
+        raise ValueError(f"not a decomposition payload: {data.get('kind')!r}")
+    decomposition = Decomposition(method=str(data.get("method", "")))
+    decomposition.blocks = {
+        str(name): expr_from_dict(payload)
+        for name, payload in data["blocks"].items()
+    }
+    decomposition.outputs = [expr_from_dict(o) for o in data["outputs"]]
+    # Well-formedness: expanding every output detects dangling references
+    # and cycles immediately, not at first use.
+    decomposition.to_polynomials()
+    return decomposition
+
+
+# ----------------------------------------------------------------------
+# String convenience
+# ----------------------------------------------------------------------
+
+_SERIALIZERS = {
+    Polynomial: polynomial_to_dict,
+    PolySystem: system_to_dict,
+    BitVectorSignature: signature_to_dict,
+    Decomposition: decomposition_to_dict,
+}
+
+_DESERIALIZERS = {
+    "polynomial": polynomial_from_dict,
+    "system": system_from_dict,
+    "signature": signature_from_dict,
+    "decomposition": decomposition_from_dict,
+}
+
+
+def dumps(obj) -> str:
+    """Serialize any supported object to a JSON string."""
+    for klass, serializer in _SERIALIZERS.items():
+        if isinstance(obj, klass):
+            return json.dumps(serializer(obj), sort_keys=True)
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def loads(text: str):
+    """Deserialize a JSON string produced by :func:`dumps`."""
+    data = json.loads(text)
+    kind = data.get("kind")
+    if kind not in _DESERIALIZERS:
+        raise ValueError(f"unknown payload kind {kind!r}")
+    return _DESERIALIZERS[kind](data)

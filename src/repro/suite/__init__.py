@@ -1,0 +1,37 @@
+"""Benchmark systems: the paper's Table 14.3 rows and in-text examples."""
+
+from .examples import (
+    section_14_3_1_system,
+    table_14_1_system,
+    table_14_2_system,
+)
+from .mibench import mibench_system
+from .mixer import mixer_system
+from .quadratic import quadratic_filter_system
+from .random_systems import (
+    planted_kernel_system,
+    random_polynomial,
+    random_system,
+    shifted_copy_system,
+)
+from .registry import TABLE_14_3_SYSTEMS, available_systems, get_system
+from .savitzky_golay import savitzky_golay_system
+from .wavelet import wavelet_system
+
+__all__ = [
+    "TABLE_14_3_SYSTEMS",
+    "available_systems",
+    "get_system",
+    "mibench_system",
+    "mixer_system",
+    "planted_kernel_system",
+    "quadratic_filter_system",
+    "random_polynomial",
+    "random_system",
+    "shifted_copy_system",
+    "savitzky_golay_system",
+    "section_14_3_1_system",
+    "table_14_1_system",
+    "table_14_2_system",
+    "wavelet_system",
+]

@@ -1,0 +1,43 @@
+"""MiBench automotive polynomial kernel (Table 14.3, row "Mibench").
+
+The MiBench automotive suite [12] (basicmath) exercises quadratic
+arithmetic over small operands; the paper's row lists 2 polynomials over
+3 variables of degree 2 at m=8.
+
+**Substitution note**: MiBench ships C source, not polynomial systems; we
+use a weighted-energy kernel of the kind its vehicle-dynamics arithmetic
+computes: a squared weighted sum ``E = (a + 2b + 3c)^2`` and a companion
+output reusing the scaled energy term, ``4E + 5(a + 2b + 3c) + 7``.  The
+linear form behind the squares is exactly what CCE + square-free
+factorization + algebraic division recover and what coefficient-literal
+kernel CSE cannot (every cube ``a^2, ab, ...`` appears with different
+coefficients).
+"""
+
+from __future__ import annotations
+
+from repro.poly import parse_polynomial
+from repro.rings import BitVectorSignature
+from repro.system import PolySystem
+
+
+def mibench_system(width: int = 8) -> PolySystem:
+    """Weighted-energy automotive kernel over 8-bit operands."""
+    # (a + 2b + 3c)^2 expanded
+    energy = parse_polynomial(
+        "a^2 + 4*b^2 + 9*c^2 + 4*a*b + 6*a*c + 12*b*c",
+        variables=("a", "b", "c"),
+    )
+    # 4*(a + 2b + 3c)^2 + 5*(a + 2b + 3c) + 7 expanded
+    companion = parse_polynomial(
+        "4*a^2 + 16*b^2 + 36*c^2 + 16*a*b + 24*a*c + 48*b*c"
+        " + 5*a + 10*b + 15*c + 7",
+        variables=("a", "b", "c"),
+    )
+    signature = BitVectorSignature.uniform(("a", "b", "c"), width)
+    return PolySystem(
+        name="Mibench",
+        polys=(energy, companion),
+        signature=signature,
+        description="MiBench automotive (basicmath) weighted-energy kernel",
+    )

@@ -1,0 +1,34 @@
+"""A heterogeneous-width datapath (exercises non-uniform signatures).
+
+Every Table 14.3 row uses one width for all operands, but the paper's
+formulation (Section 14.3.1) is explicitly heterogeneous:
+``f: Z_2^n1 x Z_2^n2 x ... -> Z_2^m``.  This extra system keeps that
+generality covered end-to-end: an audio-style mixer with an 8-bit gain
+``g``, a 4-bit pan position ``p``, and a 16-bit sample ``s``, computing a
+pair of quadratic-in-gain channel outputs at 16 bits.  The two channels
+share the gain-square and the panned-sample products behind different
+coefficients — CCE territory.
+"""
+
+from __future__ import annotations
+
+from repro.poly import parse_polynomial
+from repro.rings import BitVectorSignature
+from repro.system import PolySystem
+
+
+def mixer_system() -> PolySystem:
+    """Two-channel mixer: 8-bit gain x 4-bit pan x 16-bit sample -> 16 bit."""
+    left = parse_polynomial(
+        "3*g^2*s + 6*g*p*s + 3*p^2*s + 5*s + 9", variables=("g", "p", "s")
+    )
+    right = parse_polynomial(
+        "5*g^2*s + 10*g*p*s + 5*p^2*s + 7*s + 2", variables=("g", "p", "s")
+    )
+    signature = BitVectorSignature((("g", 8), ("p", 4), ("s", 16)), 16)
+    return PolySystem(
+        name="Mixer",
+        polys=(left, right),
+        signature=signature,
+        description="heterogeneous-width two-channel mixer (8/4/16 -> 16 bit)",
+    )

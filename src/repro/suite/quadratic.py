@@ -1,0 +1,42 @@
+"""Quadratic (Volterra) filter system (Table 14.3, row "Quad").
+
+Polynomial signal processing (Mathews & Sicuranza [16]) models a
+second-order Volterra filter as ``y = sum a_i x_i + sum b_ij x_i x_j``; a
+two-tap filter over inputs ``x`` (current sample) and ``y`` (previous
+sample) is exactly a bivariate quadratic.  The paper's row lists two
+polynomials over 2 variables of degree 2 at m=16.
+
+**Substitution note**: the exact filter taps are not printed in the paper;
+we use a two-channel quadratic filter whose channels apply different
+integer gains to one *factorable* Volterra kernel
+``Q = x^2 + 3xy + 2y^2 = (x + y)(x + 2y)`` plus channel-specific linear
+terms.  This is the realistic two-output filter-bank situation and the
+exact structure the paper's method targets: the shared kernel hides
+behind coefficients (``2Q`` vs ``3Q`` — invisible to coefficient-literal
+CSE) and factors into linear blocks (invisible to kernel/co-kernel
+factoring).
+"""
+
+from __future__ import annotations
+
+from repro.poly import parse_polynomial
+from repro.rings import BitVectorSignature
+from repro.system import PolySystem
+
+
+def quadratic_filter_system(width: int = 16) -> PolySystem:
+    """Two-channel second-order Volterra filter with a shared kernel."""
+    # channel 1: 2*Q + 7(x - y) + 11, channel 2: 3*Q + 5(x + y) + 3
+    channel_1 = parse_polynomial(
+        "2*x^2 + 6*x*y + 4*y^2 + 7*x - 7*y + 11", variables=("x", "y")
+    )
+    channel_2 = parse_polynomial(
+        "3*x^2 + 9*x*y + 6*y^2 + 5*x + 5*y + 3", variables=("x", "y")
+    )
+    signature = BitVectorSignature.uniform(("x", "y"), width)
+    return PolySystem(
+        name="Quad",
+        polys=(channel_1, channel_2),
+        signature=signature,
+        description="two-channel quadratic Volterra filter (Mathews & Sicuranza)",
+    )

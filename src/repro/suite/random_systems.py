@@ -1,0 +1,123 @@
+"""Random polynomial-system generation for stress testing.
+
+Parameterized generators used by the property tests and the scaling
+studies: unstructured random systems (worst case for every method) and
+*structured* random systems that plant the kinds of sharing the paper's
+flow is built to find — scaled copies of a hidden kernel, powers of a
+hidden linear block, shifted copies — so tests can assert the flow
+actually recovers planted structure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.poly import Polynomial
+from repro.rings import BitVectorSignature
+from repro.system import PolySystem
+
+
+def random_polynomial(
+    rng: random.Random,
+    variables: Sequence[str],
+    max_terms: int = 6,
+    max_degree: int = 3,
+    max_coeff: int = 20,
+) -> Polynomial:
+    """An unstructured random sparse polynomial (never zero)."""
+    variables = tuple(variables)
+    terms: dict[tuple[int, ...], int] = {}
+    for _ in range(rng.randint(1, max_terms)):
+        exps = [0] * len(variables)
+        budget = rng.randint(0, max_degree)
+        for _ in range(budget):
+            exps[rng.randrange(len(variables))] += 1
+        coeff = rng.randint(1, max_coeff) * rng.choice((1, -1))
+        key = tuple(exps)
+        terms[key] = terms.get(key, 0) + coeff
+    poly = Polynomial(variables, {e: c for e, c in terms.items() if c})
+    if poly.is_zero:
+        poly = poly + 1
+    return poly
+
+
+def random_system(
+    seed: int,
+    num_polys: int = 4,
+    variables: Sequence[str] = ("x", "y", "z"),
+    width: int = 16,
+    **poly_kwargs,
+) -> PolySystem:
+    """A fully unstructured random system."""
+    rng = random.Random(seed)
+    polys = tuple(
+        random_polynomial(rng, variables, **poly_kwargs) for _ in range(num_polys)
+    )
+    return PolySystem(
+        name=f"random-{seed}",
+        polys=polys,
+        signature=BitVectorSignature.uniform(tuple(variables), width),
+        description="unstructured random system",
+    )
+
+
+def planted_kernel_system(
+    seed: int,
+    num_polys: int = 4,
+    variables: Sequence[str] = ("x", "y"),
+    width: int = 16,
+) -> tuple[PolySystem, Polynomial]:
+    """A system hiding one shared linear block behind coefficients.
+
+    Every polynomial is ``a_i * L^2 + b_i * L + c_i`` for a common random
+    linear block ``L`` and per-polynomial integer coefficients — the
+    planted structure CCE + factoring + division should recover.  Returns
+    the system and the planted block.
+    """
+    rng = random.Random(seed)
+    variables = tuple(variables)
+    coeffs = [rng.randint(1, 5) for _ in variables]
+    block = Polynomial.zero(variables)
+    for var, coeff in zip(variables, coeffs):
+        block = block + Polynomial.variable(var, variables).scale(coeff)
+    if block.is_zero or block.is_constant:
+        block = Polynomial.variable(variables[0], variables)
+    polys = []
+    for _ in range(num_polys):
+        a = rng.randint(2, 9)
+        b = rng.randint(2, 9)
+        c = rng.randint(0, 30)
+        polys.append(block * block * a + block.scale(b) + c)
+    system = PolySystem(
+        name=f"planted-{seed}",
+        polys=tuple(polys),
+        signature=BitVectorSignature.uniform(variables, width),
+        description="random system with a planted shared linear block",
+    )
+    return system, block
+
+
+def shifted_copy_system(
+    seed: int,
+    num_polys: int = 4,
+    width: int = 16,
+) -> PolySystem:
+    """Shifted copies of one random bivariate quadratic (SG-like)."""
+    rng = random.Random(seed)
+    base = random_polynomial(rng, ("x", "y"), max_terms=5, max_degree=2)
+    while base.total_degree() < 1:
+        base = random_polynomial(rng, ("x", "y"), max_terms=5, max_degree=2)
+    x = Polynomial.variable("x", ("x", "y"))
+    y = Polynomial.variable("y", ("x", "y"))
+    polys = []
+    for index in range(num_polys):
+        polys.append(
+            base.subs({"x": x + index, "y": y + (index % 2)}).with_vars(("x", "y"))
+        )
+    return PolySystem(
+        name=f"shifted-{seed}",
+        polys=tuple(polys),
+        signature=BitVectorSignature.uniform(("x", "y"), width),
+        description="shifted copies of one random base form",
+    )

@@ -1,0 +1,56 @@
+"""Name -> PolySystem registry used by benchmarks, examples, and tests."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.system import PolySystem
+
+from .examples import section_14_3_1_system, table_14_1_system, table_14_2_system
+from .mibench import mibench_system
+from .mixer import mixer_system
+from .quadratic import quadratic_filter_system
+from .savitzky_golay import savitzky_golay_system
+from .wavelet import wavelet_system
+
+_BUILDERS: dict[str, Callable[[], PolySystem]] = {
+    "SG 3X2": lambda: savitzky_golay_system(3, 2),
+    "SG 4X2": lambda: savitzky_golay_system(4, 2),
+    "SG 4X3": lambda: savitzky_golay_system(4, 3),
+    "SG 5X2": lambda: savitzky_golay_system(5, 2),
+    "SG 5X3": lambda: savitzky_golay_system(5, 3),
+    "Quad": quadratic_filter_system,
+    "Mibench": mibench_system,
+    "MVCS": wavelet_system,
+    "Mixer": mixer_system,
+    "Table 14.1": table_14_1_system,
+    "Table 14.2": table_14_2_system,
+    "Section 14.3.1": section_14_3_1_system,
+}
+
+#: The eight rows of the paper's Table 14.3, in order.
+TABLE_14_3_SYSTEMS: tuple[str, ...] = (
+    "SG 3X2",
+    "SG 4X2",
+    "SG 4X3",
+    "SG 5X2",
+    "SG 5X3",
+    "Quad",
+    "Mibench",
+    "MVCS",
+)
+
+
+def get_system(name: str) -> PolySystem:
+    """Build a benchmark system by its Table 14.3 name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BUILDERS))
+        raise KeyError(f"unknown system {name!r}; known: {known}") from None
+    return builder()
+
+
+def available_systems() -> tuple[str, ...]:
+    """All registered system names."""
+    return tuple(_BUILDERS)

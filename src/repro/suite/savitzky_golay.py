@@ -1,0 +1,81 @@
+"""Savitzky-Golay filter polynomial systems (Table 14.3, rows SG *).
+
+Two-dimensional Savitzky-Golay smoothing fits a bivariate polynomial of
+degree ``d`` over a ``k x k`` window; evaluating the fitted surface across
+the window produces one polynomial per grid position — ``k^2``
+polynomials in the two coordinate variables, all of them *shifted copies
+of one base form*.  That shifted-copy structure is what gives the
+integrated method its leverage on these rows: the shifts expand into
+expressions with massive cross-polynomial coefficient and kernel sharing.
+
+**Substitution note** (see DESIGN.md): the paper does not print its exact
+SG polynomials, only their characteristics (2 variables, degree, m=16,
+9/16/25 polynomials).  We reconstruct the systems from those
+characteristics using the classical 1-D Savitzky-Golay quadratic/cubic
+smoothing weights ``(-3, 12, 17, 12, -3) / 35`` combined into an integer
+bivariate base polynomial; the structure (shifted copies, dense integer
+coefficients, matching var/deg/m and polynomial counts) is what drives
+the optimization headroom, not the exact weight values.
+"""
+
+from __future__ import annotations
+
+from repro.poly import Polynomial
+from repro.rings import BitVectorSignature
+from repro.system import PolySystem
+
+_X = Polynomial.variable("x", ("x", "y"))
+_Y = Polynomial.variable("y", ("x", "y"))
+
+
+def _base_polynomial(degree: int) -> Polynomial:
+    """Integer base surface built in the style of SG smoothing kernels.
+
+    Linear-phase (symmetric) filters place their transfer-function zeros
+    in reciprocal pairs, which makes the top-degree form of the fitted
+    surface factorable over Z — the degree-2 base uses the quadratic form
+    ``(x - y)(x - 3y)`` and the degree-3 base stacks the cubic form
+    ``(x - y)(x - 3y)(x + 2y)`` on top.  Shifting a window never changes
+    the top-degree homogeneous part, so all ``k^2`` shifted copies share
+    it; whether a flow can implement that shared form as a *product of
+    linear blocks* (rather than a sum of monomial cubes) is precisely the
+    gap between kernel-CSE and the paper's algebraic integration.
+    """
+    if degree == 2:
+        # (x - y)(x - 3y) + 12x + 12y + 17
+        quadratic_form = (_X - _Y) * (_X - _Y.scale(3))
+        return (
+            quadratic_form
+            + _X.scale(12)
+            + _Y.scale(12)
+            + Polynomial.constant(17, ("x", "y"))
+        )
+    if degree == 3:
+        # (x - y)(x - 3y)(x + 2y) stacked on the quadratic base.
+        cubic_form = (_X - _Y) * (_X - _Y.scale(3)) * (_X + _Y.scale(2))
+        return cubic_form + _base_polynomial(2)
+    raise ValueError(f"unsupported Savitzky-Golay degree {degree}")
+
+
+def savitzky_golay_system(
+    window: int, degree: int, width: int = 16
+) -> PolySystem:
+    """The ``SG <window>X<degree>`` system: ``window^2`` shifted fits."""
+    if window < 2:
+        raise ValueError(f"window must be at least 2, got {window}")
+    base = _base_polynomial(degree)
+    polys = []
+    for row in range(window):
+        for col in range(window):
+            shifted = base.subs({"x": _X + row, "y": _Y + col})
+            polys.append(shifted.with_vars(("x", "y")))
+    signature = BitVectorSignature.uniform(("x", "y"), width)
+    return PolySystem(
+        name=f"SG {window}X{degree}",
+        polys=tuple(polys),
+        signature=signature,
+        description=(
+            f"2-D Savitzky-Golay degree-{degree} fit over a {window}x{window} "
+            f"window: {window * window} shifted copies of one bivariate form"
+        ),
+    )

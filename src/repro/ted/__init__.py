@@ -1,0 +1,18 @@
+"""Taylor Expansion Diagrams (paper references [5], [9]).
+
+A TED is a canonical, graph-based representation of a polynomial: each
+node Taylor-expands in one variable (under a fixed variable order) and
+points to the sub-functions multiplying each power.  With hash-consing
+the DAG is canonical — two polynomials are equal iff their TEDs are the
+same node — and shared sub-functions appear once, which is why
+Gomez-Prado et al. [9] drive dataflow-graph optimization from TED cuts.
+
+This subpackage provides construction from :class:`repro.poly`
+polynomials, canonicity-based equality, structural statistics, and the
+[9]-style lowering of a TED to a factored expression.
+"""
+
+from .diagram import TedManager, TedNode, ted_node_count
+from .lower import ted_to_expression
+
+__all__ = ["TedManager", "TedNode", "ted_node_count", "ted_to_expression"]

@@ -1,0 +1,25 @@
+"""Equivalence checking for polynomial datapaths.
+
+The companion problem to synthesis (and the subject of the authors'
+related work on Taylor Expansion Diagrams and finite-ring canonical
+forms): decide whether two implementations compute the same bit-vector
+function.  Chen's canonical form makes this decidable exactly over a
+:class:`~repro.rings.canonical.BitVectorSignature` — two datapaths are
+equivalent iff their canonical forms coincide.
+"""
+
+from .equivalence import (
+    EquivalenceReport,
+    check_decompositions,
+    check_polynomials,
+    check_systems,
+    find_counterexample,
+)
+
+__all__ = [
+    "EquivalenceReport",
+    "check_decompositions",
+    "check_polynomials",
+    "check_systems",
+    "find_counterexample",
+]

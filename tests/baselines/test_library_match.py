@@ -1,0 +1,74 @@
+"""Tests for Groebner library matching ([19] baseline)."""
+
+import pytest
+
+from repro.baselines import library_match_decomposition, match_library
+from repro.poly import Polynomial, parse_polynomial as P, parse_system
+
+
+class TestMatchLibrary:
+    def test_perfect_square_matched(self):
+        # Given the library block x+3y, P1 rewrites to _u1^2.
+        result = match_library(P("x^2 + 6*x*y + 9*y^2"), [P("x + 3*y")])
+        assert result == Polynomial.variable("_u1") ** 2
+
+    def test_cofactor_matched(self):
+        result = match_library(P("4*x*y^2 + 12*y^3"), [P("x + 3*y")])
+        # 4 y^2 * u1
+        expected = Polynomial.variable("_u1") * P("4*y^2")
+        assert result == expected
+
+    def test_unmatched_part_stays(self):
+        result = match_library(P("x^2 + 6*x*y + 9*y^2 + z"), [P("x + 3*y")])
+        assert "z" in result.used_vars()
+        assert "_u1" in result.used_vars()
+
+    def test_empty_library_identity(self):
+        poly = P("x^2 + 1")
+        assert match_library(poly, []) == poly
+
+    def test_substitution_roundtrip(self):
+        library = [P("x + 3*y"), P("x*y")]
+        poly = P("x^2 + 6*x*y + 9*y^2 + 5*x*y + 7")
+        result = match_library(poly, library)
+        restored = result.subs({"_u1": library[0], "_u2": library[1]})
+        assert restored == poly
+
+    def test_two_block_rewrite(self):
+        # (x+y)(x+2y) with both factors in the library
+        library = [P("x + y"), P("x + 2*y")]
+        poly = P("x^2 + 3*x*y + 2*y^2")
+        result = match_library(poly, library)
+        restored = result.subs({"_u1": library[0], "_u2": library[1]})
+        assert restored == poly
+        # the quadratic part is fully library-expressed
+        assert result.total_degree() <= 2
+
+
+class TestDecomposition:
+    def test_motivating_system_with_oracle_library(self):
+        system = parse_system(
+            ["x^2 + 6*x*y + 9*y^2", "4*x*y^2 + 12*y^3", "2*x^2*z + 6*x*y*z"]
+        )
+        decomposition = library_match_decomposition(system, [P("x + 3*y")])
+        count = decomposition.op_count()
+        # With the oracle library the rewrite lands near the paper's 8 MULT
+        # result, but not exactly on it: the elimination order rewrites x
+        # away *everywhere* (P3 becomes z*u1*(2*u1 - 6y) instead of
+        # 2*x*z*u1), illustrating the cost-blindness of pure Groebner
+        # matching that the paper's cost-driven flow avoids.
+        assert count.mul <= 10
+        assert count.mul < 17  # far better than direct
+
+    def test_unused_library_blocks_dropped(self):
+        system = parse_system(["x^2 + 1"])
+        decomposition = library_match_decomposition(
+            system, [P("q + r"), P("x^2 + 1")]
+        )
+        # block 1 unused; block 2 used
+        assert "_u1" not in decomposition.blocks
+
+    def test_validation_enforced(self):
+        system = parse_system(["x^2 + 6*x*y + 9*y^2"])
+        decomposition = library_match_decomposition(system, [P("x + 3*y")])
+        decomposition.validate(list(system))  # must not raise

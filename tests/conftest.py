@@ -1,0 +1,79 @@
+"""Shared test fixtures and hypothesis strategies.
+
+The strategies build random sparse integer polynomials in up to three
+variables; `to_sympy`/`from_sympy` bridge to SymPy, which serves as a
+*differential oracle* for arithmetic, GCD, and factorization tests (the
+core library itself never imports SymPy).
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+
+from repro.poly import Polynomial
+
+VARS = ("x", "y", "z")
+
+
+@st.composite
+def monomials(draw, nvars: int = 3, max_exp: int = 4):
+    """Random exponent tuple."""
+    return tuple(
+        draw(st.integers(min_value=0, max_value=max_exp)) for _ in range(nvars)
+    )
+
+
+@st.composite
+def polynomials(
+    draw,
+    nvars: int = 3,
+    max_terms: int = 6,
+    max_exp: int = 4,
+    max_coeff: int = 50,
+    allow_zero: bool = True,
+):
+    """Random sparse polynomial over ``VARS[:nvars]``."""
+    min_terms = 0 if allow_zero else 1
+    n_terms = draw(st.integers(min_value=min_terms, max_value=max_terms))
+    terms = {}
+    for _ in range(n_terms):
+        exps = draw(monomials(nvars=nvars, max_exp=max_exp))
+        coeff = draw(
+            st.integers(min_value=-max_coeff, max_value=max_coeff).filter(bool)
+        )
+        terms[exps] = terms.get(exps, 0) + coeff
+    poly = Polynomial(VARS[:nvars], {e: c for e, c in terms.items() if c})
+    if not allow_zero and poly.is_zero:
+        poly = poly + 1
+    return poly
+
+
+@st.composite
+def small_polynomials(draw, nvars: int = 2):
+    """Smaller polynomials for the expensive algorithms (GCD, factoring)."""
+    return draw(polynomials(nvars=nvars, max_terms=4, max_exp=3, max_coeff=12))
+
+
+def to_sympy(poly: Polynomial):
+    """Convert a repro Polynomial to a SymPy expression."""
+    import sympy
+
+    symbols = {v: sympy.Symbol(v) for v in poly.vars}
+    expr = sympy.Integer(0)
+    for exps, coeff in poly.terms.items():
+        term = sympy.Integer(coeff)
+        for var, e in zip(poly.vars, exps):
+            if e:
+                term *= symbols[var] ** e
+        expr += term
+    return expr
+
+
+def from_sympy(expr, variables) -> Polynomial:
+    """Convert a SymPy expression in the given variables back to a Polynomial."""
+    import sympy
+
+    symbols = [sympy.Symbol(v) for v in variables]
+    poly = sympy.Poly(sympy.expand(expr), *symbols, domain="ZZ")
+    terms = {tuple(int(e) for e in mono): int(c) for mono, c in poly.terms()}
+    return Polynomial(tuple(variables), terms)

@@ -1,0 +1,79 @@
+"""Tests for algebraic division by linear blocks (Section 14.4.3)."""
+
+from repro.core import (
+    BlockRegistry,
+    divide_by_block,
+    division_candidates,
+    refine_block_definitions,
+)
+from repro.cse import expand_blocks
+from repro.poly import Polynomial, parse_polynomial as P
+
+
+class TestDivideByBlock:
+    def test_perfect_square(self):
+        result = divide_by_block(P("x^2 + 6*x*y + 9*y^2"), P("x + 3*y"), "d")
+        assert result is not None
+        # d * d with no remainder
+        assert expand_blocks(result, {"d": P("x + 3*y")}) == P("x^2 + 6*x*y + 9*y^2")
+        assert result == Polynomial.variable("d") ** 2
+
+    def test_with_remainder(self):
+        poly = P("13*x^2 + 26*x*y + 13*y^2 + 7*x - 7*y + 11")
+        result = divide_by_block(poly, P("x + y"), "d")
+        assert result is not None
+        assert expand_blocks(result, {"d": P("x + y")}) == poly
+
+    def test_no_quotient_returns_none(self):
+        assert divide_by_block(P("z + 1"), P("x + y"), "d") is None
+
+    def test_cofactor(self):
+        result = divide_by_block(P("4*x*y^2 + 12*y^3"), P("x + 3*y"), "d")
+        assert result == Polynomial.variable("d") * P("4*y^2")
+
+
+class TestDivisionCandidates:
+    def test_motivating_example(self):
+        registry = BlockRegistry(("x", "y", "z"))
+        name, _ = registry.register(P("x + 3*y"))
+        candidates = division_candidates(P("x^2 + 6*x*y + 9*y^2"), registry)
+        assert any(c == Polynomial.variable(name) ** 2 for c in candidates)
+
+    def test_irrelevant_divisors_skipped(self):
+        registry = BlockRegistry(("x", "y", "z", "w"))
+        registry.register(P("w + z"))
+        candidates = division_candidates(P("x^2 + y"), registry)
+        assert candidates == []
+
+    def test_cap_respected(self):
+        registry = BlockRegistry(("x", "y"))
+        for k in range(1, 9):
+            registry.register(P(f"x + {k}*y"))
+        candidates = division_candidates(P("x^2 + 6*x*y + 9*y^2"), registry, 3)
+        assert len(candidates) <= 3
+
+
+class TestRefineBlockDefinitions:
+    def test_square_block_rewritten(self):
+        registry = BlockRegistry(("x", "y"))
+        linear, _ = registry.register(P("x + y"))
+        square, _ = registry.register(P("x^2 + 2*x*y + y^2"))
+        rewritten = refine_block_definitions(registry)
+        assert rewritten == 1
+        assert registry.defs[square] == Polynomial.variable(linear) ** 2
+
+    def test_product_block_rewritten(self):
+        registry = BlockRegistry(("x", "y"))
+        linear, _ = registry.register(P("x + 3*y"))
+        product, _ = registry.register(P("x*y^2 + 3*y^3"))
+        refine_block_definitions(registry)
+        # definition should now reference the linear block
+        assert linear in registry.defs[product].used_vars()
+
+    def test_ground_truth_preserved(self):
+        registry = BlockRegistry(("x", "y"))
+        registry.register(P("x + y"))
+        registry.register(P("x^3 + 3*x^2*y + 3*x*y^2 + y^3"))
+        refine_block_definitions(registry)
+        for name in registry.defs:
+            assert registry.expand(Polynomial.variable(name)) == registry.ground[name]

@@ -1,0 +1,109 @@
+"""Tests for the building-block registry."""
+
+import pytest
+
+from repro.core import BlockRegistry
+from repro.poly import Polynomial, parse_polynomial as P
+
+
+def make_registry():
+    return BlockRegistry(("x", "y", "z"))
+
+
+class TestRegister:
+    def test_fresh_names(self):
+        reg = make_registry()
+        n1, _ = reg.register(P("x + y"))
+        n2, _ = reg.register(P("x - y"))
+        assert n1 != n2
+
+    def test_hash_consing(self):
+        reg = make_registry()
+        n1, s1 = reg.register(P("x + 3*y"))
+        n2, s2 = reg.register(P("x + 3*y"))
+        assert n1 == n2 and s1 == s2 == 1
+
+    def test_sign_normalization(self):
+        reg = make_registry()
+        n1, s1 = reg.register(P("x - y"))
+        n2, s2 = reg.register(P("y - x"))
+        assert n1 == n2
+        assert s1 == 1 and s2 == -1
+
+    def test_dedup_through_blocks(self):
+        # A definition written over another block unifies with the same
+        # ground polynomial written directly.
+        reg = make_registry()
+        inner, _ = reg.register(P("x + y"))
+        composite = Polynomial.variable(inner) * 2 + 1  # 2(x+y) + 1
+        n1, _ = reg.register(composite)
+        n2, _ = reg.register(P("2*x + 2*y + 1"))
+        assert n1 == n2
+
+    def test_trivial_rejected(self):
+        reg = make_registry()
+        with pytest.raises(ValueError):
+            reg.register(Polynomial.constant(5))
+        with pytest.raises(ValueError):
+            reg.register(Polynomial.zero(("x",)))
+
+
+class TestLookup:
+    def test_lookup_found(self):
+        reg = make_registry()
+        name, _ = reg.register(P("x + y"))
+        assert reg.lookup(P("x + y")) == (name, 1)
+        assert reg.lookup(P("-x - y")) == (name, -1)
+
+    def test_lookup_missing(self):
+        assert make_registry().lookup(P("x + 5*y")) is None
+
+
+class TestShiftBlocks:
+    def test_shift_block(self):
+        reg = make_registry()
+        name = reg.shift_block("x", 2)
+        assert reg.ground[name] == P("x - 2")
+
+    def test_shift_block_shared(self):
+        reg = make_registry()
+        assert reg.shift_block("x", 1) == reg.shift_block("x", 1)
+
+    def test_zero_offset_rejected(self):
+        with pytest.raises(ValueError):
+            make_registry().shift_block("x", 0)
+
+
+class TestRewriteDefinition:
+    def test_valid_rewrite(self):
+        reg = make_registry()
+        linear, _ = reg.register(P("x + y"))
+        square, _ = reg.register(P("x^2 + 2*x*y + y^2"))
+        reg.rewrite_definition(square, Polynomial.variable(linear) ** 2)
+        assert reg.expand(Polynomial.variable(square)) == P("(x + y)^2")
+
+    def test_wrong_rewrite_rejected(self):
+        reg = make_registry()
+        name, _ = reg.register(P("x + y"))
+        with pytest.raises(ValueError):
+            reg.rewrite_definition(name, P("x - y"))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_registry().rewrite_definition("nope", P("x"))
+
+
+class TestQueries:
+    def test_linear_blocks(self):
+        reg = make_registry()
+        reg.register(P("x + y"))
+        reg.register(P("x^2 + 1"))
+        linears = reg.linear_blocks()
+        assert len(linears) == 1 and linears[0][1] == P("x + y")
+
+    def test_copy_is_independent(self):
+        reg = make_registry()
+        reg.register(P("x + y"))
+        clone = reg.copy()
+        clone.register(P("x - y"))
+        assert len(reg.defs) == 1 and len(clone.defs) == 2

@@ -1,0 +1,95 @@
+"""Tests for Common Coefficient Extraction (Algorithm 6)."""
+
+from hypothesis import given, settings
+
+from repro.core import BlockRegistry, candidate_gcds, common_coefficient_extraction
+from repro.cse import expand_blocks
+from repro.poly import parse_polynomial as P
+from tests.conftest import polynomials
+
+
+def run_cce(text, variables=None):
+    poly = P(text, variables=variables)
+    registry = BlockRegistry(poly.vars)
+    result = common_coefficient_extraction(poly, registry)
+    return poly, registry, result
+
+
+class TestCandidateGcds:
+    def test_paper_coefficient_set(self):
+        # {8, 16, 24, 15, 30} -> {15, 8} (paper Section 14.4.1)
+        assert candidate_gcds([8, 16, 24, 15, 30]) == [15, 8]
+
+    def test_gcd_smaller_than_both_dropped(self):
+        # gcd(24, 30) = 6 must be ignored.
+        assert candidate_gcds([24, 30]) == []
+
+    def test_units_ignored(self):
+        assert candidate_gcds([1, 1, 7]) == []
+
+    def test_negative_magnitudes(self):
+        assert candidate_gcds([-7, 7]) == [7]
+
+    def test_divisor_pair_kept(self):
+        assert candidate_gcds([5, 10, 15]) == [5]
+
+
+class TestPaperExamples:
+    def test_section_14_4_1_running_example(self):
+        # P1 = 8x + 16y + 24z + 15a + 30b + 11
+        poly, registry, result = run_cce("8*x + 16*y + 24*z + 15*a + 30*b + 11")
+        assert result is not None
+        blocks = {registry.ground[n] for n in result.extracted}
+        assert P("x + 2*y + 3*z") in blocks
+        assert P("a + 2*b") in blocks
+        # reconstruction
+        assert expand_blocks(result.poly, registry.defs) == poly
+
+    def test_coefficient_addition_ignored(self):
+        # the +11 stays a direct constant (never grouped)
+        _, registry, result = run_cce("8*x + 16*y + 11")
+        assert result is not None
+        for name in result.extracted:
+            assert registry.ground[name].constant_term == 0
+
+    def test_simple_factoring_example(self):
+        # P = 5x^2 + 10y^3 + 15pq -> 5(x^2 + 2y^3 + 3pq)
+        poly, registry, result = run_cce("5*x^2 + 10*y^3 + 15*p*q")
+        assert result is not None and len(result.extracted) == 1
+        block = registry.ground[result.extracted[0]]
+        assert block == P("x^2 + 2*y^3 + 3*p*q")
+
+    def test_table_14_2_p1(self):
+        poly, registry, result = run_cce(
+            "13*x^2 + 26*x*y + 13*y^2 + 7*x - 7*y + 11"
+        )
+        assert result is not None
+        blocks = {registry.ground[n] for n in result.extracted}
+        assert P("x^2 + 2*x*y + y^2") in blocks
+        assert P("x - y") in blocks
+
+    def test_no_benefit_no_extraction(self):
+        # motivating P1: {6, 9} -> gcd 3 < both -> nothing extracted
+        _, _, result = run_cce("x^2 + 6*x*y + 9*y^2")
+        assert result is None
+
+
+class TestInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(polynomials(max_coeff=60))
+    def test_reconstruction_exact(self, poly):
+        registry = BlockRegistry(poly.vars)
+        result = common_coefficient_extraction(poly, registry)
+        if result is None:
+            return
+        assert expand_blocks(result.poly, registry.defs) == poly
+
+    @settings(max_examples=50, deadline=None)
+    @given(polynomials(max_coeff=60))
+    def test_blocks_have_at_least_two_terms(self, poly):
+        registry = BlockRegistry(poly.vars)
+        result = common_coefficient_extraction(poly, registry)
+        if result is None:
+            return
+        for name in result.extracted:
+            assert len(registry.ground[name]) >= 2

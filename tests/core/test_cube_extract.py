@@ -1,0 +1,52 @@
+"""Tests for Cube_Ex (linear kernel exposure, Section 14.4.2)."""
+
+from repro.core import BlockRegistry, cube_extraction, exposed_linear_kernels
+from repro.poly import parse_polynomial as P, parse_system
+
+
+class TestExposedLinearKernels:
+    def test_motivating_p1(self):
+        # paper: {(x + 6y), (6x + 9y)} exposed from x^2 + 6xy + 9y^2
+        kernels = set(map(str, exposed_linear_kernels(P("x^2 + 6*x*y + 9*y^2"))))
+        assert "x + 6*y" in kernels
+        assert "6*x + 9*y" in kernels
+
+    def test_motivating_p2_after_cce(self):
+        # the CCE block x y^2 + 3 y^3 exposes (x + 3y)
+        kernels = set(map(str, exposed_linear_kernels(P("x*y^2 + 3*y^3"))))
+        assert "x + 3*y" in kernels
+
+    def test_nonlinear_kernels_excluded(self):
+        kernels = exposed_linear_kernels(P("x^3*y + x*y + y"))
+        for kernel in kernels:
+            assert kernel.is_linear
+
+
+class TestCubeExtraction:
+    def test_registers_divisor_pool(self):
+        system = parse_system(
+            ["x^2 + 6*x*y + 9*y^2", "x*y^2 + 3*y^3", "x^2*z + 3*x*y*z"]
+        )
+        registry = BlockRegistry(("x", "y", "z"))
+        names = cube_extraction(list(system), registry)
+        grounds = {str(registry.ground[name]) for name in names}
+        assert "x + 3*y" in grounds
+        assert "x + 6*y" in grounds
+
+    def test_sees_through_block_variables(self):
+        # structure hidden behind a CCE block is still harvested via the
+        # ground expansion
+        registry = BlockRegistry(("x", "y"))
+        name, _ = registry.register(P("x*y^2 + 3*y^3"))
+        import repro.poly as rp
+
+        poly_with_block = rp.Polynomial.variable(name).scale(4)
+        names = cube_extraction([poly_with_block], registry)
+        grounds = {str(registry.ground[n]) for n in names}
+        assert "x + 3*y" in grounds
+
+    def test_no_duplicates(self):
+        system = parse_system(["x*a + x*b", "y*a + y*b"])
+        registry = BlockRegistry(("a", "b", "x", "y"))
+        names = cube_extraction(list(system), registry)
+        assert len(names) == len(set(names))

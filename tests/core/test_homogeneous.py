@@ -1,0 +1,59 @@
+"""Tests for homogeneous-form factor exposure."""
+
+from repro.core import (
+    BlockRegistry,
+    expose_homogeneous_factors,
+    homogeneous_part,
+    synthesize,
+)
+from repro.poly import parse_polynomial as P
+
+
+class TestHomogeneousPart:
+    def test_mixed_degrees(self):
+        poly = P("72*x^2 + 96*x*y + 32*y^2 + 6*x + 4*y + 2")
+        assert homogeneous_part(poly) == P("72*x^2 + 96*x*y + 32*y^2")
+
+    def test_already_homogeneous(self):
+        poly = P("x^2 + x*y")
+        assert homogeneous_part(poly) == poly
+
+    def test_zero(self):
+        from repro.poly import Polynomial
+
+        zero = Polynomial.zero(("x",))
+        assert homogeneous_part(zero).is_zero
+
+
+class TestExposure:
+    def test_hidden_square_exposed(self):
+        # 72x^2+96xy+32y^2 = 8(3x+2y)^2: CCE's GCD filter can never split
+        # the group (8 < every coefficient), but the homogeneous form
+        # factors.
+        registry = BlockRegistry(("x", "y"))
+        names = expose_homogeneous_factors(
+            [P("72*x^2 + 96*x*y + 32*y^2 + 6*x + 4*y + 2")], registry
+        )
+        grounds = {str(registry.ground[n]) for n in names}
+        assert "3*x + 2*y" in grounds
+
+    def test_cubic_form_exposed(self):
+        registry = BlockRegistry(("x", "y"))
+        names = expose_homogeneous_factors(
+            [P("(x - y)*(x - 3*y)*(x + 2*y) + 5*x + 1")], registry
+        )
+        grounds = {str(registry.ground[n]) for n in names}
+        assert {"x - y", "x - 3*y", "x + 2*y"} <= grounds
+
+    def test_linear_polys_skipped(self):
+        registry = BlockRegistry(("x", "y"))
+        assert expose_homogeneous_factors([P("3*x + 2*y + 1")], registry) == []
+
+    def test_end_to_end_hidden_structure(self):
+        """The full flow implements 8L^2+2L+2 with a single multiplier."""
+        from repro.rings import BitVectorSignature
+
+        system = [P("72*x^2 + 96*x*y + 32*y^2 + 6*x + 4*y + 2")]
+        sig = BitVectorSignature.uniform(("x", "y"), 16)
+        result = synthesize(system, sig)
+        assert result.op_count.variable_mul <= 1

@@ -1,0 +1,82 @@
+"""Tests for the Fig. 14.1 representation lists."""
+
+from repro.core import (
+    BlockRegistry,
+    canonical_representations,
+    dedupe_representations,
+    factored_representation,
+    initial_representations,
+    original_representation,
+)
+from repro.cse import expand_blocks
+from repro.poly import parse_polynomial as P
+from repro.rings import BitVectorSignature, functions_equal
+
+
+SIG = BitVectorSignature.uniform(("x", "y", "z"), 16)
+
+
+class TestFactoredRepresentation:
+    def test_square_detected(self):
+        registry = BlockRegistry(("x", "y"))
+        rep = factored_representation(P("x^2 + 6*x*y + 9*y^2"), registry)
+        assert rep is not None
+        assert expand_blocks(rep.poly, registry.defs) == P("x^2 + 6*x*y + 9*y^2")
+        # single block variable squared
+        assert rep.poly.total_degree() == 2 and len(rep.poly) == 1
+
+    def test_trivial_factorization_skipped(self):
+        registry = BlockRegistry(("x", "y"))
+        assert factored_representation(P("x^2 + y + 1"), registry) is None
+
+    def test_content_only_still_none_blocks(self):
+        registry = BlockRegistry(("x", "y"))
+        rep = factored_representation(P("3*x + 3*y"), registry)
+        if rep is not None:
+            assert expand_blocks(rep.poly, registry.defs) == P("3*x + 3*y")
+
+
+class TestCanonicalRepresentations:
+    def test_table_14_2_p3_shape(self):
+        registry = BlockRegistry(("x", "y", "z"))
+        poly = P(
+            "5*x^3*y^2 - 5*x^3*y - 15*x^2*y^2 + 15*x^2*y + 10*x*y^2 - 10*x*y + 3*z^2",
+            variables=("x", "y", "z"),
+        )
+        reps = canonical_representations(poly, SIG, registry)
+        assert reps, "expected canonical variants"
+        for rep in reps:
+            assert rep.modular
+            expanded = expand_blocks(rep.poly, registry.defs)
+            assert functions_equal(expanded, poly, SIG)
+        # The {x, y} falling subset produces the paper's form with shift
+        # blocks only on x and y (z stays in the power basis).
+        tags = {rep.tag for rep in reps}
+        assert "canonical(x,y)" in tags
+
+    def test_no_signature_variables(self):
+        registry = BlockRegistry(("q",))
+        assert canonical_representations(P("q + 1"), SIG, registry) == []
+
+
+class TestInitialRepresentations:
+    def test_contains_original_first(self):
+        registry = BlockRegistry(("x", "y", "z"))
+        poly = P("x^2 + 6*x*y + 9*y^2", variables=("x", "y", "z"))
+        reps = initial_representations(poly, registry, SIG)
+        assert reps[0].tag == "original" and reps[0].poly == poly
+
+    def test_toggles(self):
+        registry = BlockRegistry(("x", "y", "z"))
+        poly = P("x^2 + 6*x*y + 9*y^2", variables=("x", "y", "z"))
+        reps = initial_representations(
+            poly, registry, SIG, enable_canonical=False, enable_factoring=False
+        )
+        assert len(reps) == 1
+
+
+class TestDedupe:
+    def test_duplicates_removed(self):
+        a = original_representation(P("x + y"))
+        b = original_representation(P("y + x"))
+        assert len(dedupe_representations([a, b])) == 1

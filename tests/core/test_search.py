@@ -1,0 +1,84 @@
+"""Tests for the combination-search internals of Poly_Synth."""
+
+from repro.core import BlockRegistry, SynthesisOptions, synthesize
+from repro.core.representations import Representation
+from repro.core.synth import _search_seeds, _standalone_weight
+from repro.poly import Polynomial, parse_polynomial as P, parse_system
+from repro.rings import BitVectorSignature
+
+
+class TestStandaloneWeight:
+    def test_includes_block_closure(self):
+        registry = BlockRegistry(("x", "y"))
+        name, _ = registry.register(P("x^2 + 2*x*y + y^2"))
+        cheap_looking = Polynomial.variable(name).scale(13)
+        bare = P("13*x^2 + 26*x*y + 13*y^2")
+        # The block-referencing form must be charged for the block body.
+        assert _standalone_weight(cheap_looking, registry) > 0
+        assert (
+            _standalone_weight(cheap_looking, registry)
+            >= _standalone_weight(bare, registry) // 2
+        )
+
+    def test_shared_blocks_counted_once_per_rep(self):
+        registry = BlockRegistry(("x", "y"))
+        name, _ = registry.register(P("x + y"))
+        twice = Polynomial.variable(name) ** 2 + Polynomial.variable(name)
+        w = _standalone_weight(twice, registry)
+        assert w > 0
+
+
+class TestSearchSeeds:
+    def test_all_original_seed_present(self):
+        registry = BlockRegistry(("x", "y"))
+        lists = [
+            [
+                Representation(P("x + y"), "original"),
+                Representation(P("x + y"), "cce(original)"),
+            ],
+            [
+                Representation(P("x - y"), "original"),
+            ],
+        ]
+        seeds = _search_seeds(lists, registry)
+        assert (0, 0) in seeds
+
+    def test_family_seed_uniform(self):
+        registry = BlockRegistry(("x", "y"))
+        lists = [
+            [
+                Representation(P("x + y"), "original"),
+                Representation(P("x + y"), "cce(original)"),
+            ],
+            [
+                Representation(P("x - y"), "original"),
+                Representation(P("x - y"), "cce(original)"),
+            ],
+        ]
+        seeds = _search_seeds(lists, registry)
+        assert (1, 1) in seeds  # the uniform cce seed
+
+    def test_seeds_deduplicated(self):
+        registry = BlockRegistry(("x",))
+        lists = [[Representation(P("x"), "original")]]
+        seeds = _search_seeds(lists, registry)
+        assert len(seeds) == len(set(seeds))
+
+
+class TestBudget:
+    def test_descent_budget_limits_scoring(self):
+        system = parse_system(
+            [f"{k}*x^2 + {k}*x*y + {k + 1}*y^2 + {k}*x + {k}" for k in range(2, 8)]
+        )
+        sig = BitVectorSignature.uniform(("x", "y"), 16)
+        tight = SynthesisOptions(exhaustive_limit=1, descent_budget=5)
+        result = synthesize(system, sig, tight)
+        # seeds (<= 6) + budgeted descent (<= 5) + initial seed scores
+        assert result.combinations_scored <= 6 + 5 + 1
+
+    def test_exhaustive_small_system(self):
+        system = parse_system(["x^2 + 6*x*y + 9*y^2"])
+        sig = BitVectorSignature.uniform(("x", "y"), 16)
+        result = synthesize(system, sig, SynthesisOptions(exhaustive_limit=1000))
+        # one polynomial: the whole list is enumerated
+        assert result.combinations_scored == len(result.representation_lists[0])

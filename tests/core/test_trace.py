@@ -1,0 +1,55 @@
+"""Tests for flow tracing."""
+
+from repro.core import FlowTrace, synthesize
+from repro.suite import table_14_1_system
+
+
+class TestFlowTrace:
+    def test_record_and_query(self):
+        trace = FlowTrace()
+        trace.record("phase-a", "did something", count=3)
+        trace.record("phase-b", "did more")
+        trace.record("phase-a", "again")
+        assert len(trace) == 3
+        assert [e.message for e in trace.by_phase("phase-a")] == [
+            "did something",
+            "again",
+        ]
+        assert trace.phases() == ["phase-a", "phase-b"]
+
+    def test_event_str(self):
+        trace = FlowTrace()
+        trace.record("x", "msg", n=1)
+        assert "[x] msg" in str(trace.events[0])
+
+    def test_summary(self):
+        trace = FlowTrace()
+        for i in range(12):
+            trace.record("busy", f"event {i}")
+        text = trace.summary()
+        assert "busy: 12 event(s)" in text
+        assert "... and 4 more" in text
+
+
+class TestFlowIntegration:
+    def test_synthesize_records_phases(self):
+        system = table_14_1_system()
+        trace = FlowTrace()
+        result = synthesize(list(system.polys), system.signature, trace=trace)
+        assert result.trace is trace
+        phases = trace.phases()
+        assert "initial" in phases
+        assert "cce" in phases
+        assert "search" in phases
+        # the chosen combination tags are recorded
+        search_events = trace.by_phase("search")
+        assert any("chosen" in e.data for e in search_events)
+
+    def test_tracing_does_not_change_results(self):
+        system = table_14_1_system()
+        with_trace = synthesize(
+            list(system.polys), system.signature, trace=FlowTrace()
+        )
+        without = synthesize(list(system.polys), system.signature)
+        assert with_trace.op_count == without.op_count
+        assert with_trace.chosen == without.chosen

@@ -1,0 +1,59 @@
+"""Tests for system-level area/delay estimation."""
+
+from repro.cost import estimate_decomposition
+from repro.expr import Decomposition, make_add, make_mul, make_pow
+from repro.expr.ast import BlockRef
+from repro.rings import BitVectorSignature
+
+SIG = BitVectorSignature.uniform(("x", "y", "z"), 16)
+
+
+def estimate(*outputs, blocks=None):
+    d = Decomposition()
+    for name, expr in (blocks or {}).items():
+        d.blocks[name] = expr
+    d.outputs = list(outputs)
+    return estimate_decomposition(d, SIG)
+
+
+class TestEstimates:
+    def test_single_multiplier(self):
+        report = estimate(make_mul("x", "y"))
+        assert report.multipliers == 1 and report.adders == 0
+        assert report.area > 0 and report.delay > 0
+
+    def test_sharing_reduces_area(self):
+        shared = estimate(
+            make_pow(BlockRef("d"), 2),
+            make_mul(4, BlockRef("d")),
+            blocks={"d": make_add("x", make_mul(3, "y"))},
+        )
+        duplicated = estimate(
+            make_pow(make_add("x", make_mul(3, "y")), 2),
+            make_mul(4, make_add("x", make_mul(3, "y"))),
+        )
+        assert shared.area < duplicated.area
+
+    def test_wider_signature_costs_more(self):
+        d = Decomposition()
+        d.outputs = [make_mul("x", "y")]
+        narrow = estimate_decomposition(d, BitVectorSignature.uniform(("x", "y"), 8))
+        wide = estimate_decomposition(d, BitVectorSignature.uniform(("x", "y"), 16))
+        assert wide.area > narrow.area
+
+    def test_delay_follows_chaining(self):
+        chained = estimate(
+            make_mul("x", make_mul("y", make_mul("x", "y")))
+        )
+        flat = estimate(make_mul("x", "y"))
+        assert chained.delay > flat.delay
+
+    def test_report_string(self):
+        text = str(estimate(make_mul("x", "y")))
+        assert "area=" in text and "delay=" in text
+
+    def test_census_fields(self):
+        report = estimate(make_add(make_mul(5, "x"), "y"))
+        assert report.constant_multipliers == 1
+        assert report.adders == 1
+        assert report.nodes >= 4

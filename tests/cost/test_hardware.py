@@ -1,0 +1,101 @@
+"""Tests for the hardware primitive models."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.cost import (
+    DEFAULT_MODEL,
+    adder_area,
+    adder_delay,
+    constant_multiplier_area,
+    constant_multiplier_delay,
+    csd_digits,
+    csd_nonzero_count,
+    multiplier_area,
+    multiplier_delay,
+)
+
+
+class TestCsd:
+    def test_known_recodings(self):
+        # 7 = 8 - 1 -> two non-zero digits
+        assert csd_nonzero_count(7) == 2
+        # 15 = 16 - 1
+        assert csd_nonzero_count(15) == 2
+        # 5 = 4 + 1
+        assert csd_nonzero_count(5) == 2
+        # powers of two need one digit
+        assert csd_nonzero_count(8) == 1
+
+    @given(st.integers(min_value=-10000, max_value=10000))
+    def test_value_reconstructed(self, value):
+        digits = csd_digits(value)
+        assert sum(d << i for i, d in enumerate(digits)) == value
+
+    @given(st.integers(min_value=1, max_value=10000))
+    def test_no_adjacent_nonzeros(self, value):
+        digits = csd_digits(value)
+        for a, b in zip(digits, digits[1:]):
+            assert not (a and b)
+
+    @given(st.integers(min_value=1, max_value=10000))
+    def test_csd_no_worse_than_binary(self, value):
+        assert csd_nonzero_count(value) <= bin(value).count("1") + 1
+
+
+class TestPrimitives:
+    def test_adder_linear_in_width(self):
+        assert adder_area(32) == 2 * adder_area(16)
+        assert adder_delay(32) == 2 * adder_delay(16)
+
+    def test_multiplier_grows_quadratically(self):
+        small = multiplier_area(8, 8)
+        big = multiplier_area(16, 16)
+        assert 3.0 < big / small < 5.0
+
+    def test_multiplier_delay_linear(self):
+        assert multiplier_delay(16, 16) > multiplier_delay(8, 8)
+
+    def test_constant_multiplier_cheaper_than_array(self):
+        # the paper's whole cost story hinges on this
+        for coeff in (3, 5, 7, 13, 100):
+            assert constant_multiplier_area(coeff, 16) < multiplier_area(16, 16)
+
+    def test_power_of_two_constant_free(self):
+        assert constant_multiplier_area(8, 16) == 0.0
+        assert constant_multiplier_delay(8, 16) == 0.0
+
+    def test_negative_constant_costs_negation(self):
+        assert constant_multiplier_area(-8, 16) > 0.0
+
+    def test_unit_scale_conversions(self):
+        assert DEFAULT_MODEL.to_ns(10) == pytest.approx(10 * DEFAULT_MODEL.gate_delay_ns)
+        assert DEFAULT_MODEL.to_um2(10) == pytest.approx(10 * DEFAULT_MODEL.area_unit_um2)
+
+
+class TestCarrySave:
+    """The [24]-style carry-save summation models."""
+
+    def test_degenerate_cases(self):
+        from repro.cost import csa_tree_area, csa_tree_delay
+
+        assert csa_tree_area(1, 16) == 0.0
+        assert csa_tree_area(2, 16) == adder_area(16)
+        assert csa_tree_delay(2, 16) == adder_delay(16)
+
+    def test_many_operand_delay_beats_serial_adders(self):
+        from repro.cost import csa_tree_delay
+
+        operands = 8
+        serial = (operands - 1) * adder_delay(16)
+        assert csa_tree_delay(operands, 16) < serial
+
+    def test_area_grows_linearly(self):
+        from repro.cost import csa_tree_area
+
+        a4 = csa_tree_area(4, 16)
+        a8 = csa_tree_area(8, 16)
+        assert a8 > a4
+        # one extra 3:2 row per extra operand
+        assert a8 - a4 == pytest.approx(4 * 16 * DEFAULT_MODEL.full_adder_area)

@@ -1,0 +1,65 @@
+"""Tests that the technology model is a real customization point."""
+
+import pytest
+
+from repro.cost import (
+    TechnologyModel,
+    adder_area,
+    estimate_decomposition,
+    multiplier_area,
+)
+from repro.expr import Decomposition, make_add, make_mul
+from repro.rings import BitVectorSignature
+
+SIG = BitVectorSignature.uniform(("x", "y"), 16)
+
+
+def sample_decomposition():
+    d = Decomposition()
+    d.outputs = [make_add(make_mul("x", "y"), make_mul(5, "x"))]
+    return d
+
+
+class TestCustomModels:
+    def test_area_scales_with_cell_sizes(self):
+        small = TechnologyModel(full_adder_area=3.0, and_gate_area=0.75)
+        big = TechnologyModel(full_adder_area=12.0, and_gate_area=3.0)
+        d = sample_decomposition()
+        assert (
+            estimate_decomposition(d, SIG, small).area
+            < estimate_decomposition(d, SIG, big).area
+        )
+
+    def test_delay_scales_with_fa_delay(self):
+        slow = TechnologyModel(full_adder_delay=4.0)
+        fast = TechnologyModel(full_adder_delay=1.0)
+        d = sample_decomposition()
+        assert (
+            estimate_decomposition(d, SIG, fast).delay
+            < estimate_decomposition(d, SIG, slow).delay
+        )
+
+    def test_primitives_honor_model(self):
+        model = TechnologyModel(full_adder_area=10.0)
+        assert adder_area(8, model) == 80.0
+        assert multiplier_area(4, 4, model) > multiplier_area(
+            4, 4, TechnologyModel(full_adder_area=1.0, and_gate_area=0.1)
+        )
+
+    def test_unit_conversions_configurable(self):
+        model = TechnologyModel(gate_delay_ns=0.1, area_unit_um2=2.0)
+        assert model.to_ns(50) == pytest.approx(5.0)
+        assert model.to_um2(50) == pytest.approx(100.0)
+
+    def test_compare_methods_accepts_model(self):
+        from repro import compare_methods
+        from repro.suite import get_system
+
+        system = get_system("MVCS")
+        cheap = compare_methods(
+            system,
+            methods=("direct",),
+            model=TechnologyModel(full_adder_area=1.0, and_gate_area=0.2),
+        )
+        default = compare_methods(system, methods=("direct",))
+        assert cheap["direct"].hardware.area < default["direct"].hardware.area

@@ -1,0 +1,84 @@
+"""Tests for the dynamic-power estimator (paper future work)."""
+
+import pytest
+
+from repro.cost import estimate_power, node_activities
+from repro.dfg import DataFlowGraph, NodeKind, build_dfg
+from repro.expr import Decomposition, make_add, make_mul, make_pow
+from repro.expr.ast import BlockRef
+from repro.rings import BitVectorSignature
+
+SIG = BitVectorSignature.uniform(("x", "y"), 16)
+
+
+def power_of(*outputs, blocks=None, activity=0.5):
+    d = Decomposition()
+    for name, expr in (blocks or {}).items():
+        d.blocks[name] = expr
+    d.outputs = list(outputs)
+    return estimate_power(d, SIG, input_activity=activity)
+
+
+class TestActivities:
+    def test_constants_quiet(self):
+        g = DataFlowGraph(output_width=16)
+        c = g.add_const(5)
+        x = g.add_input("x", 16)
+        node = g.add_op(NodeKind.CMUL, (x,), value=5)
+        g.mark_output(node)
+        activities = node_activities(g)
+        assert activities[c] == 0.0
+        assert activities[x] == 0.5
+        assert activities[node] == 0.5  # follows its single driver
+
+    def test_or_combination(self):
+        g = DataFlowGraph(output_width=16)
+        x = g.add_input("x", 16)
+        y = g.add_input("y", 16)
+        node = g.add_op(NodeKind.ADD, (x, y))
+        activities = node_activities(g, input_activity=0.5)
+        assert activities[node] == pytest.approx(0.75)
+
+    def test_invalid_activity(self):
+        g = DataFlowGraph(output_width=16)
+        with pytest.raises(ValueError):
+            node_activities(g, input_activity=1.5)
+
+
+class TestEstimates:
+    def test_zero_activity_means_zero_power(self):
+        report = power_of(make_mul("x", "y"), activity=0.0)
+        assert report.switched_capacitance == 0.0
+
+    def test_sharing_reduces_power(self):
+        shared = power_of(
+            make_pow(BlockRef("d"), 2),
+            make_mul(3, BlockRef("d")),
+            blocks={"d": make_add("x", make_mul(3, "y"))},
+        )
+        duplicated = power_of(
+            make_pow(make_add("x", make_mul(3, "y")), 2),
+            make_mul(3, make_add("x", make_mul(3, "y"))),
+        )
+        assert shared.switched_capacitance < duplicated.switched_capacitance
+
+    def test_bounded_by_total(self):
+        report = power_of(make_mul("x", "y"), make_add("x", "y"))
+        assert 0 < report.switched_capacitance <= report.total_capacitance
+        assert 0 < report.mean_activity <= 1.0
+
+    def test_report_str(self):
+        assert "switched capacitance" in str(power_of(make_mul("x", "y")))
+
+
+class TestPaperStory:
+    def test_proposed_method_saves_power_on_motivating_system(self):
+        """Fewer multipliers -> less switched capacitance (the future-work claim)."""
+        from repro import compare_methods
+        from repro.suite import table_14_1_system
+
+        system = table_14_1_system()
+        outcomes = compare_methods(system)
+        direct = estimate_power(outcomes["direct"].decomposition, system.signature)
+        proposed = estimate_power(outcomes["proposed"].decomposition, system.signature)
+        assert proposed.switched_capacitance < direct.switched_capacitance

@@ -1,0 +1,118 @@
+"""Tests for the greedy multi-polynomial CSE driver."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cse import eliminate_common_subexpressions, expand_blocks
+from repro.poly import Polynomial, parse_polynomial as P, parse_system
+from tests.conftest import polynomials
+
+
+def roundtrip_ok(system, result):
+    """Substituting blocks back must reproduce the input exactly."""
+    for original, rewritten in zip(system, result.polys):
+        assert expand_blocks(rewritten, result.blocks) == original
+
+
+class TestKernelSharing:
+    def test_shared_kernel_across_polynomials(self):
+        system = parse_system(["x*a + x*b + q", "y*a + y*b + r"])
+        result = eliminate_common_subexpressions(system)
+        assert len(result.blocks) == 1
+        (block,) = result.blocks.values()
+        assert block == P("a + b")
+        roundtrip_ok(system, result)
+
+    def test_sign_flipped_kernel(self):
+        system = parse_system(["3*a - 3*b + q", "5*b - 5*a + r"])
+        result = eliminate_common_subexpressions(system)
+        roundtrip_ok(system, result)
+        if result.blocks:
+            (block,) = list(result.blocks.values())[:1]
+            assert block in (P("a - b"), P("b - a"), P("3*a - 3*b"), P("5*b - 5*a"))
+
+    def test_coefficient_mismatch_not_shared(self):
+        # The [13] limitation the paper fixes with CCE: 4-3ab vs 8-6ab.
+        system = parse_system(["4*x + 4*y", "8*x + 8*y"])
+        result = eliminate_common_subexpressions(system)
+        roundtrip_ok(system, result)
+        for block in result.blocks.values():
+            # any block extracted must match coefficients exactly
+            assert block.max_coeff_magnitude() in (1, 4, 8)
+
+    def test_shared_quadratic_form(self):
+        # Shifted-copy structure: identical quadratic part, different tails.
+        system = parse_system(
+            ["x^2 - 4*x*y + 3*y^2 + 12*x + 17", "x^2 - 4*x*y + 3*y^2 + 5*y + 2"]
+        )
+        result = eliminate_common_subexpressions(system)
+        roundtrip_ok(system, result)
+        assert any(
+            block == P("x^2 - 4*x*y + 3*y^2") for block in result.blocks.values()
+        )
+
+
+class TestCubeSharing:
+    def test_shared_cube(self):
+        system = parse_system(["x*y*z + a", "x*y*w + b"])
+        result = eliminate_common_subexpressions(system)
+        roundtrip_ok(system, result)
+        assert any(block == P("x*y") for block in result.blocks.values())
+
+    def test_power_cube(self):
+        system = parse_system(["x^2*y^2 + a", "x^2*y^2*z + b"])
+        result = eliminate_common_subexpressions(system)
+        roundtrip_ok(system, result)
+
+    def test_no_sharing_no_blocks(self):
+        system = parse_system(["x + 1", "y + 2"])
+        result = eliminate_common_subexpressions(system)
+        assert not result.blocks
+        roundtrip_ok(system, result)
+
+
+class TestTermination:
+    def test_max_rounds_respected(self):
+        system = parse_system(["x*a + x*b", "y*a + y*b", "z*a + z*b"])
+        result = eliminate_common_subexpressions(system, max_rounds=1)
+        assert result.rounds <= 1
+        roundtrip_ok(system, result)
+
+    def test_empty_system(self):
+        result = eliminate_common_subexpressions([])
+        assert result.polys == [] and not result.blocks
+
+
+class TestExpandBlocks:
+    def test_chained_blocks(self):
+        blocks = {
+            "_a": P("x + y"),
+            "_b": P("_a^2 + 1", variables=("_a",)),
+        }
+        poly = P("3*_b", variables=("_b",))
+        assert expand_blocks(poly, blocks) == P("3*(x+y)^2 + 3")
+
+    def test_no_blocks_is_identity(self):
+        assert expand_blocks(P("x + 1"), {}) == P("x + 1")
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(polynomials(max_terms=5, max_exp=3, max_coeff=9), min_size=1, max_size=4))
+    def test_roundtrip_random_systems(self, polys):
+        system = Polynomial.unify_all(polys)
+        result = eliminate_common_subexpressions(system)
+        roundtrip_ok(system, result)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(polynomials(max_terms=4, max_exp=3, max_coeff=9), min_size=2, max_size=3))
+    def test_duplicated_polynomial_fully_shared(self, polys):
+        # A system containing the same polynomial twice must share it
+        # (when it has at least two terms, i.e. something to share).
+        base = polys[0]
+        if len(base) < 2:
+            return
+        system = Polynomial.unify_all([base, base])
+        result = eliminate_common_subexpressions(system)
+        roundtrip_ok(system, result)
+        assert result.blocks, f"no sharing found for duplicated {base}"

@@ -1,0 +1,103 @@
+"""Tests for the kernel-cube matrix and prime-rectangle extraction."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cse import (
+    best_rectangles,
+    build_kcm,
+    grow_rectangle,
+    rectangle_value,
+)
+from repro.poly import Polynomial, parse_system
+from tests.conftest import polynomials
+
+
+def shifted_system():
+    """Three polynomials sharing the quadratic form x^2 - 4xy + 3y^2."""
+    return parse_system(
+        [
+            "x^2 - 4*x*y + 3*y^2 + 12*x + 17",
+            "x^2 - 4*x*y + 3*y^2 + 5*y + 2",
+            "x^2 - 4*x*y + 3*y^2 + 7*x + 9*y",
+        ]
+    )
+
+
+class TestBuild:
+    def test_shape(self):
+        kcm = build_kcm(shifted_system())
+        n_rows, n_cols = kcm.shape
+        assert n_rows >= 3 and n_cols >= 3
+
+    def test_incidence_consistent(self):
+        kcm = build_kcm(shifted_system())
+        for present in kcm.incidence:
+            for col in present:
+                assert 0 <= col < len(kcm.columns)
+
+    def test_column_sum(self):
+        kcm = build_kcm(parse_system(["2*x + 3*y"]))
+        total = kcm.column_sum(range(len(kcm.columns)))
+        assert total == parse_system(["2*x + 3*y"])[0]
+
+    def test_empty_system(self):
+        kcm = build_kcm([])
+        assert kcm.shape == (0, 0)
+
+
+class TestRectangles:
+    def test_shared_quadratic_found(self):
+        from repro.poly import parse_polynomial as P
+
+        kcm = build_kcm(shifted_system())
+        rectangles = best_rectangles(kcm)
+        assert rectangles, "expected at least one rectangle"
+        bodies = [kcm.column_sum(r.column_indices).trim() for r in rectangles]
+        target = P("x^2 - 4*x*y + 3*y^2")
+        assert any(target.terms == dict(b.terms) or target == b for b in bodies)
+
+    def test_three_way_rows(self):
+        kcm = build_kcm(shifted_system())
+        top = best_rectangles(kcm, limit=1)[0]
+        assert top.num_rows >= 3
+
+    def test_value_zero_for_degenerate(self):
+        kcm = build_kcm(shifted_system())
+        assert rectangle_value(kcm, [0], {0, 1}) == 0
+        assert rectangle_value(kcm, [0, 1], {0}) == 0
+
+    def test_grow_from_unshared_seed(self):
+        kcm = build_kcm(parse_system(["x*a + q", "y*b + r"]))
+        # no sharing: every grow attempt fails or values zero
+        for seed in range(len(kcm.columns)):
+            rectangle = grow_rectangle(kcm, seed)
+            assert rectangle is None or rectangle.value == 0 or rectangle.num_rows < 2
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(polynomials(max_terms=4, max_exp=3, max_coeff=9), min_size=1, max_size=3))
+    def test_rectangles_are_all_ones(self, polys):
+        system = Polynomial.unify_all(polys)
+        kcm = build_kcm(system)
+        for rectangle in best_rectangles(kcm):
+            cols = set(rectangle.column_indices)
+            for row in rectangle.row_indices:
+                assert cols <= kcm.incidence[row]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(polynomials(max_terms=4, max_exp=3, max_coeff=9), min_size=1, max_size=3))
+    def test_rectangle_bodies_are_sub_expressions(self, polys):
+        from repro.poly.monomial import mono_mul
+
+        system = Polynomial.unify_all(polys)
+        kcm = build_kcm(system)
+        for rectangle in best_rectangles(kcm):
+            body = kcm.column_sum(rectangle.column_indices)
+            for row_index in rectangle.row_indices:
+                row = kcm.rows[row_index]
+                poly = system[row.poly_index]
+                for exps, coeff in body.terms.items():
+                    target = mono_mul(row.cokernel, exps)
+                    assert poly.terms.get(target) == coeff

@@ -1,0 +1,76 @@
+"""Tests for kernel/co-kernel extraction."""
+
+from hypothesis import given, settings
+
+from repro.cse import all_kernels, is_cube_free
+from repro.poly import Polynomial, parse_polynomial as P
+from repro.poly.monomial import mono_is_one, mono_mul
+from tests.conftest import polynomials
+
+
+class TestDefinitions:
+    def test_paper_kernel_example(self):
+        # P = 4abc - 3a^2b^2c: kernel 4 - 3ab with co-kernel abc.
+        entries = all_kernels(P("4*a*b*c - 3*a^2*b^2*c"))
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.kernel == P("4 - 3*a*b")
+        # co-kernel abc: exponents (1,1,1) over (a,b,c)
+        assert entry.cokernel == (1, 1, 1)
+
+    def test_cube_free(self):
+        assert is_cube_free(P("x + y"))
+        assert not is_cube_free(P("x^2*y + x*y"))
+        assert not is_cube_free(Polynomial.zero(("x",)))
+
+    def test_section_14_4_2_system(self):
+        # P1 = x^2 y + xyz -> (xy)(x + z)
+        entries = all_kernels(P("x^2*y + x*y*z"))
+        kernels = {str(e.kernel) for e in entries}
+        assert "x + z" in kernels
+        # P2 = a b^2 c^3 + b^2 c^2 x -> (b^2 c^2)(ac + x)
+        entries = all_kernels(P("a*b^2*c^3 + b^2*c^2*x"))
+        kernels = {str(e.kernel) for e in entries}
+        assert "a*c + x" in kernels
+        # P3 = axz + x^2 z^2 b -> (xz)(a + xzb)
+        entries = all_kernels(P("a*x*z + x^2*z^2*b"))
+        kernels = {str(e.kernel) for e in entries}
+        assert "b*x*z + a" in kernels
+
+    def test_single_term_has_no_kernels(self):
+        assert all_kernels(P("4*x^2*y")) == []
+
+    def test_polynomial_itself_is_kernel_when_cube_free(self):
+        entries = all_kernels(P("x + y + 1"))
+        assert any(mono_is_one(e.cokernel) and e.kernel == P("x + y + 1") for e in entries)
+
+
+class TestKernelProperties:
+    @settings(max_examples=60)
+    @given(polynomials(max_terms=5, max_exp=3))
+    def test_kernel_identity(self, poly):
+        """Every (co-kernel, kernel) pair satisfies co-kernel * kernel <= poly.
+
+        Each term of cokernel*kernel must appear in the polynomial with the
+        same coefficient (kernels are exact sub-structures).
+        """
+        for entry in all_kernels(poly):
+            for exps, coeff in entry.kernel.terms.items():
+                target = mono_mul(entry.cokernel, exps)
+                assert poly.terms.get(target) == coeff
+
+    @settings(max_examples=60)
+    @given(polynomials(max_terms=5, max_exp=3))
+    def test_kernels_are_cube_free_multiterm(self, poly):
+        for entry in all_kernels(poly):
+            assert len(entry.kernel) >= 2
+            assert is_cube_free(entry.kernel)
+
+    @settings(max_examples=40)
+    @given(polynomials(max_terms=5, max_exp=3))
+    def test_no_duplicate_pairs(self, poly):
+        seen = set()
+        for entry in all_kernels(poly):
+            key = (entry.cokernel, frozenset(entry.kernel.terms.items()))
+            assert key not in seen
+            seen.add(key)

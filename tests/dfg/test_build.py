@@ -1,0 +1,92 @@
+"""Tests for lowering decompositions to dataflow graphs."""
+
+import pytest
+
+from repro.dfg import NodeKind, build_dfg
+from repro.expr import Decomposition, make_add, make_mul, make_pow
+from repro.expr.ast import BlockRef
+from repro.rings import BitVectorSignature
+
+SIG = BitVectorSignature.uniform(("x", "y", "z"), 16)
+
+
+def lower(*outputs, blocks=None):
+    d = Decomposition()
+    for name, expr in (blocks or {}).items():
+        d.blocks[name] = expr
+    d.outputs = list(outputs)
+    return build_dfg(d, SIG)
+
+
+class TestLowering:
+    def test_constant_multiplier_used(self):
+        g = lower(make_mul(6, "x", "y"))
+        assert g.count(NodeKind.MUL) == 1
+        assert g.count(NodeKind.CMUL) == 1
+
+    def test_pow_chain(self):
+        g = lower(make_pow("x", 3))
+        assert g.count(NodeKind.MUL) == 2
+
+    def test_subtraction_via_negated_operand(self):
+        g = lower(make_add("x", make_mul(-1, "y")))
+        assert g.count(NodeKind.SUB) == 1
+        assert g.count(NodeKind.ADD) == 0
+        assert g.count(NodeKind.CMUL) == 0
+
+    def test_negative_coefficient_folds_into_sub(self):
+        # x - 3y: one SUB, one CMUL(3), no CMUL(-3)
+        g = lower(make_add("x", make_mul(-3, "y")))
+        assert g.count(NodeKind.SUB) == 1
+        cmuls = [n for n in g.nodes if n.kind == NodeKind.CMUL]
+        assert len(cmuls) == 1 and cmuls[0].value == 3
+
+    def test_balanced_adder_tree(self):
+        from repro.dfg import asap_levels
+
+        g = lower(make_add("x", "y", "z", 1))
+        levels = asap_levels(g)
+        assert max(levels.values()) == 2  # 4 operands -> depth 2
+
+
+class TestBlockSharing:
+    def test_block_lowered_once(self):
+        blocks = {"d": make_add("x", make_mul(3, "y"))}
+        g = lower(
+            make_pow(BlockRef("d"), 2),
+            make_mul(4, BlockRef("d")),
+            blocks=blocks,
+        )
+        # one ADD for the block body (plus its CMUL), shared by both outputs
+        assert g.count(NodeKind.ADD) == 1
+
+    def test_undefined_block(self):
+        with pytest.raises(KeyError):
+            lower(BlockRef("missing"))
+
+    def test_cyclic_block(self):
+        d = Decomposition()
+        d.blocks["a"] = BlockRef("b")
+        d.blocks["b"] = BlockRef("a")
+        d.outputs = [BlockRef("a")]
+        with pytest.raises(ValueError, match="cyclic"):
+            build_dfg(d, SIG)
+
+
+class TestInputWidths:
+    def test_declared_width_used(self):
+        sig = BitVectorSignature((("x", 8),), 16)
+        d = Decomposition()
+        d.outputs = [make_mul("x", "x")]
+        g = build_dfg(d, sig)
+        inputs = [n for n in g.nodes if n.kind == NodeKind.INPUT]
+        assert inputs[0].width == 8
+        muls = [n for n in g.nodes if n.kind == NodeKind.MUL]
+        assert muls[0].width == 16
+
+    def test_unknown_variable_defaults_to_output_width(self):
+        d = Decomposition()
+        d.outputs = [make_mul("q", "q")]
+        g = build_dfg(d, SIG)
+        inputs = [n for n in g.nodes if n.kind == NodeKind.INPUT]
+        assert inputs[0].width == 16

@@ -1,0 +1,83 @@
+"""Tests for the dataflow graph structure."""
+
+from repro.dfg import DataFlowGraph, NodeKind
+
+
+def make_graph(width=16):
+    return DataFlowGraph(output_width=width)
+
+
+class TestInterning:
+    def test_inputs_shared_globally(self):
+        g = make_graph()
+        g.region = "output:0"
+        a = g.add_input("x", 16)
+        g.region = "output:1"
+        b = g.add_input("x", 16)
+        assert a == b
+
+    def test_operators_shared_within_region(self):
+        g = make_graph()
+        g.region = "output:0"
+        x = g.add_input("x", 16)
+        m1 = g.add_op(NodeKind.MUL, (x, x))
+        m2 = g.add_op(NodeKind.MUL, (x, x))
+        assert m1 == m2
+
+    def test_operators_not_shared_across_regions(self):
+        g = make_graph()
+        g.region = "output:0"
+        x = g.add_input("x", 16)
+        m1 = g.add_op(NodeKind.MUL, (x, x))
+        g.region = "output:1"
+        m2 = g.add_op(NodeKind.MUL, (x, x))
+        assert m1 != m2
+
+    def test_commutative_canonicalization(self):
+        g = make_graph()
+        x = g.add_input("x", 16)
+        y = g.add_input("y", 16)
+        assert g.add_op(NodeKind.ADD, (x, y)) == g.add_op(NodeKind.ADD, (y, x))
+        assert g.add_op(NodeKind.MUL, (x, y)) == g.add_op(NodeKind.MUL, (y, x))
+
+    def test_sub_not_commutative(self):
+        g = make_graph()
+        x = g.add_input("x", 16)
+        y = g.add_input("y", 16)
+        assert g.add_op(NodeKind.SUB, (x, y)) != g.add_op(NodeKind.SUB, (y, x))
+
+
+class TestWidths:
+    def test_add_grows_one_bit(self):
+        g = make_graph(32)
+        x = g.add_input("x", 8)
+        y = g.add_input("y", 8)
+        node = g.add_op(NodeKind.ADD, (x, y))
+        assert g.nodes[node].width == 9
+
+    def test_mul_sums_widths(self):
+        g = make_graph(32)
+        x = g.add_input("x", 8)
+        node = g.add_op(NodeKind.MUL, (x, x))
+        assert g.nodes[node].width == 16
+
+    def test_clipped_at_output_width(self):
+        g = make_graph(16)
+        x = g.add_input("x", 16)
+        node = g.add_op(NodeKind.MUL, (x, x))
+        assert g.nodes[node].width == 16
+
+    def test_const_width(self):
+        g = make_graph(16)
+        assert g.nodes[g.add_const(255)].width == 8
+        assert g.nodes[g.add_const(-4)].width == 4
+
+
+class TestStats:
+    def test_census(self):
+        g = make_graph()
+        x = g.add_input("x", 16)
+        g.mark_output(g.add_op(NodeKind.MUL, (x, x)))
+        stats = g.stats()
+        assert stats["mul"] == 1 and stats["input"] == 1
+        assert g.count(NodeKind.ADD) == 0

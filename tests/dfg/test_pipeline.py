@@ -1,0 +1,70 @@
+"""Tests for DFG pipelining."""
+
+import pytest
+
+from repro.dfg import (
+    DataFlowGraph,
+    NodeKind,
+    build_dfg,
+    critical_path,
+    pipeline_cuts,
+    pipeline_report,
+)
+from repro.cost import node_delay as cost_node_delay
+from repro.expr import Decomposition, make_mul, make_pow
+from repro.rings import BitVectorSignature
+
+SIG = BitVectorSignature.uniform(("x", "y"), 16)
+
+
+def chain(depth):
+    d = Decomposition()
+    d.outputs = [make_pow("x", depth + 1)]  # depth multipliers in a chain
+    return build_dfg(d, SIG)
+
+
+class TestCuts:
+    def test_no_cut_needed_when_target_large(self):
+        g = chain(3)
+        delay, _ = critical_path(g, lambda n: cost_node_delay(g, n))
+        assert pipeline_cuts(g, delay + 1) == ()
+
+    def test_cut_count_grows_as_target_shrinks(self):
+        g = chain(6)
+        delay, _ = critical_path(g, lambda n: cost_node_delay(g, n))
+        few = len(pipeline_cuts(g, delay / 2))
+        many = len(pipeline_cuts(g, delay / 4))
+        assert many >= few >= 1
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            pipeline_cuts(chain(2), 0)
+
+    def test_empty_graph(self):
+        assert pipeline_cuts(DataFlowGraph(output_width=8), 10.0) == ()
+
+
+class TestReport:
+    def test_registers_counted(self):
+        g = chain(4)
+        delay, _ = critical_path(g, lambda n: cost_node_delay(g, n))
+        report = pipeline_report(g, delay / 2)
+        assert report.stages >= 2
+        assert report.registers > 0
+        assert report.register_area > 0
+
+    def test_stage_delay_below_unpipelined(self):
+        g = chain(6)
+        delay, _ = critical_path(g, lambda n: cost_node_delay(g, n))
+        report = pipeline_report(g, delay / 3)
+        assert report.stage_delay < delay
+
+    def test_single_stage_when_fits(self):
+        g = chain(2)
+        delay, _ = critical_path(g, lambda n: cost_node_delay(g, n))
+        report = pipeline_report(g, delay + 1)
+        assert report.stages == 1 and report.registers == 0
+
+    def test_str(self):
+        g = chain(3)
+        assert "stage" in str(pipeline_report(g, 50.0))

@@ -1,0 +1,52 @@
+"""Tests for ASAP levels and critical-path extraction."""
+
+from repro.dfg import DataFlowGraph, NodeKind, asap_levels, critical_path
+
+
+def chain_graph(length=4):
+    g = DataFlowGraph(output_width=16)
+    node = g.add_input("x", 16)
+    for _ in range(length):
+        node = g.add_op(NodeKind.MUL, (node, g.add_input("y", 16)))
+    g.mark_output(node)
+    return g
+
+
+class TestAsap:
+    def test_chain_levels(self):
+        g = chain_graph(3)
+        levels = asap_levels(g)
+        assert max(levels.values()) == 3
+
+    def test_inputs_level_zero(self):
+        g = chain_graph(2)
+        levels = asap_levels(g)
+        for node in g.nodes:
+            if node.kind == NodeKind.INPUT:
+                assert levels[node.index] == 0
+
+
+class TestCriticalPath:
+    def test_unit_delays(self):
+        g = chain_graph(4)
+        delay, path = critical_path(g, lambda node: 1.0 if node.is_operator() else 0.0)
+        assert delay == 4.0
+        assert path[-1] == g.outputs[0]
+
+    def test_weighted_delays(self):
+        g = DataFlowGraph(output_width=16)
+        x = g.add_input("x", 16)
+        cheap = g.add_op(NodeKind.ADD, (x, x))
+        dear = g.add_op(NodeKind.MUL, (x, x))
+        top = g.add_op(NodeKind.ADD, (cheap, dear))
+        g.mark_output(top)
+        delay, path = critical_path(
+            g,
+            lambda node: {NodeKind.MUL: 10.0, NodeKind.ADD: 1.0}.get(node.kind, 0.0),
+        )
+        assert delay == 11.0
+        assert g.nodes[path[-2]].kind == NodeKind.MUL
+
+    def test_empty_outputs(self):
+        g = DataFlowGraph(output_width=16)
+        assert critical_path(g, lambda n: 1.0) == (0.0, [])

@@ -1,0 +1,123 @@
+"""Tests for ALAP, mobility, and resource-constrained list scheduling."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.dfg import (
+    NodeKind,
+    alap_levels,
+    asap_levels,
+    build_dfg,
+    list_schedule,
+    mobility,
+    resource_class,
+)
+from repro.expr import Decomposition, expr_from_polynomial
+from repro.rings import BitVectorSignature
+from tests.conftest import polynomials
+
+SIG = BitVectorSignature.uniform(("x", "y", "z"), 16)
+
+
+def graph_of(poly):
+    d = Decomposition()
+    d.outputs = [expr_from_polynomial(poly)]
+    return build_dfg(d, SIG)
+
+
+def parallel_muls(n=4):
+    """n independent multiplications summed."""
+    from repro.expr import make_add, make_mul
+
+    d = Decomposition()
+    variables = ["x", "y", "z"]
+    terms = [make_mul(variables[i % 3], variables[(i + 1) % 3]) for i in range(n)]
+    d.outputs = [make_add(*terms)]
+    return build_dfg(d, SIG)
+
+
+class TestAlap:
+    def test_alap_at_critical_path(self):
+        g = parallel_muls()
+        asap = asap_levels(g)
+        depth = max(asap[i] for i in g.outputs)
+        alap = alap_levels(g, depth)
+        for node in g.nodes:
+            assert alap[node.index] >= asap[node.index]
+
+    def test_bound_below_critical_rejected(self):
+        g = parallel_muls()
+        with pytest.raises(ValueError):
+            alap_levels(g, 0)
+
+    def test_mobility_zero_on_critical_path(self):
+        g = parallel_muls()
+        slack = mobility(g)
+        assert any(s == 0 for s in slack.values())
+        assert all(s >= 0 for s in slack.values())
+
+
+class TestListSchedule:
+    def test_unlimited_resources_reach_asap(self):
+        g = parallel_muls(4)
+        schedule = list_schedule(g, {})
+        asap = asap_levels(g)
+        depth = max(asap[i] for i in g.outputs)
+        assert schedule.latency == depth
+
+    def test_single_multiplier_serializes(self):
+        g = parallel_muls(4)
+        schedule = list_schedule(g, {"mul": 1})
+        mul_cycles = [
+            cycle
+            for index, cycle in schedule.cycles.items()
+            if g.nodes[index].kind == NodeKind.MUL
+        ]
+        assert len(mul_cycles) == len(set(mul_cycles)), "two muls share a unit"
+        assert schedule.latency >= 4
+
+    def test_two_multipliers_halve(self):
+        g = parallel_muls(4)
+        one = list_schedule(g, {"mul": 1}).latency
+        two = list_schedule(g, {"mul": 2}).latency
+        assert two < one
+
+    def test_invalid_resource_count(self):
+        g = parallel_muls(2)
+        with pytest.raises(ValueError):
+            list_schedule(g, {"mul": 0})
+
+    def test_resource_class_mapping(self):
+        g = parallel_muls(1)
+        for node in g.nodes:
+            if node.is_operator():
+                assert resource_class(node) in ("mul", "add")
+            else:
+                assert resource_class(node) is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        polynomials(max_terms=5, max_exp=3, max_coeff=9),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_schedule_invariants(self, poly, muls, adds):
+        if poly.is_zero:
+            return
+        g = graph_of(poly)
+        schedule = list_schedule(g, {"mul": muls, "add": adds})
+        # dependencies respected
+        for index, cycle in schedule.cycles.items():
+            for op in g.nodes[index].operands:
+                if g.nodes[op].is_operator():
+                    assert schedule.cycles[op] < cycle
+        # resource bounds respected
+        usage: dict[tuple[int, str], int] = {}
+        for index, cycle in schedule.cycles.items():
+            klass = resource_class(g.nodes[index])
+            key = (cycle, klass)
+            usage[key] = usage.get(key, 0) + 1
+        for (cycle, klass), used in usage.items():
+            limit = {"mul": muls, "add": adds}[klass]
+            assert used <= limit

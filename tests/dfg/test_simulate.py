@@ -1,0 +1,54 @@
+"""Tests for bit-accurate DFG simulation."""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.dfg import build_dfg, simulate
+from repro.expr import Decomposition, expr_from_polynomial
+from repro.rings import BitVectorSignature
+from tests.conftest import polynomials
+
+SIG = BitVectorSignature.uniform(("x", "y", "z"), 16)
+
+
+class TestSimulate:
+    def test_simple_expression(self):
+        from repro.expr import make_add, make_mul
+
+        d = Decomposition()
+        d.outputs = [make_add(make_mul(3, "x"), "y")]
+        graph = build_dfg(d, SIG)
+        assert simulate(graph, {"x": 2, "y": 5}) == [11]
+
+    def test_wraparound(self):
+        from repro.expr import make_pow
+
+        d = Decomposition()
+        d.outputs = [make_pow("x", 2)]
+        graph = build_dfg(d, SIG)
+        assert simulate(graph, {"x": 256}) == [0]  # 2^16 wraps to 0
+
+    def test_missing_input(self):
+        from repro.expr import make_mul
+
+        d = Decomposition()
+        d.outputs = [make_mul("x", "y")]
+        graph = build_dfg(d, SIG)
+        with pytest.raises(KeyError, match="no value for input"):
+            simulate(graph, {"x": 1})
+
+    @settings(max_examples=40)
+    @given(
+        polynomials(max_terms=5, max_exp=3, max_coeff=20),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_matches_polynomial_mod(self, poly, x, y, z):
+        """Hardware semantics == polynomial semantics mod 2^m."""
+        d = Decomposition()
+        d.outputs = [expr_from_polynomial(poly)]
+        graph = build_dfg(d, SIG)
+        env = {"x": x, "y": y, "z": z}
+        assert simulate(graph, env) == [poly.evaluate_mod(env, 1 << 16)]

@@ -1,0 +1,69 @@
+"""Tests for tree-height measurement and balanced lowering."""
+
+from repro.dfg import asap_levels, build_dfg
+from repro.expr import Decomposition, make_add, make_mul, make_pow
+from repro.expr.balance import expr_depth, tree_height_reduction_gain
+from repro.rings import BitVectorSignature
+
+SIG = BitVectorSignature.uniform(("x", "y"), 16)
+
+
+def depth_of_graph(expr, balanced):
+    d = Decomposition()
+    d.outputs = [expr]
+    g = build_dfg(d, SIG, balanced=balanced)
+    levels = asap_levels(g)
+    return max(levels[i] for i in g.outputs)
+
+
+class TestExprDepth:
+    def test_leaves(self):
+        from repro.expr.ast import Var
+
+        assert expr_depth(Var("x")) == 0
+
+    def test_sum_logarithmic(self):
+        assert expr_depth(make_add("x", "y", "x", "y")) == 2
+
+    def test_pow_chain_vs_balanced(self):
+        expr = make_pow("x", 8)
+        assert expr_depth(expr, balanced_pow=False) == 7
+        assert expr_depth(expr, balanced_pow=True) == 3
+
+    def test_gain(self):
+        assert tree_height_reduction_gain(make_pow("x", 8)) == 4
+        assert tree_height_reduction_gain(make_add("x", "y")) == 0
+
+
+class TestBalancedLowering:
+    def test_power_depth_reduced(self):
+        expr = make_pow("x", 8)
+        assert depth_of_graph(expr, balanced=False) == 7
+        assert depth_of_graph(expr, balanced=True) == 3
+
+    def test_power_ops_not_worse(self):
+        from repro.dfg import NodeKind
+
+        expr = make_pow("x", 8)
+        d = Decomposition()
+        d.outputs = [expr]
+        chained = build_dfg(d, SIG, balanced=False).count(NodeKind.MUL)
+        balanced = build_dfg(d, SIG, balanced=True).count(NodeKind.MUL)
+        assert balanced <= chained
+        assert balanced == 3  # x^2, x^4, x^8
+
+    def test_product_tree(self):
+        expr = make_mul("x", "y", "x", "y", "x", "y", "x", "y")
+        assert depth_of_graph(expr, balanced=True) <= 3
+        assert depth_of_graph(expr, balanced=False) >= 4
+
+    def test_semantics_preserved(self):
+        from repro.dfg import simulate
+
+        expr = make_mul(make_pow("x", 5), make_add("x", "y"), "y")
+        d = Decomposition()
+        d.outputs = [expr]
+        flat = build_dfg(d, SIG, balanced=False)
+        tree = build_dfg(d, SIG, balanced=True)
+        for env in ({"x": 3, "y": 7}, {"x": 255, "y": 1000}):
+            assert simulate(flat, env) == simulate(tree, env)

@@ -1,0 +1,74 @@
+"""Tests for MULT/ADD operator counting — the paper's cost arithmetic."""
+
+from repro.expr import OpCount, expr_from_polynomial, expr_op_count, make_add, make_mul, make_pow
+from repro.expr.ast import BlockRef, Const, Var
+from repro.poly import parse_polynomial as P
+
+
+class TestOpCount:
+    def test_addition(self):
+        assert OpCount(1, 2) + OpCount(3, 4) == OpCount(4, 6)
+
+    def test_variable_mul_breakdown(self):
+        count = OpCount(mul=5, add=1, const_mul=2)
+        assert count.variable_mul == 3
+
+    def test_weighted_prices_const_mults_cheap(self):
+        pure = OpCount(mul=1, add=0, const_mul=0)
+        const = OpCount(mul=1, add=0, const_mul=1)
+        assert pure.weighted() > const.weighted()
+
+    def test_str(self):
+        assert str(OpCount(8, 1)) == "8 MULT, 1 ADD"
+
+
+class TestLeafCosts:
+    def test_leaves_free(self):
+        for leaf in (Const(5), Var("x"), BlockRef("d")):
+            assert expr_op_count(leaf) == OpCount()
+
+
+class TestPaperCounts:
+    """The counting rules must reproduce the paper's Table 14.1 numbers."""
+
+    def test_direct_p1(self):
+        # x^2 + 6xy + 9y^2: 1 + 2 + 2 = 5 MULT, 2 ADD
+        count = expr_op_count(expr_from_polynomial(P("x^2 + 6*x*y + 9*y^2")))
+        assert (count.mul, count.add) == (5, 2)
+
+    def test_direct_p2(self):
+        # 4xy^2 + 12y^3: 3 + 3 = 6 MULT, 1 ADD
+        count = expr_op_count(expr_from_polynomial(P("4*x*y^2 + 12*y^3")))
+        assert (count.mul, count.add) == (6, 1)
+
+    def test_direct_p3(self):
+        # 2x^2z + 6xyz: 3 + 3 = 6 MULT, 1 ADD
+        count = expr_op_count(expr_from_polynomial(P("2*x^2*z + 6*x*y*z")))
+        assert (count.mul, count.add) == (6, 1)
+
+    def test_motivating_total_direct(self):
+        total = OpCount()
+        for text in ("x^2 + 6*x*y + 9*y^2", "4*x*y^2 + 12*y^3", "2*x^2*z + 6*x*y*z"):
+            total = total + expr_op_count(expr_from_polynomial(P(text)))
+        assert (total.mul, total.add) == (17, 4)
+
+
+class TestCountingRules:
+    def test_unit_constants_free(self):
+        assert expr_op_count(make_mul(-1, "x")).mul == 0
+
+    def test_constant_factor_is_one_mult(self):
+        count = expr_op_count(make_mul(7, "x"))
+        assert (count.mul, count.const_mul) == (1, 1)
+
+    def test_pow_chain(self):
+        assert expr_op_count(make_pow("x", 4)).mul == 3
+
+    def test_nary_add(self):
+        assert expr_op_count(make_add("x", "y", "z", 1)).add == 3
+
+    def test_nested(self):
+        # 13*(x+y)^2: pow (1 mul) + const join (1 mul) + inner add
+        expr = make_mul(13, make_pow(make_add("x", "y"), 2))
+        count = expr_op_count(expr)
+        assert (count.mul, count.add, count.const_mul) == (2, 1, 1)

@@ -1,0 +1,51 @@
+"""Tests for alias-block inlining."""
+
+from repro.expr import Decomposition, OpCount, make_add, make_mul, make_pow
+from repro.expr.ast import BlockRef, Var
+
+
+def build():
+    d = Decomposition()
+    d.blocks["real"] = make_add("x", "y")
+    d.blocks["alias"] = BlockRef("real")
+    d.blocks["var_alias"] = Var("x")
+    d.outputs = [
+        make_pow(BlockRef("alias"), 2),
+        make_mul(3, BlockRef("var_alias")),
+        BlockRef("real"),
+    ]
+    return d
+
+
+class TestInlineTrivialBlocks:
+    def test_aliases_removed(self):
+        d = build()
+        before_polys = d.to_polynomials()
+        before_cost = d.op_count()
+        inlined = d.inline_trivial_blocks()
+        assert inlined == 2
+        assert set(d.blocks) == {"real"}
+        assert d.to_polynomials() == before_polys
+        assert d.op_count() == before_cost
+
+    def test_alias_chain(self):
+        d = Decomposition()
+        d.blocks["a"] = make_add("x", 1)
+        d.blocks["b"] = BlockRef("a")
+        d.blocks["c"] = BlockRef("b")
+        d.outputs = [BlockRef("c")]
+        d.inline_trivial_blocks()
+        assert set(d.blocks) == {"a"}
+        assert d.outputs == [BlockRef("a")]
+
+    def test_no_aliases_noop(self):
+        d = Decomposition()
+        d.blocks["a"] = make_add("x", 1)
+        d.outputs = [BlockRef("a")]
+        assert d.inline_trivial_blocks() == 0
+
+    def test_cost_never_changes(self):
+        d = build()
+        assert d.op_count() == OpCount(2, 1, 1)
+        d.inline_trivial_blocks()
+        assert d.op_count() == OpCount(2, 1, 1)

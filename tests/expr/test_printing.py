@@ -1,0 +1,35 @@
+"""Tests for expression rendering (summaries shown to users)."""
+
+from repro.expr import make_add, make_mul, make_pow
+from repro.expr.ast import BlockRef, Const, Var
+
+
+class TestRendering:
+    def test_simple_sum(self):
+        assert str(make_add("x", "y")) == "(x + y)"
+
+    def test_subtraction_rendered_with_minus(self):
+        assert str(make_add("x", make_mul(-1, "y"))) == "(x - y)"
+
+    def test_negative_coefficient(self):
+        assert str(make_add("x", make_mul(-3, "y"))) == "(x - 3*y)"
+
+    def test_power(self):
+        assert str(make_pow(BlockRef("d1"), 2)) == "d1^2"
+
+    def test_product_with_constant(self):
+        assert str(make_mul(4, "x", "y")) == "4*x*y"
+
+    def test_leaf_nodes(self):
+        assert str(Const(-7)) == "-7"
+        assert str(Var("x")) == "x"
+        assert str(BlockRef("_b1")) == "_b1"
+
+    def test_paper_style_decomposition_line(self):
+        # 13*d1^2 + 7*d2 + 11 renders like the paper's final row
+        expr = make_add(
+            make_mul(13, make_pow(BlockRef("d1"), 2)),
+            make_mul(7, BlockRef("d2")),
+            11,
+        )
+        assert str(expr) == "(13*d1^2 + 7*d2 + 11)"

@@ -1,0 +1,79 @@
+"""Tests for the full factorization driver (content + sqf + splitting)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.factor import factor_polynomial
+from repro.poly import Polynomial, parse_polynomial as P
+from tests.conftest import small_polynomials
+
+
+class TestDriver:
+    def test_multiplicities_merged(self):
+        # (x+1)^2 * (x+1) from separate square-free layers merges to ^3
+        result = factor_polynomial(P("(x + 1)^3"))
+        assert dict(result.factors) == {P("x + 1"): 3}
+
+    def test_negative_content(self):
+        result = factor_polynomial(P("-2*x^2 + 2"))
+        assert result.content == -2
+        assert result.expand() == P("-2*x^2 + 2")
+
+    def test_irreducible_passthrough(self):
+        poly = P("x^2 + y^2 + 1")
+        result = factor_polynomial(poly)
+        assert len(result.factors) == 1
+        assert result.factors[0] == (poly, 1)
+
+    def test_mixed_content_square_cofactor(self):
+        poly = P("12*x^2*y + 24*x*y + 12*y")  # 12 y (x+1)^2
+        result = factor_polynomial(poly)
+        assert result.content == 12
+        factors = dict(result.factors)
+        assert factors[P("x + 1")] == 2
+        assert factors[P("y")] == 1
+
+    def test_str_rendering(self):
+        text = str(factor_polynomial(P("2*(x + 1)^2")))
+        assert "2" in text and "(x + 1)^2" in text
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        small_polynomials(),
+        small_polynomials(),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_constructed_powers(self, a, b, k):
+        if a.is_constant or b.is_zero:
+            return
+        product = a ** k * b
+        result = factor_polynomial(product)
+        assert result.expand() == product
+        # total degree is conserved by the factorization
+        total = sum(
+            base.total_degree() * mult for base, mult in result.factors
+        )
+        assert total == product.total_degree()
+
+
+class TestAgainstSympyMultivariate:
+    @settings(max_examples=15, deadline=None)
+    @given(small_polynomials(nvars=2), small_polynomials(nvars=2))
+    def test_factor_counts_match_sympy(self, a, b):
+        import sympy
+
+        from tests.conftest import to_sympy
+
+        product = a * b
+        if product.is_zero or product.is_constant:
+            return
+        ours = factor_polynomial(product)
+        theirs = sympy.factor_list(to_sympy(product))
+        our_degree_mass = sum(
+            max(base.total_degree(), 0) * mult for base, mult in ours.factors
+        )
+        their_degree_mass = sum(
+            sympy.Poly(f, *sympy.symbols("x y")).total_degree() * m
+            for f, m in theirs[1]
+        )
+        assert our_degree_mass == their_degree_mass

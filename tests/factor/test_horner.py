@@ -1,0 +1,72 @@
+"""Tests for Horner-form decompositions."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.expr import expr_op_count, expr_to_polynomial
+from repro.factor import horner_decomposition, horner_greedy, horner_univariate
+from repro.poly import Polynomial, parse_polynomial as P, parse_system
+from tests.conftest import polynomials
+
+
+class TestHornerUnivariate:
+    def test_classic_nesting(self):
+        # 3x^3 + 2x^2 + 5x + 7 -> x(x(3x + 2) + 5) + 7: 3 MULT, 3 ADD
+        expr = horner_univariate(P("3*x^3 + 2*x^2 + 5*x + 7"), "x")
+        assert expr_to_polynomial(expr) == P("3*x^3 + 2*x^2 + 5*x + 7")
+        count = expr_op_count(expr)
+        assert (count.mul, count.add) == (3, 3)
+
+    def test_missing_powers_bridged(self):
+        expr = horner_univariate(P("x^5 + 1"), "x")
+        assert expr_to_polynomial(expr) == P("x^5 + 1")
+
+    def test_paper_table_14_1_counts(self):
+        # Horner in main variable x over the motivating system: 15M / 4A.
+        system = parse_system(
+            ["x^2 + 6*x*y + 9*y^2", "4*x*y^2 + 12*y^3", "2*x^2*z + 6*x*y*z"]
+        )
+        total_mul = total_add = 0
+        for poly in system:
+            count = expr_op_count(horner_univariate(poly, "x"))
+            total_mul += count.mul
+            total_add += count.add
+        assert (total_mul, total_add) == (15, 4)
+
+    def test_constant_input(self):
+        expr = horner_univariate(Polynomial.constant(5, ("x",)), "x")
+        assert expr_to_polynomial(expr) == 5
+
+
+class TestHornerGreedy:
+    def test_never_worse_than_direct(self):
+        from repro.expr import expr_from_polynomial
+
+        for text in ("x^2 + 6*x*y + 9*y^2", "4*x*y^2 + 12*y^3", "x*y*z + x*y + x"):
+            poly = P(text)
+            greedy = expr_op_count(horner_greedy(poly))
+            direct = expr_op_count(expr_from_polynomial(poly))
+            assert greedy.weighted() <= direct.weighted()
+
+    @settings(max_examples=60)
+    @given(polynomials())
+    def test_correctness_random(self, poly):
+        assert expr_to_polynomial(horner_greedy(poly)) == poly
+
+    @settings(max_examples=60)
+    @given(polynomials())
+    def test_univariate_correctness_random(self, poly):
+        expr = horner_univariate(poly, "x")
+        assert expr_to_polynomial(expr) == poly
+
+
+class TestHornerDecomposition:
+    def test_validates(self):
+        system = parse_system(["x^2 + 1", "y^3 + y"])
+        for mode in ("greedy", "univariate"):
+            decomposition = horner_decomposition(system, mode=mode)
+            assert len(decomposition.outputs) == 2
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            horner_decomposition([P("x")], mode="sideways")

@@ -1,0 +1,64 @@
+"""Tests for Kronecker-substitution multivariate factorization."""
+
+from hypothesis import given, settings
+
+from repro.factor import factor_polynomial, factor_squarefree_kronecker
+from repro.poly import parse_polynomial as P, poly_prod
+from tests.conftest import small_polynomials
+
+
+class TestKnownFactorizations:
+    def test_difference_of_squares(self):
+        factors = factor_squarefree_kronecker(P("x^2 - y^2"))
+        assert sorted(map(str, factors)) == ["x + y", "x - y"]
+
+    def test_motivating_quadratic_form(self):
+        # x^2 + 4xy + 3y^2 = (x + y)(x + 3y)
+        factors = factor_squarefree_kronecker(P("x^2 + 4*x*y + 3*y^2"))
+        assert sorted(map(str, factors)) == ["x + 3*y", "x + y"]
+
+    def test_irreducible_stays_whole(self):
+        factors = factor_squarefree_kronecker(P("x^2 + y^2 + 1"))
+        assert factors == [P("x^2 + y^2 + 1")]
+
+    def test_three_variables(self):
+        # (x + y)(y + z)
+        product = P("x*y + x*z + y^2 + y*z")
+        factors = factor_squarefree_kronecker(product)
+        assert poly_prod(factors) == product
+        assert len(factors) == 2
+
+    def test_univariate_delegates(self):
+        factors = factor_squarefree_kronecker(P("x^2 - 1", variables=("x", "y")))
+        assert sorted(map(str, factors)) == ["x + 1", "x - 1"]
+
+    def test_cubic_form(self):
+        # (x - y)(x - 3y)(x + 2y)
+        product = P("(x - y)*(x - 3*y)*(x + 2*y)")
+        factors = factor_squarefree_kronecker(product)
+        assert poly_prod(factors) == product
+        assert len(factors) == 3
+
+
+class TestSoundness:
+    @settings(max_examples=25, deadline=None)
+    @given(small_polynomials(), small_polynomials())
+    def test_product_recovered(self, a, b):
+        from repro.factor.squarefree import is_square_free
+
+        if a.is_constant or b.is_constant:
+            return
+        product = (a * b).primitive_part()
+        if product.is_constant or not is_square_free(product):
+            return
+        factors = factor_squarefree_kronecker(product)
+        result = poly_prod(factors)
+        assert result == product or result == -product
+        assert len(factors) >= 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_polynomials())
+    def test_full_driver_roundtrip(self, poly):
+        if poly.is_zero:
+            return
+        assert factor_polynomial(poly).expand() == poly

@@ -1,0 +1,107 @@
+"""Tests for square-free factorization (paper Section 14.3.2)."""
+
+from hypothesis import given, settings
+
+from repro.factor import (
+    is_square_free,
+    square_free_factorization,
+    square_free_part,
+)
+from repro.poly import Polynomial, parse_polynomial as P
+from tests.conftest import small_polynomials
+
+
+class TestIsSquareFree:
+    def test_paper_example_14_1(self):
+        assert is_square_free(P("x^2 + 3*x + 2"))          # (x+1)(x+2)
+        assert not is_square_free(P("x^4 + 7*x^3 + 18*x^2 + 20*x + 8"))
+
+    def test_multivariate_square(self):
+        assert not is_square_free(P("x^2 + 2*x*y + y^2"))
+
+    def test_zero_not_square_free(self):
+        assert not is_square_free(Polynomial.zero(("x",)))
+
+    def test_integer_content_ignored(self):
+        # 4x is square-free as a polynomial (the square 4 is a unit times
+        # square in Q; only polynomial squares matter).
+        assert is_square_free(P("4*x + 4"))
+
+
+class TestSquareFreeFactorization:
+    def test_paper_example_14_2(self):
+        # 2x^7 - 2x^6 + ... = 2 (x-1) (x^2+4)^3
+        u = P(
+            "2*x^7 - 2*x^6 + 24*x^5 - 24*x^4 + 96*x^3 - 96*x^2 + 128*x - 128"
+        )
+        result = square_free_factorization(u)
+        assert result.content == 2
+        factors = dict(result.factors)
+        assert factors[P("x - 1")] == 1
+        assert factors[P("x^2 + 4")] == 3
+        assert result.expand() == u
+
+    def test_paper_example_14_3(self):
+        # x^6 - 9x^4 + 24x^2 - 16 = (x^2-1)(x^2-4)^2
+        u = P("x^6 - 9*x^4 + 24*x^2 - 16")
+        result = square_free_factorization(u)
+        factors = dict(result.factors)
+        assert factors[P("x^2 - 1")] == 1
+        assert factors[P("x^2 - 4")] == 2
+
+    def test_multivariate_binomial_square(self):
+        result = square_free_factorization(P("x^2 + 2*x*y + y^2"))
+        assert dict(result.factors) == {P("x + y"): 2}
+
+    def test_motivating_p1(self):
+        result = square_free_factorization(P("x^2 + 6*x*y + 9*y^2"))
+        assert dict(result.factors) == {P("x + 3*y"): 2}
+
+    def test_mixed_content_and_factors(self):
+        result = square_free_factorization(P("12*x^2*y + 12*x*y"))
+        assert result.content == 12
+        assert result.expand() == P("12*x^2*y + 12*x*y")
+
+    def test_zero(self):
+        result = square_free_factorization(Polynomial.zero(("x",)))
+        assert result.content == 0 and result.factors == ()
+
+    def test_trivial_reports_trivial(self):
+        assert square_free_factorization(P("x + 1")).is_trivial()
+        assert not square_free_factorization(P("(x + 1)^2")).is_trivial()
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_polynomials())
+    def test_expand_roundtrip(self, poly):
+        if poly.is_zero:
+            return
+        result = square_free_factorization(poly)
+        assert result.expand() == poly
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_polynomials(), small_polynomials())
+    def test_constructed_square_detected(self, a, b):
+        if a.is_constant or b.is_zero:
+            return
+        product = a * a * b
+        result = square_free_factorization(product)
+        assert result.expand() == product
+        # At least one factor must carry multiplicity >= 2 (from a^2),
+        # unless a shares all content with b in a way that merges.
+        assert any(m >= 2 for _, m in result.factors)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_polynomials())
+    def test_bases_are_square_free(self, poly):
+        if poly.is_zero:
+            return
+        for base, _ in square_free_factorization(poly).factors:
+            assert is_square_free(base)
+
+
+class TestSquareFreePart:
+    def test_radical(self):
+        assert square_free_part(P("(x + 1)^3")) == P("x + 1")
+
+    def test_multivariate(self):
+        assert square_free_part(P("x^2 + 6*x*y + 9*y^2")) == P("x + 3*y")

@@ -1,0 +1,153 @@
+"""Tests for the GF(p) dense polynomial engine."""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.factor.zp import (
+    distinct_degree_factorization,
+    equal_degree_factorization,
+    is_probable_prime,
+    next_prime,
+    zp_add,
+    zp_degree,
+    zp_derivative,
+    zp_divmod,
+    zp_eval,
+    zp_factor_squarefree,
+    zp_gcd,
+    zp_is_square_free,
+    zp_monic,
+    zp_mul,
+    zp_pow_mod,
+    zp_sub,
+    zp_trim,
+)
+
+P = 10007  # a comfortable odd prime for the tests
+
+
+def dense(st_p=P, max_deg=5):
+    return st.lists(
+        st.integers(min_value=0, max_value=st_p - 1), min_size=0, max_size=max_deg + 1
+    ).map(lambda c: zp_trim(c, st_p))
+
+
+class TestArithmetic:
+    def test_trim(self):
+        assert zp_trim([1, 2, 0, 0], 7) == [1, 2]
+        assert zp_trim([7, 14], 7) == []
+
+    def test_degree(self):
+        assert zp_degree([]) == -1
+        assert zp_degree([3]) == 0
+        assert zp_degree([0, 1]) == 1
+
+    @given(dense(), dense())
+    def test_add_sub_inverse(self, f, g):
+        assert zp_sub(zp_add(f, g, P), g, P) == f
+
+    @given(dense(), dense())
+    def test_mul_degree(self, f, g):
+        h = zp_mul(f, g, P)
+        if f and g:
+            assert zp_degree(h) == zp_degree(f) + zp_degree(g)
+        else:
+            assert h == []
+
+    @given(dense(), dense())
+    def test_divmod_identity(self, f, g):
+        if not g:
+            return
+        q, r = zp_divmod(f, g, P)
+        assert zp_add(zp_mul(q, g, P), r, P) == f
+        assert zp_degree(r) < zp_degree(g)
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            zp_divmod([1], [], P)
+
+    def test_monic(self):
+        assert zp_monic([2, 4], P)[-1] == 1
+
+    @given(dense(), dense())
+    def test_gcd_divides(self, f, g):
+        h = zp_gcd(f, g, P)
+        if not h:
+            assert not f and not g
+            return
+        assert zp_divmod(f, h, P)[1] == []
+        assert zp_divmod(g, h, P)[1] == []
+
+    def test_derivative(self):
+        # d/dx (x^3 + 2x) = 3x^2 + 2
+        assert zp_derivative([0, 2, 0, 1], P) == [2, 0, 3]
+
+    def test_pow_mod(self):
+        # x^5 mod (x^2 + 1) computed by square-and-multiply must match the
+        # direct dense remainder.
+        result = zp_pow_mod([0, 1], 5, [1, 0, 1], P)
+        _, remainder = zp_divmod([0, 0, 0, 0, 0, 1], [1, 0, 1], P)
+        assert result == remainder
+
+    def test_eval(self):
+        assert zp_eval([1, 2, 3], 2, P) == (1 + 4 + 12) % P
+
+
+class TestSquareFree:
+    def test_square_detected(self):
+        square = zp_mul([1, 1], [1, 1], P)  # (x+1)^2
+        assert not zp_is_square_free(square, P)
+        assert zp_is_square_free([2, 1], P)
+
+
+class TestFactorization:
+    def test_ddf_splits_by_degree(self):
+        # (x^2+1)(x+3) over GF(7): x^2+1 is irreducible mod 7.
+        p = 7
+        poly = zp_monic(zp_mul([1, 0, 1], [3, 1], p), p)
+        parts = dict(
+            (d, g) for g, d in distinct_degree_factorization(poly, p)
+        )
+        assert zp_degree(parts[1]) == 1
+        assert zp_degree(parts[2]) == 2
+
+    def test_edf_splits_equal_degree(self):
+        p = 10007
+        f = zp_monic(zp_mul([1, 1], [5, 1], p), p)  # (x+1)(x+5)
+        rng = random.Random(42)
+        factors = equal_degree_factorization(f, 1, p, rng)
+        assert sorted(factors) == sorted([zp_monic([1, 1], p), zp_monic([5, 1], p)])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=P - 1), min_size=2, max_size=4))
+    def test_factor_product_of_linears(self, roots):
+        # prod (x - r) for distinct r: factorization must recover each root.
+        roots = sorted(set(roots))
+        if len(roots) < 2:
+            return
+        poly = [1]
+        for r in roots:
+            poly = zp_mul(poly, [(-r) % P, 1], P)
+        factors = zp_factor_squarefree(poly, P)
+        assert len(factors) == len(roots)
+        recovered = sorted((P - f[0]) % P for f in factors)
+        assert recovered == roots
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        assert is_probable_prime(2)
+        assert is_probable_prime(10007)
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(10006)
+
+    def test_next_prime(self):
+        assert next_prime(10000) == 10007
+        assert next_prime(1) == 2
+
+    def test_big_prime(self):
+        p = next_prime(1 << 80)
+        assert p > (1 << 80) and is_probable_prime(p)

@@ -1,0 +1,84 @@
+"""Tests for the one-call public API."""
+
+import pytest
+
+from repro import (
+    BitVectorSignature,
+    PolySystem,
+    compare_methods,
+    improvement,
+    parse_system,
+    synthesize_system,
+)
+
+
+def small_system():
+    polys = parse_system(["x^2 + 6*x*y + 9*y^2", "4*x*y^2 + 12*y^3"])
+    return PolySystem(
+        name="small",
+        polys=tuple(polys),
+        signature=BitVectorSignature.uniform(("x", "y"), 16),
+    )
+
+
+class TestSynthesizeSystem:
+    def test_returns_validated_result(self):
+        result = synthesize_system(small_system())
+        assert result.op_count.mul <= 7
+        expanded = result.decomposition.to_polynomials()
+        assert len(expanded) == 2
+
+
+class TestCompareMethods:
+    def test_all_methods_present(self):
+        outcomes = compare_methods(small_system())
+        assert set(outcomes) == {"direct", "horner", "factor+cse", "proposed"}
+        for outcome in outcomes.values():
+            assert outcome.hardware.area > 0
+            assert outcome.op_count.mul >= 0
+
+    def test_method_subset(self):
+        outcomes = compare_methods(small_system(), methods=("direct",))
+        assert set(outcomes) == {"direct"}
+
+    def test_proposed_never_worse_in_area(self):
+        outcomes = compare_methods(small_system())
+        assert (
+            outcomes["proposed"].hardware.area
+            <= outcomes["factor+cse"].hardware.area * 1.0001
+        )
+
+    def test_decompositions_compute_the_system(self):
+        system = small_system()
+        outcomes = compare_methods(system)
+        for outcome in outcomes.values():
+            if outcome.method == "proposed":
+                continue  # proposed may be modular-equal; validated inside
+            outcome.decomposition.validate(list(system.polys))
+
+
+class TestImprovement:
+    def test_positive_when_smaller(self):
+        assert improvement(100, 50) == 50.0
+
+    def test_negative_when_larger(self):
+        assert improvement(100, 120) == pytest.approx(-20.0)
+
+    def test_zero_base(self):
+        assert improvement(0, 10) == 0.0
+
+
+class TestPolySystem:
+    def test_characteristics(self):
+        system = small_system()
+        assert system.characteristics() == "2/3/16"
+        assert "2 polynomial" in str(system)
+
+    def test_polys_unified(self):
+        polys = parse_system(["x + 1"]) + parse_system(["y + 1"])
+        system = PolySystem(
+            name="u",
+            polys=tuple(polys),
+            signature=BitVectorSignature.uniform(("x", "y"), 8),
+        )
+        assert system.polys[0].vars == system.polys[1].vars

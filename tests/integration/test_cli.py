@@ -1,0 +1,88 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestSynthesize:
+    def test_motivating_system(self, capsys):
+        code = main(
+            ["synthesize", "x^2 + 6*x*y + 9*y^2", "4*x*y^2 + 12*y^3", "--width", "16"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final cost" in out and "hardware:" in out
+
+    def test_named_system(self, capsys):
+        assert main(["synthesize", "--system", "Table 14.1"]) == 0
+        assert "cost" in capsys.readouterr().out
+
+    def test_missing_input(self, capsys):
+        assert main(["synthesize"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_named(self, capsys):
+        assert main(["compare", "--system", "MVCS"]) == 0
+        out = capsys.readouterr().out
+        assert "proposed" in out and "area improvement" in out
+
+
+class TestCanonFactor:
+    def test_canon(self, capsys):
+        assert main(["canon", "x^2 - x", "--width", "16"]) == 0
+        assert "Y2(x)" in capsys.readouterr().out
+
+    def test_factor(self, capsys):
+        assert main(["factor", "x^6 - 9*x^4 + 24*x^2 - 16"]) == 0
+        out = capsys.readouterr().out
+        assert "(x + 2)^2" in out
+
+
+class TestVerilog:
+    def test_emits_module(self, capsys):
+        code = main(
+            ["verilog", "x^2 + 6*x*y + 9*y^2", "--module", "filter", "--width", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("module filter(") and "endmodule" in out
+
+    def test_emits_testbench(self, capsys):
+        code = main(
+            ["verilog", "x*y + 1", "--module", "mac", "--width", "8", "--testbench"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "module mac(" in out and "module mac_tb;" in out
+
+
+class TestCheck:
+    def test_equivalent(self, capsys):
+        code = main(["check", "x + y", "y + x"])
+        assert code == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_not_equivalent_exit_code(self, capsys):
+        code = main(["check", "x", "x + 1"])
+        assert code == 1
+        assert "NOT equivalent" in capsys.readouterr().out
+
+    def test_vanishing_pair(self, capsys):
+        code = main(["check", "x^2", "x^2 + 8*x^2 - 8*x", "--width", "3"])
+        assert code == 0
+
+
+class TestSystems:
+    def test_listing(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "SG 3X2" in out and "MVCS" in out
+
+
+class TestParser:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,47 @@
+"""Consistency between the paper-style op counts and the hardware graphs.
+
+The expression-level MULT/ADD tally and the DFG's operator census measure
+the same implementation, so they must agree up to the one divergence that
+is *by design*: within-region structural sharing can only make the DFG
+cheaper (two textually identical subtrees of one output lower to one
+node).  Hence: DFG operators <= expression op count, for every method on
+every system.
+"""
+
+import pytest
+
+from repro import compare_methods
+from repro.dfg import NodeKind, build_dfg
+from repro.suite import get_system
+
+SYSTEMS = ("Table 14.1", "Table 14.2", "Quad", "Mibench", "MVCS", "Mixer")
+
+
+@pytest.mark.parametrize("name", SYSTEMS)
+def test_dfg_never_exceeds_op_count(name):
+    system = get_system(name)
+    outcomes = compare_methods(system)
+    for method, outcome in outcomes.items():
+        count = outcome.decomposition.op_count()
+        graph = build_dfg(outcome.decomposition, system.signature)
+        dfg_muls = graph.count(NodeKind.MUL) + graph.count(NodeKind.CMUL)
+        dfg_adds = graph.count(NodeKind.ADD) + graph.count(NodeKind.SUB)
+        assert dfg_muls <= count.mul, f"{name}/{method}: {dfg_muls} > {count.mul}"
+        assert dfg_adds <= count.add + count.mul, (
+            # constant folds can shift a paper-MULT into an adder-free wire
+            f"{name}/{method}: adds {dfg_adds} vs count {count}"
+        )
+
+
+@pytest.mark.parametrize("name", ("Table 14.1", "Mibench"))
+def test_direct_method_counts_match_exactly(name):
+    """With no sharing opportunities inside single terms, direct SOP
+    lowers to exactly the counted operators (modulo in-region merges)."""
+    system = get_system(name)
+    outcomes = compare_methods(system, methods=("direct",))
+    outcome = outcomes["direct"]
+    count = outcome.decomposition.op_count()
+    graph = build_dfg(outcome.decomposition, system.signature)
+    dfg_muls = graph.count(NodeKind.MUL) + graph.count(NodeKind.CMUL)
+    assert dfg_muls <= count.mul
+    assert dfg_muls >= count.mul * 0.5  # sharing never halves a direct SOP here

@@ -1,0 +1,44 @@
+"""Every example script must run cleanly (they are part of the contract)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    saved_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "finite_ring_canonical.py",
+        "automotive_mibench.py",
+        "graphics_wavelet.py",
+        "rtl_generation.py",
+        "equivalence_checking.py",
+        "component_modeling.py",
+        "tradeoff_exploration.py",
+    ],
+)
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+
+
+def test_savitzky_golay_example_small_window(capsys):
+    # window 2 keeps the integration test fast
+    run_example("savitzky_golay_filter.py", ["2", "2"])
+    out = capsys.readouterr().out
+    assert "area improvement" in out

@@ -1,0 +1,86 @@
+"""Failure injection: every validation layer must catch corrupted results.
+
+A synthesis bug that silently changed a coefficient, dropped a term, or
+rewired a block would produce wrong silicon; these tests corrupt correct
+decompositions in controlled ways and assert each defence line fires:
+symbolic validation, canonical-form equivalence, and bit-accurate
+simulation.
+"""
+
+import pytest
+
+from repro import synthesize_system
+from repro.dfg import build_dfg, simulate
+from repro.expr import Decomposition, make_add
+from repro.expr.ast import Add, BlockRef, Const, Mul
+from repro.suite import get_system
+from repro.verify import check_decompositions
+
+
+@pytest.fixture(scope="module")
+def golden():
+    system = get_system("Table 14.1")
+    decomposition = synthesize_system(system).decomposition
+    return system, decomposition
+
+
+def corrupted_copy(decomposition: Decomposition, mode: str) -> Decomposition:
+    bad = Decomposition(method="corrupted")
+    bad.blocks = dict(decomposition.blocks)
+    bad.outputs = list(decomposition.outputs)
+    if mode == "output-constant":
+        bad.outputs[0] = make_add(bad.outputs[0], 1)
+    elif mode == "block-definition":
+        name = next(iter(bad.blocks))
+        bad.blocks[name] = make_add(bad.blocks[name], 1)
+    elif mode == "dropped-output-term":
+        target = bad.outputs[-1]
+        if isinstance(target, Add) and len(target.operands) > 2:
+            bad.outputs[-1] = Add(target.operands[:-1])
+        else:
+            bad.outputs[-1] = make_add(target, 3)
+    else:
+        raise ValueError(mode)
+    return bad
+
+
+MODES = ("output-constant", "block-definition", "dropped-output-term")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_symbolic_validation_catches(golden, mode):
+    system, decomposition = golden
+    bad = corrupted_copy(decomposition, mode)
+    with pytest.raises(ValueError):
+        bad.validate(list(system.polys))
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_equivalence_checker_catches(golden, mode):
+    system, decomposition = golden
+    bad = corrupted_copy(decomposition, mode)
+    report = check_decompositions(bad, decomposition, system.signature)
+    assert not report
+    assert report.counterexample is not None
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_simulation_catches(golden, mode):
+    system, decomposition = golden
+    bad = corrupted_copy(decomposition, mode)
+    good_graph = build_dfg(decomposition, system.signature)
+    bad_graph = build_dfg(bad, system.signature)
+    diverged = False
+    for x in range(4):
+        for y in range(4):
+            env = {"x": x, "y": y, "z": 1}
+            if simulate(good_graph, env) != simulate(bad_graph, env):
+                diverged = True
+    assert diverged, f"simulation never diverged for {mode}"
+
+
+def test_uncorrupted_baseline_passes(golden):
+    system, decomposition = golden
+    decomposition.validate(list(system.polys))
+    report = check_decompositions(decomposition, decomposition, system.signature)
+    assert report

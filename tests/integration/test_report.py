@@ -1,0 +1,72 @@
+"""Tests for comparison reports and the mixed-width suite system."""
+
+from repro import compare_methods
+from repro.report import comparison_rows, markdown_report, text_report
+from repro.suite import get_system, mixer_system
+
+
+class TestMixerSystem:
+    def test_heterogeneous_signature(self):
+        system = mixer_system()
+        assert system.signature.width_of("g") == 8
+        assert system.signature.width_of("p") == 4
+        assert system.signature.width_of("s") == 16
+        assert system.output_width == 16
+
+    def test_registered(self):
+        assert get_system("Mixer").name == "Mixer"
+
+    def test_flow_handles_mixed_widths(self):
+        from repro import synthesize_system
+
+        system = mixer_system()
+        result = synthesize_system(system)
+        # shared (g+p)-square structure behind coefficients 3 vs 5
+        assert result.op_count.weighted() <= result.initial_op_count.weighted()
+
+    def test_width_aware_area(self):
+        """Narrow operands must make narrow (cheaper) multipliers."""
+        from repro.cost import estimate_decomposition
+        from repro.baselines import direct_decomposition
+        from repro.rings import BitVectorSignature
+        from repro.system import PolySystem
+
+        system = mixer_system()
+        narrow = estimate_decomposition(
+            direct_decomposition(list(system.polys)), system.signature
+        )
+        wide = estimate_decomposition(
+            direct_decomposition(list(system.polys)),
+            BitVectorSignature.uniform(system.variables, 16),
+        )
+        assert narrow.area < wide.area
+
+
+class TestReports:
+    def setup_method(self):
+        self.system = get_system("Table 14.1")
+        self.outcomes = compare_methods(self.system)
+
+    def test_rows_ordered(self):
+        rows = comparison_rows(self.outcomes)
+        methods = [row[0] for row in rows]
+        assert methods == ["direct", "horner", "factor+cse", "proposed"]
+
+    def test_text_report(self):
+        text = text_report(self.system, self.outcomes)
+        assert "Table 14.1" in text
+        assert "proposed" in text
+        assert "area improvement over factorization+CSE" in text
+
+    def test_markdown_report(self):
+        md = markdown_report(self.system, self.outcomes)
+        assert md.startswith("### Table 14.1")
+        assert "| method | MULT | ADD |" in md
+        assert md.count("|") > 20
+
+    def test_cli_markdown(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["compare", "--system", "MVCS", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("### MVCS")

@@ -1,0 +1,103 @@
+"""Round-trip tests for JSON serialization."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.expr.ast import BlockRef
+from repro.serialize import (
+    decomposition_from_dict,
+    decomposition_to_dict,
+    dumps,
+    loads,
+    polynomial_from_dict,
+    polynomial_to_dict,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.suite import get_system
+from tests.conftest import polynomials
+
+
+class TestPolynomials:
+    @settings(max_examples=40)
+    @given(polynomials())
+    def test_roundtrip(self, poly):
+        assert polynomial_from_dict(polynomial_to_dict(poly)) == poly
+
+    @settings(max_examples=20)
+    @given(polynomials())
+    def test_string_roundtrip(self, poly):
+        assert loads(dumps(poly)) == poly
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            polynomial_from_dict({"kind": "system"})
+
+
+class TestSystems:
+    @pytest.mark.parametrize("name", ("Table 14.1", "Mixer", "MVCS"))
+    def test_roundtrip(self, name):
+        system = get_system(name)
+        restored = system_from_dict(system_to_dict(system))
+        assert restored.name == system.name
+        assert restored.polys == system.polys
+        assert restored.signature == system.signature
+
+    def test_string_roundtrip(self):
+        system = get_system("Quad")
+        restored = loads(dumps(system))
+        assert restored.polys == system.polys
+
+
+class TestDecompositions:
+    def _decomposition(self):
+        from repro import synthesize_system
+
+        system = get_system("Table 14.1")
+        return system, synthesize_system(system).decomposition
+
+    def test_roundtrip_preserves_semantics(self):
+        system, decomposition = self._decomposition()
+        restored = decomposition_from_dict(decomposition_to_dict(decomposition))
+        assert restored.to_polynomials() == decomposition.to_polynomials()
+        assert restored.op_count() == decomposition.op_count()
+        assert restored.method == decomposition.method
+
+    def test_cyclic_payload_rejected(self):
+        payload = {
+            "kind": "decomposition",
+            "method": "bad",
+            "blocks": {
+                "a": {"op": "block", "name": "b"},
+                "b": {"op": "block", "name": "a"},
+            },
+            "outputs": [{"op": "block", "name": "a"}],
+        }
+        with pytest.raises(ValueError):
+            decomposition_from_dict(payload)
+
+    def test_dangling_reference_rejected(self):
+        payload = {
+            "kind": "decomposition",
+            "method": "bad",
+            "blocks": {},
+            "outputs": [{"op": "block", "name": "ghost"}],
+        }
+        with pytest.raises(KeyError):
+            decomposition_from_dict(payload)
+
+
+class TestDispatch:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            loads('{"kind": "mystery"}')
+
+    def test_unserializable_type(self):
+        with pytest.raises(TypeError):
+            dumps(object())
+
+    def test_blockref_expr_roundtrip(self):
+        from repro.serialize import expr_from_dict, expr_to_dict
+
+        expr = BlockRef("d1")
+        assert expr_from_dict(expr_to_dict(expr)) == expr

@@ -1,0 +1,38 @@
+"""Tests for area-delay trade-off exploration."""
+
+import pytest
+
+from repro import explore_tradeoffs
+from repro.suite import get_system
+
+
+@pytest.fixture(scope="module")
+def points():
+    return explore_tradeoffs(get_system("MVCS"))
+
+
+class TestExploration:
+    def test_all_points_present(self, points):
+        labels = {p.label for p in points}
+        assert labels == {
+            "baseline",
+            "proposed/area",
+            "proposed/area+balanced",
+            "proposed/ops",
+        }
+
+    def test_area_objective_wins_area(self, points):
+        by_label = {p.label: p for p in points}
+        assert by_label["proposed/area"].area <= by_label["baseline"].area
+
+    def test_balanced_lowering_never_slower(self, points):
+        by_label = {p.label: p for p in points}
+        assert (
+            by_label["proposed/area+balanced"].delay
+            <= by_label["proposed/area"].delay
+        )
+
+    def test_positive_metrics(self, points):
+        for point in points:
+            assert point.area > 0 and point.delay > 0
+            assert point.op_count.mul >= 0

@@ -1,0 +1,100 @@
+"""Deeper algebraic property tests (Gauss's lemma, Leibniz, congruences)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.poly import Polynomial, poly_gcd
+from tests.conftest import polynomials, small_polynomials
+
+
+class TestContent:
+    @settings(max_examples=50)
+    @given(small_polynomials(), small_polynomials())
+    def test_gauss_lemma(self, a, b):
+        """content(a*b) == content(a) * content(b) (Gauss)."""
+        if a.is_zero or b.is_zero:
+            return
+        assert (a * b).content() == a.content() * b.content()
+
+    @settings(max_examples=50)
+    @given(polynomials())
+    def test_primitive_decomposition(self, p):
+        assert p.primitive_part().scale(p.content()) == p
+
+    @settings(max_examples=50)
+    @given(polynomials(allow_zero=False))
+    def test_primitive_part_is_primitive(self, p):
+        assert p.primitive_part().content() in (0, 1)
+
+
+class TestDerivative:
+    @settings(max_examples=50)
+    @given(polynomials(), polynomials())
+    def test_leibniz_rule(self, a, b):
+        left = (a * b).derivative("x")
+        right = a.derivative("x") * b + a * b.derivative("x")
+        assert left == right
+
+    @settings(max_examples=50)
+    @given(polynomials(), polynomials())
+    def test_linearity(self, a, b):
+        assert (a + b).derivative("y") == a.derivative("y") + b.derivative("y")
+
+    @settings(max_examples=50)
+    @given(polynomials())
+    def test_mixed_partials_commute(self, p):
+        assert p.derivative("x").derivative("y") == p.derivative("y").derivative("x")
+
+
+class TestEvaluation:
+    @settings(max_examples=50)
+    @given(
+        polynomials(),
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_evaluate_mod_is_reduction(self, p, x, y, z, m):
+        modulus = 1 << m
+        env = {"x": x, "y": y, "z": z}
+        assert p.evaluate_mod(env, modulus) == p.evaluate(env) % modulus
+
+    @settings(max_examples=40)
+    @given(polynomials(), polynomials())
+    def test_substitution_evaluation_commute(self, p, q):
+        """p(x := q) evaluated == p evaluated at q's value."""
+        point = {"x": 2, "y": -3, "z": 1}
+        substituted = p.subs({"x": q})
+        inner = q.evaluate(point)
+        expected = p.evaluate({**point, "x": inner})
+        assert substituted.evaluate(point) == expected
+
+
+class TestGcdAlgebra:
+    @settings(max_examples=30, deadline=None)
+    @given(small_polynomials())
+    def test_idempotent(self, p):
+        g = poly_gcd(p, p)
+        if p.is_zero:
+            assert g.is_zero
+        else:
+            assert g == p or g == -p
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_polynomials(), st.integers(min_value=1, max_value=20))
+    def test_scalar_extraction(self, p, k):
+        """gcd(k*p, p) is p up to sign (scalars do not shrink the gcd)."""
+        if p.is_zero:
+            return
+        g = poly_gcd(p.scale(k), p)
+        assert g == p or g == -p
+
+
+class TestUnification:
+    @settings(max_examples=50)
+    @given(polynomials(nvars=2), polynomials(nvars=3))
+    def test_mixed_arity_arithmetic_consistent(self, a, b):
+        total = a + b
+        point = {"x": 2, "y": 3, "z": 5}
+        assert total.evaluate(point) == a.evaluate(point) + b.evaluate(point)

@@ -1,0 +1,133 @@
+"""Unit and property tests for polynomial division algorithms."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.poly import (
+    Polynomial,
+    divide_out_all,
+    divides,
+    divmod_poly,
+    exact_divide,
+    parse_polynomial as P,
+    pseudo_divmod,
+)
+from tests.conftest import polynomials, small_polynomials
+
+
+class TestDivmod:
+    def test_exact_linear(self):
+        q, r = divmod_poly(P("x^2 - y^2"), P("x - y"))
+        assert r.is_zero and q == P("x + y")
+
+    def test_remainder_identity(self):
+        a, b = P("x^3 + x*y + 1"), P("x + y")
+        q, r = divmod_poly(a, b)
+        assert q * b + r == a
+
+    def test_divide_by_constant(self):
+        q, r = divmod_poly(P("4*x + 6"), P("2"))
+        assert q == P("2*x + 3") and r.is_zero
+
+    def test_non_divisible_coefficients_go_to_remainder(self):
+        q, r = divmod_poly(P("3*x"), P("2*x"))
+        # Over Z, 2 does not divide 3: no quotient term possible.
+        assert q.is_zero and r == P("3*x")
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            divmod_poly(P("x"), Polynomial.zero(("x",)))
+
+    def test_order_parameter(self):
+        a, b = P("x^2*y + x*y^2"), P("x + y")
+        for order in ("lex", "grlex", "grevlex"):
+            q, r = divmod_poly(a, b, order)
+            assert q * b + r == a
+
+
+class TestExactDivide:
+    def test_motivating_example(self):
+        # P1/(x+3y) from the paper's Section 14.4.3.
+        q = exact_divide(P("x^2 + 6*x*y + 9*y^2"), P("x + 3*y"))
+        assert q == P("x + 3*y")
+
+    def test_inexact_returns_none(self):
+        assert exact_divide(P("x^2 + 1"), P("x + 1")) is None
+
+    def test_degree_rejection_fast_path(self):
+        assert exact_divide(P("x"), P("x^2")) is None
+
+    def test_zero_dividend(self):
+        assert exact_divide(Polynomial.zero(("x",)), P("x")).is_zero
+
+    def test_divides_predicate(self):
+        assert divides(P("x + 3*y"), P("4*x*y^2 + 12*y^3"))
+        assert not divides(P("x + 2*y"), P("4*x*y^2 + 12*y^3"))
+
+    @settings(max_examples=60)
+    @given(small_polynomials(), small_polynomials())
+    def test_product_always_divisible(self, a, b):
+        if b.is_zero:
+            return
+        assert exact_divide(a * b, b) == a
+
+
+class TestDivideOutAll:
+    def test_square(self):
+        reduced, mult = divide_out_all(P("x^2 + 6*x*y + 9*y^2"), P("x + 3*y"))
+        assert mult == 2 and reduced == 1
+
+    def test_with_cofactor(self):
+        reduced, mult = divide_out_all(P("4*x*y^2 + 12*y^3"), P("x + 3*y"))
+        assert mult == 1 and reduced == P("4*y^2")
+
+    def test_no_division(self):
+        reduced, mult = divide_out_all(P("x + 1"), P("y"))
+        assert mult == 0 and reduced == P("x + 1")
+
+    def test_unit_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            divide_out_all(P("x"), Polynomial.constant(1))
+
+    @settings(max_examples=40)
+    @given(small_polynomials(), st.integers(min_value=0, max_value=3))
+    def test_constructed_multiplicity_recovered(self, base, k):
+        divisor = P("x + 3*y")
+        if base.is_zero:
+            return
+        stripped, _ = divide_out_all(base, divisor)
+        if stripped.is_zero:
+            return
+        product = stripped * divisor ** k
+        _, mult = divide_out_all(product, divisor)
+        assert mult == k
+
+
+class TestPseudoDivision:
+    def test_identity(self):
+        a, b = P("x^3*y + x + 1"), P("2*x + y")
+        q, r, k = pseudo_divmod(a, b, "x")
+        lead = P("2")
+        assert lead ** k * a == q * b + r
+        assert r.degree("x") < b.degree("x")
+
+    def test_no_coefficient_divisibility_needed(self):
+        # 3x / 2x: plain division puts everything in the remainder, pseudo
+        # division scales instead.
+        q, r, k = pseudo_divmod(P("3*x"), P("2*x"), "x")
+        assert P("2") ** k * P("3*x") == q * P("2*x") + r
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            pseudo_divmod(P("x"), Polynomial.zero(("x",)), "x")
+
+    @settings(max_examples=50)
+    @given(polynomials(nvars=2, max_terms=4, max_exp=3, max_coeff=9),
+           polynomials(nvars=2, max_terms=3, max_exp=2, max_coeff=9, allow_zero=False))
+    def test_identity_random(self, a, b):
+        if b.degree("x") < 1:
+            return
+        q, r, k = pseudo_divmod(a, b, "x")
+        lead = b.as_univariate("x")[b.degree("x")].with_vars(b.vars)
+        assert lead ** k * a == q * b + r

@@ -1,0 +1,141 @@
+"""Unit and property tests for polynomial GCDs, with a SymPy oracle."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.poly import (
+    Polynomial,
+    content_wrt,
+    coprime,
+    exact_divide,
+    parse_polynomial as P,
+    poly_gcd,
+    poly_gcd_many,
+    poly_lcm,
+    primitive_wrt,
+)
+from tests.conftest import small_polynomials, to_sympy
+
+
+class TestBaseCases:
+    def test_gcd_with_zero(self):
+        p = P("x + 1")
+        assert poly_gcd(p, Polynomial.zero(("x",))) == p
+        assert poly_gcd(Polynomial.zero(("x",)), p) == p
+
+    def test_gcd_of_constants(self):
+        assert poly_gcd(Polynomial.constant(12), Polynomial.constant(18)) == 6
+
+    def test_gcd_of_integer_multiples(self):
+        assert poly_gcd(P("6*x + 6"), P("4*x + 4")) == P("2*x + 2")
+
+    def test_gcd_normalized_positive(self):
+        g = poly_gcd(P("-x - y"), P("-x^2 - x*y"))
+        assert g.leading_coeff("grevlex") > 0
+        assert g == P("x + y")
+
+    def test_disjoint_variables(self):
+        assert poly_gcd(P("3*x"), P("6*y")) == 3
+
+
+class TestPaperExamples:
+    def test_motivating_block(self):
+        # gcd over the three motivating polynomials is the block x + 3y.
+        polys = [
+            P("x^2 + 6*x*y + 9*y^2"),
+            P("4*x*y^2 + 12*y^3"),
+            P("2*x^2*z + 6*x*y*z"),
+        ]
+        assert poly_gcd_many(polys) == P("x + 3*y")
+
+    def test_perfect_square_derivative(self):
+        # The square-free machinery reduces to gcd(f, f').
+        f = P("x^2 + 2*x*y + y^2")
+        assert poly_gcd(f, f.derivative("x")) == P("x + y")
+
+    def test_univariate_repeated_factor(self):
+        # Paper Example 14.1 writes (x+1)(x+2)^2, but the quartic it gives
+        # actually factors as (x+1)(x+2)^3 — a typo in the paper; the
+        # repeated-factor detection works either way.
+        u2 = P("x^4 + 7*x^3 + 18*x^2 + 20*x + 8")  # (x+1)(x+2)^3
+        assert poly_gcd(u2, u2.derivative("x")) == P("(x + 2)^2")
+
+
+class TestContentWrt:
+    def test_content_in_main_variable(self):
+        p = P("(y + 1)*x^2 + (y^2 + y)*x")  # content wrt x is y+1
+        assert content_wrt(p, "x") == P("y + 1")
+
+    def test_primitive_wrt(self):
+        p = P("(y + 1)*x^2 + (y + 1)")
+        assert primitive_wrt(p, "x") == P("x^2 + 1")
+
+
+class TestLcmCoprime:
+    def test_lcm(self):
+        assert poly_lcm(P("x*y"), P("x*z")) == P("x*y*z")
+
+    def test_lcm_zero(self):
+        assert poly_lcm(P("x"), Polynomial.zero(("x",))).is_zero
+
+    def test_coprime(self):
+        assert coprime(P("x + 1"), P("x + 2"))
+        assert not coprime(P("x^2 - 1"), P("x + 1"))
+
+
+class TestGcdProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(small_polynomials(), small_polynomials())
+    def test_gcd_divides_both(self, a, b):
+        g = poly_gcd(a, b)
+        if g.is_zero:
+            assert a.is_zero and b.is_zero
+            return
+        assert exact_divide(a, g) is not None
+        assert exact_divide(b, g) is not None
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_polynomials(), small_polynomials())
+    def test_gcd_symmetric(self, a, b):
+        assert poly_gcd(a, b) == poly_gcd(b, a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_polynomials(), small_polynomials(), small_polynomials())
+    def test_common_factor_detected(self, a, b, f):
+        if f.is_constant:
+            return
+        g = poly_gcd(a * f, b * f)
+        # The shared factor must divide the gcd.
+        assert exact_divide(g, f.primitive_part()) is not None or exact_divide(
+            g, (-f).primitive_part()
+        ) is not None
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_polynomials(), small_polynomials())
+    def test_matches_sympy(self, a, b):
+        import sympy
+
+        ours = poly_gcd(a, b)
+        theirs = sympy.gcd(to_sympy(a), to_sympy(b))
+        diff = sympy.simplify(to_sympy(ours) - sympy.expand(theirs))
+        ndiff = sympy.simplify(to_sympy(ours) + sympy.expand(theirs))
+        assert diff == 0 or ndiff == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_polynomials(), small_polynomials())
+    def test_lcm_times_gcd_is_product(self, a, b):
+        if a.is_zero or b.is_zero:
+            return
+        g = poly_gcd(a, b)
+        m = poly_lcm(a, b)
+        prod = a * b
+        assert g * m == prod or g * m == -prod
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(small_polynomials(), min_size=1, max_size=4))
+    def test_gcd_many_divides_all(self, polys):
+        g = poly_gcd_many(polys)
+        if g.is_zero:
+            return
+        for p in polys:
+            assert exact_divide(p, g) is not None

@@ -1,0 +1,83 @@
+"""Unit tests for exponent-tuple monomial operations."""
+
+import pytest
+from hypothesis import given
+
+from repro.poly.monomial import (
+    mono_degree,
+    mono_div,
+    mono_divides,
+    mono_gcd,
+    mono_gcd_many,
+    mono_is_one,
+    mono_lcm,
+    mono_literal_count,
+    mono_mul,
+    mono_one,
+    mono_pow,
+    mono_support,
+)
+from tests.conftest import monomials
+
+
+class TestBasics:
+    def test_one_is_all_zeros(self):
+        assert mono_one(3) == (0, 0, 0)
+        assert mono_is_one(mono_one(5))
+
+    def test_mul_adds_exponents(self):
+        assert mono_mul((1, 2, 0), (0, 3, 4)) == (1, 5, 4)
+
+    def test_divides_componentwise(self):
+        assert mono_divides((1, 0), (2, 3))
+        assert not mono_divides((1, 4), (2, 3))
+
+    def test_div_exact(self):
+        assert mono_div((2, 3), (1, 0)) == (1, 3)
+
+    def test_div_rejects_inexact(self):
+        with pytest.raises(ValueError):
+            mono_div((1, 0), (0, 1))
+
+    def test_gcd_lcm(self):
+        assert mono_gcd((2, 1), (1, 3)) == (1, 1)
+        assert mono_lcm((2, 1), (1, 3)) == (2, 3)
+
+    def test_degree_and_literals(self):
+        assert mono_degree((2, 1, 0)) == 3
+        assert mono_literal_count((2, 1, 0)) == 3
+
+    def test_pow(self):
+        assert mono_pow((1, 2), 3) == (3, 6)
+        with pytest.raises(ValueError):
+            mono_pow((1,), -1)
+
+    def test_support(self):
+        assert mono_support((0, 2, 0, 1)) == (1, 3)
+
+    def test_gcd_many(self):
+        assert mono_gcd_many([(2, 2), (2, 1), (3, 1)]) == (2, 1)
+
+    def test_gcd_many_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mono_gcd_many([])
+
+
+class TestProperties:
+    @given(monomials(), monomials())
+    def test_mul_div_roundtrip(self, a, b):
+        assert mono_div(mono_mul(a, b), b) == a
+
+    @given(monomials(), monomials())
+    def test_gcd_divides_both(self, a, b):
+        g = mono_gcd(a, b)
+        assert mono_divides(g, a) and mono_divides(g, b)
+
+    @given(monomials(), monomials())
+    def test_lcm_divided_by_both(self, a, b):
+        m = mono_lcm(a, b)
+        assert mono_divides(a, m) and mono_divides(b, m)
+
+    @given(monomials(), monomials())
+    def test_gcd_lcm_product_identity(self, a, b):
+        assert mono_mul(mono_gcd(a, b), mono_lcm(a, b)) == mono_mul(a, b)

@@ -1,0 +1,70 @@
+"""Unit tests for term orders."""
+
+import pytest
+from hypothesis import given
+
+from repro.poly.orderings import (
+    available_orders,
+    grevlex_key,
+    grlex_key,
+    lex_key,
+    order_key,
+)
+from tests.conftest import monomials
+
+
+class TestNamedLookup:
+    def test_names_resolve(self):
+        for name in available_orders():
+            assert callable(order_key(name))
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown term order"):
+            order_key("degrevlex")
+
+
+class TestClassicExamples:
+    """The canonical x^2 vs x*y^2 comparisons from textbook examples."""
+
+    def test_lex_first_variable_dominates(self):
+        # x^1 y^0 z^0 > y^5 under lex.
+        assert lex_key((1, 0, 0)) > lex_key((0, 5, 0))
+
+    def test_grlex_degree_first(self):
+        assert grlex_key((0, 5, 0)) > grlex_key((1, 0, 0))
+
+    def test_grlex_tie_break_lex(self):
+        # Same degree 3: x^2*y > x*y^2.
+        assert grlex_key((2, 1, 0)) > grlex_key((1, 2, 0))
+
+    def test_grevlex_differs_from_grlex(self):
+        # Degree 5 monomials x^2*y*z^2 and x*y^3*z: grevlex prefers the one
+        # with the smaller last exponent, so x*y^3*z > x^2*y*z^2.
+        assert grevlex_key((1, 3, 1)) > grevlex_key((2, 1, 2))
+        assert grlex_key((2, 1, 2)) > grlex_key((1, 3, 1))
+
+
+class TestAdmissibility:
+    """All three are admissible orders: total, 1 is minimal, multiplicative."""
+
+    @given(monomials(), monomials())
+    def test_total(self, a, b):
+        for name in available_orders():
+            key = order_key(name)
+            assert (key(a) > key(b)) or (key(b) > key(a)) or a == b
+
+    @given(monomials())
+    def test_unit_is_minimal(self, a):
+        unit = (0,) * len(a)
+        for name in available_orders():
+            key = order_key(name)
+            assert key(a) >= key(unit)
+
+    @given(monomials(), monomials(), monomials())
+    def test_multiplication_preserves_order(self, a, b, c):
+        from repro.poly.monomial import mono_mul
+
+        for name in available_orders():
+            key = order_key(name)
+            if key(a) > key(b):
+                assert key(mono_mul(a, c)) > key(mono_mul(b, c))

@@ -1,0 +1,112 @@
+"""Unit tests for the polynomial parser."""
+
+import pytest
+
+from repro.poly import Polynomial, PolynomialSyntaxError, parse_polynomial as P, parse_system
+
+
+class TestBasicSyntax:
+    def test_constant(self):
+        assert P("42") == 42
+
+    def test_variable(self):
+        assert P("x") == Polynomial.variable("x")
+
+    def test_sum_and_difference(self):
+        assert P("x + y - 3") == Polynomial.variable("x", ("x", "y")) + Polynomial.variable(
+            "y", ("x", "y")
+        ) - 3
+
+    def test_explicit_product(self):
+        assert P("4*x*y") == 4 * P("x") * P("y")
+
+    def test_caret_and_double_star_powers(self):
+        assert P("x^3") == P("x**3")
+
+    def test_leading_minus(self):
+        assert P("-x + 2") == 2 - P("x")
+
+    def test_double_negation(self):
+        assert P("--x") == P("x")
+
+    def test_parentheses(self):
+        assert P("(x + y)^2") == P("x^2 + 2*x*y + y^2")
+
+    def test_nested_parens(self):
+        assert P("((x))") == P("x")
+
+
+class TestImplicitMultiplication:
+    def test_number_times_name(self):
+        assert P("5x") == 5 * P("x")
+
+    def test_name_times_paren(self):
+        assert P("x(x - 1)") == P("x^2 - x")
+
+    def test_paren_times_paren(self):
+        assert P("(x + 1)(x - 1)") == P("x^2 - 1")
+
+    def test_paper_falling_factorial_syntax(self):
+        p = P("5x(x-1)(x-2)y(y-1) + 3z^2")
+        assert p.degree("x") == 3 and p.degree("y") == 2 and p.degree("z") == 2
+
+    def test_multichar_name_is_one_variable(self):
+        p = P("4xy^2")
+        assert p.used_vars() == ("xy",)
+
+    def test_single_letter_mode_splits(self):
+        p = P("4xy^2", single_letter_vars=True)
+        assert p == P("4*x*y^2")
+
+    def test_single_letter_mode_rejects_digits_in_names(self):
+        with pytest.raises(PolynomialSyntaxError):
+            P("4x1y", single_letter_vars=True)
+
+
+class TestVariableControl:
+    def test_explicit_variable_tuple(self):
+        p = P("x + 1", variables=("x", "y", "z"))
+        assert p.vars == ("x", "y", "z")
+
+    def test_foreign_variable_rejected(self):
+        with pytest.raises(PolynomialSyntaxError):
+            P("w + 1", variables=("x", "y"))
+
+    def test_default_vars_sorted(self):
+        assert P("z + a + m").vars == ("a", "m", "z")
+
+
+class TestErrors:
+    def test_unbalanced_paren(self):
+        with pytest.raises(PolynomialSyntaxError):
+            P("(x + 1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PolynomialSyntaxError):
+            P("x + 1)")
+
+    def test_bad_character(self):
+        with pytest.raises(PolynomialSyntaxError):
+            P("x / y")
+
+    def test_non_integer_exponent(self):
+        with pytest.raises(PolynomialSyntaxError):
+            P("x^y")
+
+    def test_empty_input(self):
+        with pytest.raises(PolynomialSyntaxError):
+            P("")
+
+
+class TestParseSystem:
+    def test_common_variable_tuple(self):
+        polys = parse_system(["x + 1", "y + 2", "z"])
+        assert all(p.vars == ("x", "y", "z") for p in polys)
+
+    def test_paper_motivating_system(self):
+        p1, p2, p3 = parse_system(
+            ["x^2 + 6*x*y + 9*y^2", "4*x*y^2 + 12*y^3", "2*x^2*z + 6*x*y*z"]
+        )
+        assert p1 == P("(x + 3*y)^2")
+        assert p2 == 4 * P("y") ** 2 * P("x + 3*y")
+        assert p3 == 2 * P("x") * P("z") * P("x + 3*y")

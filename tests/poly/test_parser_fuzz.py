@@ -1,0 +1,72 @@
+"""Grammar-based fuzzing of the polynomial parser.
+
+Random expression strings are generated from the parser's own grammar and
+checked two ways: the parse never crashes, and the parsed polynomial
+evaluates identically to a reference evaluation of the generated
+expression tree (computed independently with plain integer arithmetic).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.poly import parse_polynomial
+
+VARIABLES = ("x", "y", "z")
+POINT = {"x": 3, "y": -2, "z": 5}
+
+
+@st.composite
+def expression(draw, depth=0):
+    """Random (text, reference_value) pairs from the input grammar."""
+    if depth >= 3:
+        choice = draw(st.integers(min_value=0, max_value=1))
+    else:
+        choice = draw(st.integers(min_value=0, max_value=4))
+    if choice == 0:
+        value = draw(st.integers(min_value=0, max_value=99))
+        return str(value), value
+    if choice == 1:
+        var = draw(st.sampled_from(VARIABLES))
+        return var, POINT[var]
+    if choice == 2:  # sum
+        left_text, left_value = draw(expression(depth=depth + 1))
+        right_text, right_value = draw(expression(depth=depth + 1))
+        op = draw(st.sampled_from(["+", "-"]))
+        value = left_value + right_value if op == "+" else left_value - right_value
+        return f"({left_text} {op} {right_text})", value
+    if choice == 3:  # product
+        left_text, left_value = draw(expression(depth=depth + 1))
+        right_text, right_value = draw(expression(depth=depth + 1))
+        star = draw(st.sampled_from(["*", "*", " * "]))
+        return f"({left_text}{star}{right_text})", left_value * right_value
+    # power
+    base_text, base_value = draw(expression(depth=depth + 1))
+    exponent = draw(st.integers(min_value=0, max_value=3))
+    caret = draw(st.sampled_from(["^", "**"]))
+    return f"({base_text}){caret}{exponent}", base_value ** exponent
+
+
+class TestParserFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(expression())
+    def test_parse_matches_reference_evaluation(self, pair):
+        text, expected = pair
+        poly = parse_polynomial(text)
+        assert poly.evaluate(POINT) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(expression())
+    def test_print_parse_fixpoint(self, pair):
+        text, _ = pair
+        poly = parse_polynomial(text)
+        assert parse_polynomial(str(poly)) == poly
+
+    @settings(max_examples=100, deadline=None)
+    @given(expression(), expression())
+    def test_parsed_arithmetic_homomorphic(self, a, b):
+        text_a, value_a = a
+        text_b, value_b = b
+        total = parse_polynomial(f"({text_a}) + ({text_b})")
+        assert total.evaluate(POINT) == value_a + value_b
+        product = parse_polynomial(f"({text_a}) * ({text_b})")
+        assert product.evaluate(POINT) == value_a * value_b

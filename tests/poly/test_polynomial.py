@@ -1,0 +1,284 @@
+"""Unit and property tests for the Polynomial type."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.poly import Polynomial, parse_polynomial as P, poly_prod, poly_sum
+from tests.conftest import polynomials, to_sympy
+
+
+class TestConstruction:
+    def test_zero(self):
+        z = Polynomial.zero(("x", "y"))
+        assert z.is_zero and len(z) == 0 and not z
+
+    def test_constant(self):
+        c = Polynomial.constant(7, ("x",))
+        assert c.is_constant and c.constant_term == 7
+
+    def test_constant_zero_has_no_terms(self):
+        assert Polynomial.constant(0, ("x",)).is_zero
+
+    def test_variable(self):
+        x = Polynomial.variable("x", ("x", "y"))
+        assert x.terms == {(1, 0): 1}
+
+    def test_variable_must_be_declared(self):
+        with pytest.raises(ValueError):
+            Polynomial.variable("w", ("x", "y"))
+
+    def test_zero_coefficients_dropped(self):
+        p = Polynomial(("x",), {(1,): 0, (0,): 3})
+        assert p.terms == {(0,): 3}
+
+    def test_duplicate_vars_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial(("x", "x"), {})
+
+    def test_mismatched_exponent_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial(("x", "y"), {(1,): 2})
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial(("x",), {(-1,): 2})
+
+    def test_non_integer_coeff_rejected(self):
+        with pytest.raises(TypeError):
+            Polynomial(("x",), {(1,): 1.5})
+
+    def test_from_terms_sums_duplicates(self):
+        p = Polynomial.from_terms(("x",), [((1,), 2), ((1,), 3)])
+        assert p.terms == {(1,): 5}
+
+
+class TestQueries:
+    def test_degrees(self):
+        p = P("x^3*y + x*y^2 + 4")
+        assert p.total_degree() == 4
+        assert p.degree("x") == 3
+        assert p.degree("y") == 2
+
+    def test_zero_degrees(self):
+        z = Polynomial.zero(("x",))
+        assert z.total_degree() == -1 and z.degree("x") == -1
+
+    def test_is_linear(self):
+        assert P("x + 3*y - 2").is_linear
+        assert not P("x*y").is_linear
+
+    def test_used_vars(self):
+        p = Polynomial(("x", "y", "z"), {(1, 0, 2): 1})
+        assert p.used_vars() == ("x", "z")
+
+    def test_leading_term_orders(self):
+        p = P("x^2 + x*y^2")
+        assert p.leading_monomial("lex") == (2, 0)
+        assert p.leading_monomial("grlex") == (1, 2)
+
+    def test_leading_term_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            Polynomial.zero(("x",)).leading_term()
+
+    def test_monomial_content(self):
+        p = P("4*x^2*y + 6*x*y^2")
+        assert p.monomial_content() == (1, 1)
+
+    def test_max_coeff_magnitude(self):
+        assert P("3*x - 17*y").max_coeff_magnitude() == 17
+        assert Polynomial.zero().max_coeff_magnitude() == 0
+
+
+class TestArithmetic:
+    def test_add_combines_terms(self):
+        assert P("x + y") + P("x - y") == P("2*x")
+
+    def test_add_int(self):
+        assert P("x") + 5 == P("x + 5")
+        assert 5 + P("x") == P("x + 5")
+
+    def test_sub(self):
+        assert P("x^2") - P("x^2") == 0
+        assert 1 - P("x") == P("1 - x")
+
+    def test_mul_distributes(self):
+        assert P("x + y") * P("x - y") == P("x^2 - y^2")
+
+    def test_mul_int(self):
+        assert 3 * P("x + 1") == P("3*x + 3")
+
+    def test_pow_binomial(self):
+        assert P("x + y") ** 2 == P("x^2 + 2*x*y + y^2")
+
+    def test_pow_zero(self):
+        assert P("x + y") ** 0 == 1
+
+    def test_pow_negative_rejected(self):
+        with pytest.raises(ValueError):
+            P("x") ** -1
+
+    def test_scale(self):
+        assert P("x + 2").scale(3) == P("3*x + 6")
+        assert P("x").scale(0).is_zero
+
+    def test_mul_monomial(self):
+        p = P("x + y")
+        assert p.mul_monomial((1, 1), 2) == P("2*x^2*y + 2*x*y^2")
+
+    def test_mixed_variable_sets(self):
+        assert P("x + y") * P("y + z") == P("x*y + x*z + y^2 + y*z")
+
+
+class TestEquality:
+    def test_eq_across_var_sets(self):
+        a = Polynomial(("x", "y"), {(1, 0): 1})
+        b = Polynomial(("x",), {(1,): 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_eq_int(self):
+        assert Polynomial.constant(4, ("x",)) == 4
+        assert P("x") != 4
+
+    def test_hashable_in_sets(self):
+        s = {P("x + y"), P("y + x"), P("x - y")}
+        assert len(s) == 2
+
+
+class TestCalculus:
+    def test_derivative(self):
+        assert P("x^3 + x*y").derivative("x") == P("3*x^2 + y")
+
+    def test_derivative_of_constant(self):
+        assert P("5", variables=("x",)).derivative("x").is_zero
+
+    def test_derivative_unknown_var(self):
+        with pytest.raises(KeyError):
+            P("x").derivative("q")
+
+    def test_evaluate(self):
+        assert P("x^2 + 2*x*y").evaluate({"x": 3, "y": 4}) == 33
+
+    def test_evaluate_missing_var(self):
+        with pytest.raises(KeyError):
+            P("x + y").evaluate({"x": 1})
+
+    def test_evaluate_mod(self):
+        # 2^16 wrap-around.
+        assert P("x^2").evaluate_mod({"x": 256}, 2**16) == 0
+
+    def test_subs_polynomial(self):
+        p = P("x^2 + y")
+        assert p.subs({"x": P("y + 1")}) == P("y^2 + 3*y + 1")
+
+    def test_subs_simultaneous_swap(self):
+        p = P("x^2 + y")
+        assert p.subs({"x": P("y"), "y": P("x")}) == P("y^2 + x")
+
+    def test_subs_integer(self):
+        assert P("x^2 + y").subs({"x": 3}) == P("y + 9")
+
+
+class TestContent:
+    def test_content_sign_follows_leading(self):
+        assert P("-2*x^2 + 4").content() == -2
+        assert P("2*x^2 - 4").content() == 2
+
+    def test_primitive_part(self):
+        p = P("6*x + 9*y")
+        assert p.primitive_part() == P("2*x + 3*y")
+        assert p.primitive_part().scale(p.content()) == p
+
+    def test_zero_content(self):
+        assert Polynomial.zero(("x",)).content() == 0
+
+
+class TestUnivariateViews:
+    def test_to_dense_roundtrip(self):
+        p = P("3*x^3 + 2*x - 5")
+        dense = p.to_dense("x")
+        assert dense == [-5, 2, 0, 3]
+        assert Polynomial.from_dense(dense, "x") == p
+
+    def test_to_dense_rejects_multivariate(self):
+        with pytest.raises(ValueError):
+            P("x*y").to_dense("x")
+
+    def test_as_univariate(self):
+        p = P("x^2*y + x^2 + 3*y^2")
+        view = p.as_univariate("x")
+        assert view[2] == P("y + 1")
+        assert view[0] == P("3*y^2")
+
+    def test_from_univariate_roundtrip(self):
+        p = P("x^2*y + x*z + 4")
+        view = p.as_univariate("x")
+        assert Polynomial.from_univariate(view, "x") == p
+
+
+class TestHelpers:
+    def test_poly_sum_prod(self):
+        ps = [P("x"), P("y"), P("1")]
+        assert poly_sum(ps) == P("x + y + 1")
+        assert poly_prod([P("x"), P("x + 1")]) == P("x^2 + x")
+        assert poly_sum([]) == 0
+        assert poly_prod([]) == 1
+
+    def test_trim(self):
+        p = Polynomial(("x", "y", "z"), {(0, 1, 0): 2})
+        assert p.trim().vars == ("y",)
+
+    def test_with_vars_refuses_dropping_used(self):
+        with pytest.raises(ValueError):
+            P("x*y").with_vars(("x",))
+
+
+class TestRingAxioms:
+    """Hypothesis checks of the commutative-ring axioms plus a SymPy oracle."""
+
+    @given(polynomials(), polynomials())
+    def test_add_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(polynomials(), polynomials())
+    def test_mul_commutative(self, a, b):
+        assert a * b == b * a
+
+    @given(polynomials(), polynomials(), polynomials())
+    def test_add_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @settings(max_examples=50)
+    @given(polynomials(), polynomials(), polynomials())
+    def test_mul_associative(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @given(polynomials(), polynomials(), polynomials())
+    def test_distributive(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(polynomials())
+    def test_additive_inverse(self, a):
+        assert (a + (-a)).is_zero
+
+    @given(polynomials())
+    def test_identities(self, a):
+        assert a + 0 == a
+        assert a * 1 == a
+        assert (a * 0).is_zero
+
+    @settings(max_examples=40)
+    @given(polynomials(max_terms=4), polynomials(max_terms=4))
+    def test_mul_matches_sympy(self, a, b):
+        import sympy
+
+        ours = to_sympy(a * b)
+        theirs = sympy.expand(to_sympy(a) * to_sympy(b))
+        assert sympy.simplify(ours - theirs) == 0
+
+    @settings(max_examples=40)
+    @given(polynomials())
+    def test_eval_homomorphism(self, a):
+        # Evaluation commutes with squaring at a fixed point.
+        point = {"x": 3, "y": -2, "z": 5}
+        assert (a * a).evaluate(point) == a.evaluate(point) ** 2

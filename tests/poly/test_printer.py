@@ -1,0 +1,49 @@
+"""Unit and round-trip tests for polynomial formatting."""
+
+from hypothesis import given
+
+from repro.poly import Polynomial, parse_polynomial as P
+from repro.poly.printer import format_monomial, format_term
+from tests.conftest import polynomials
+
+
+class TestFormatting:
+    def test_zero(self):
+        assert str(Polynomial.zero(("x",))) == "0"
+
+    def test_constant(self):
+        assert str(Polynomial.constant(-7)) == "-7"
+
+    def test_unit_coefficients_hidden(self):
+        assert str(P("x - y")) == "x - y"
+
+    def test_powers(self):
+        assert str(P("x^2*y")) == "x^2*y"
+
+    def test_term_order_is_grlex_descending(self):
+        assert str(P("1 + x + x^2")) == "x^2 + x + 1"
+
+    def test_negative_leading(self):
+        assert str(P("-x^2 + 1")) == "-x^2 + 1"
+
+    def test_format_monomial_unit(self):
+        assert format_monomial((0, 0), ("x", "y")) == ""
+
+    def test_format_term_minus_one(self):
+        assert format_term(-1, (1, 0), ("x", "y")) == "-x"
+
+    def test_repr(self):
+        assert repr(P("x + 1")) == "Polynomial('x + 1')"
+
+
+class TestRoundTrip:
+    @given(polynomials())
+    def test_parse_of_str_is_identity(self, p):
+        assert P(str(p)) == p
+
+    @given(polynomials(), polynomials())
+    def test_equal_polys_print_identically(self, a, b):
+        # Determinism: a polynomial built two different ways prints the same.
+        left = a + b
+        right = b + a
+        assert str(left) == str(right)

@@ -1,0 +1,99 @@
+"""Tests for resultants and discriminants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.poly import (
+    Polynomial,
+    discriminant,
+    parse_polynomial as P,
+    poly_gcd,
+    resultant,
+    sylvester_matrix,
+)
+from tests.conftest import small_polynomials, to_sympy
+
+
+class TestSylvester:
+    def test_shape(self):
+        matrix = sylvester_matrix(P("x^2 + 1"), P("x^3 + x"), "x")
+        assert len(matrix) == 5
+        assert all(len(row) == 5 for row in matrix)
+
+    def test_degenerate_degree_rejected(self):
+        with pytest.raises(ValueError):
+            sylvester_matrix(P("x"), P("3", variables=("x",)), "x")
+
+
+class TestResultant:
+    def test_common_root_gives_zero(self):
+        # both vanish at x = 1
+        assert resultant(P("x^2 - 1"), P("x^2 - 3*x + 2"), "x").is_zero
+
+    def test_coprime_nonzero(self):
+        assert not resultant(P("x - 1"), P("x - 2"), "x").is_zero
+
+    def test_classic_value(self):
+        # res(x^2+1, x^2-1) = 4
+        assert resultant(P("x^2 + 1"), P("x^2 - 1"), "x") == 4
+
+    def test_bivariate_elimination(self):
+        # res_x(x - y, x - 2y) = y (the x-elimination leaves y)
+        result = resultant(P("x - y"), P("x - 2*y"), "x")
+        assert result == P("y") or result == -P("y")
+
+    def test_constant_cases(self):
+        assert resultant(Polynomial.constant(3), P("x^2 + 1"), "x") == 9
+        assert resultant(P("x^2 + 1"), Polynomial.constant(2), "x") == 4
+
+    def test_zero_operand(self):
+        assert resultant(Polynomial.zero(("x",)), P("x"), "x").is_zero
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-5, max_value=5), min_size=2, max_size=5),
+        st.lists(st.integers(min_value=-5, max_value=5), min_size=2, max_size=5),
+    )
+    def test_matches_sympy(self, fc, gc):
+        import sympy
+
+        f = Polynomial.from_dense(fc, "x")
+        g = Polynomial.from_dense(gc, "x")
+        if f.degree("x") < 1 or g.degree("x") < 1:
+            return
+        ours = resultant(f, g, "x")
+        x = sympy.Symbol("x")
+        theirs = sympy.resultant(to_sympy(f), to_sympy(g), x)
+        # SymPy's PRS-based resultant can differ from the Sylvester
+        # determinant by sign; magnitudes must agree.
+        assert abs(ours.constant_term) == abs(int(theirs))
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_polynomials(nvars=2), small_polynomials(nvars=2))
+    def test_zero_iff_common_factor(self, f, g):
+        if f.degree("x") < 1 or g.degree("x") < 1:
+            return
+        res = resultant(f, g, "x")
+        shared = poly_gcd(f, g)
+        if shared.degree("x") >= 1:
+            assert res.is_zero
+        # (the converse holds over the fraction field; content-only shares
+        # can still zero the resultant, so no biconditional assert here)
+
+
+class TestDiscriminant:
+    def test_repeated_root_gives_zero(self):
+        assert discriminant(P("x^2 - 2*x + 1"), "x").is_zero
+
+    def test_quadratic_formula(self):
+        # disc(ax^2 + bx + c) = b^2 - 4ac: for x^2 + 3x + 1 -> 5
+        assert discriminant(P("x^2 + 3*x + 1"), "x") == 5
+
+    def test_multivariate_quadratic(self):
+        # disc_x(x^2 + 2xy + y^2) = 0 (perfect square)
+        assert discriminant(P("x^2 + 2*x*y + y^2"), "x").is_zero
+
+    def test_degree_zero_rejected(self):
+        with pytest.raises(ValueError):
+            discriminant(Polynomial.constant(5, ("x",)), "x")

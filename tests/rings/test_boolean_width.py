@@ -1,0 +1,41 @@
+"""One-bit inputs: the boolean corner of the finite-ring machinery."""
+
+from repro.poly import parse_polynomial as P
+from repro.rings import BitVectorSignature, canonical_reduce, functions_equal
+
+
+BOOL = BitVectorSignature((("x", 1), ("y", 1)), 8)
+
+
+class TestBooleanIdempotence:
+    def test_square_collapses(self):
+        # On {0,1}, x^2 == x.
+        assert canonical_reduce(P("x^2", variables=("x", "y")), BOOL) == P("x")
+
+    def test_any_power_collapses(self):
+        for k in (2, 3, 7):
+            assert functions_equal(
+                P(f"x^{k}", variables=("x", "y")),
+                P("x", variables=("x", "y")),
+                BOOL,
+            )
+
+    def test_and_gate_polynomial(self):
+        # x*y is already canonical (the AND gate).
+        assert canonical_reduce(P("x*y", variables=("x", "y")), BOOL) == P("x*y")
+
+    def test_xor_polynomial_mod2(self):
+        # Over m=1 output, x + y computes XOR; x + y - 2xy does too.
+        xor_sig = BitVectorSignature((("x", 1), ("y", 1)), 1)
+        assert functions_equal(
+            P("x + y", variables=("x", "y")),
+            P("x + y - 2*x*y", variables=("x", "y")),
+            xor_sig,
+        )
+
+    def test_not_equal_functions_detected(self):
+        assert not functions_equal(
+            P("x*y", variables=("x", "y")),
+            P("x + y", variables=("x", "y")),
+            BOOL,
+        )

@@ -1,0 +1,126 @@
+"""Tests for Chen's canonical form over bit-vector signatures."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.expr import expr_to_polynomial
+from repro.poly import Polynomial, parse_polynomial as P
+from repro.rings import (
+    BitVectorSignature,
+    canonical_reduce,
+    exhaustive_functions_equal,
+    functions_equal,
+    to_canonical,
+)
+from tests.conftest import polynomials
+
+TINY = BitVectorSignature((("x", 2), ("y", 2)), 4)
+
+
+class TestSignature:
+    def test_uniform(self):
+        sig = BitVectorSignature.uniform(("x", "y"), 16)
+        assert sig.width_of("x") == 16 and sig.output_width == 16
+
+    def test_uniform_with_output(self):
+        sig = BitVectorSignature.uniform(("x",), 8, output_width=16)
+        assert sig.output_width == 16
+
+    def test_unknown_variable(self):
+        with pytest.raises(KeyError):
+            TINY.width_of("q")
+
+    def test_modulus(self):
+        assert TINY.modulus == 16
+
+
+class TestPaperExamples:
+    def test_section_14_3_1_F(self):
+        sig = BitVectorSignature.uniform(("x", "y", "z"), 16)
+        F = P(
+            "4*x^2*y^2 - 4*x^2*y - 4*x*y^2 + 4*x*y + 5*z^2*x - 5*z*x",
+            variables=("x", "y", "z"),
+        )
+        cf = to_canonical(F, sig)
+        assert dict(cf.coefficients) == {(2, 2, 0): 4, (1, 0, 2): 5}
+
+    def test_section_14_3_1_G(self):
+        sig = BitVectorSignature.uniform(("x", "y", "z"), 16)
+        G = P(
+            "7*x^2*z^2 - 7*x^2*z - 7*x*z^2 + 7*z*x + 3*y^2*x - 3*y*x",
+            variables=("x", "y", "z"),
+        )
+        cg = to_canonical(G, sig)
+        assert dict(cg.coefficients) == {(2, 0, 2): 7, (1, 2, 0): 3}
+
+    def test_mixed_width_example(self):
+        # f: Z_2^1 x Z_2^2 -> Z_2^3 given pointwise in the paper, with
+        # representative polynomial F = 1 + 2y + x y^2.
+        sig = BitVectorSignature((("x", 1), ("y", 2)), 3)
+        F = P("1 + 2*y + x*y^2", variables=("x", "y"))
+        table = {
+            (0, 0): 1, (0, 1): 3, (0, 2): 5, (0, 3): 7,
+            (1, 0): 1, (1, 1): 4, (1, 2): 1, (1, 3): 0,
+        }
+        for (x, y), want in table.items():
+            assert F.evaluate_mod({"x": x, "y": y}, 8) == want
+        # Canonical round trip preserves the function.
+        reduced = canonical_reduce(F, sig)
+        for (x, y), want in table.items():
+            assert reduced.evaluate_mod({"x": x, "y": y}, 8) == want
+
+
+class TestCanonicalProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(polynomials(nvars=2, max_terms=5, max_exp=5, max_coeff=30))
+    def test_reduction_preserves_function(self, poly):
+        reduced = canonical_reduce(poly, TINY)
+        assert exhaustive_functions_equal(poly, reduced, TINY)
+
+    @settings(max_examples=40, deadline=None)
+    @given(polynomials(nvars=2, max_terms=5, max_exp=5, max_coeff=30))
+    def test_idempotent(self, poly):
+        once = to_canonical(poly, TINY)
+        twice = to_canonical(once.to_polynomial(), TINY)
+        assert once == twice
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        polynomials(nvars=2, max_terms=4, max_exp=4, max_coeff=20),
+        polynomials(nvars=2, max_terms=4, max_exp=4, max_coeff=20),
+    )
+    def test_canonical_equality_is_functional_equality(self, a, b):
+        assert functions_equal(a, b, TINY) == exhaustive_functions_equal(a, b, TINY)
+
+    @settings(max_examples=30, deadline=None)
+    @given(polynomials(nvars=2, max_terms=4, max_exp=4, max_coeff=20))
+    def test_vanishing_difference(self, poly):
+        reduced = canonical_reduce(poly, TINY)
+        difference = poly - reduced
+        # The difference must vanish everywhere on the signature.
+        assert exhaustive_functions_equal(
+            difference, Polynomial.zero(difference.vars), TINY
+        )
+
+    def test_degree_capped_by_mu(self):
+        sig = BitVectorSignature((("x", 1),), 3)
+        # x^5 over a 1-bit input collapses to x.
+        assert canonical_reduce(P("x^5"), sig) == P("x")
+
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(KeyError):
+            to_canonical(P("q + 1"), TINY)
+
+
+class TestCanonicalExpr:
+    def test_to_expr_round_trip(self):
+        sig = BitVectorSignature.uniform(("x", "y"), 16)
+        poly = P("x^2*y - x*y", variables=("x", "y"))
+        cf = to_canonical(poly, sig)
+        assert expr_to_polynomial(cf.to_expr()) == poly
+
+    def test_str_shows_falling_factors(self):
+        sig = BitVectorSignature.uniform(("x",), 16)
+        cf = to_canonical(P("x^2 - x"), sig)
+        assert "Y2(x)" in str(cf)

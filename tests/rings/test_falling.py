@@ -1,0 +1,91 @@
+"""Tests for falling factorials and Stirling basis conversion."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.expr import expr_op_count, expr_to_polynomial
+from repro.poly import Polynomial, parse_polynomial as P
+from repro.rings import (
+    falling_eval,
+    falling_factorial_dense,
+    falling_factorial_expr,
+    falling_factorial_poly,
+    falling_to_power,
+    power_to_falling,
+    stirling_first_signed,
+    stirling_second,
+)
+
+
+class TestFallingFactorials:
+    def test_definition_cases(self):
+        assert falling_factorial_poly("x", 0) == 1
+        assert falling_factorial_poly("x", 1) == P("x")
+        assert falling_factorial_poly("x", 2) == P("x^2 - x")
+        assert falling_factorial_poly("x", 3) == P("x^3 - 3*x^2 + 2*x")
+
+    def test_recurrence(self):
+        # Y_k(x) = (x - k + 1) * Y_{k-1}(x)
+        for k in range(1, 7):
+            expected = falling_factorial_poly("x", k - 1) * (P("x") - (k - 1))
+            assert falling_factorial_poly("x", k) == expected
+
+    @given(st.integers(min_value=0, max_value=8), st.integers(min_value=-10, max_value=10))
+    def test_eval_matches_poly(self, k, x):
+        assert falling_eval(k, x) == falling_factorial_poly("x", k).evaluate({"x": x})
+
+    def test_expr_product_form(self):
+        expr = falling_factorial_expr("x", 3)
+        assert expr_to_polynomial(expr) == falling_factorial_poly("x", 3)
+        count = expr_op_count(expr)
+        # x(x-1)(x-2): 2 multipliers, 2 constant subtractions
+        assert (count.mul, count.add) == (2, 2)
+
+    def test_dense_cached_tuple(self):
+        assert falling_factorial_dense(2) == (0, -1, 1)
+
+
+class TestStirlingNumbers:
+    def test_second_kind_table(self):
+        # classic small values
+        assert stirling_second(4, 2) == 7
+        assert stirling_second(5, 3) == 25
+        assert stirling_second(3, 3) == 1
+        assert stirling_second(3, 0) == 0
+
+    def test_first_kind_signed_table(self):
+        assert stirling_first_signed(3, 1) == 2
+        assert stirling_first_signed(3, 2) == -3
+        assert stirling_first_signed(4, 2) == 11
+
+    @given(st.integers(min_value=0, max_value=9))
+    def test_expansion_identity(self, n):
+        # x^n = sum_k S2(n,k) Y_k(x) as polynomials.
+        x_power = Polynomial.from_dense([0] * n + [1], "x")
+        total = Polynomial.zero(("x",))
+        for k in range(n + 1):
+            total = total + falling_factorial_poly("x", k).scale(stirling_second(n, k))
+        assert total == x_power
+
+    @given(st.integers(min_value=0, max_value=9))
+    def test_first_kind_is_falling_expansion(self, k):
+        dense = falling_factorial_dense(k)
+        for n, coeff in enumerate(dense):
+            assert coeff == stirling_first_signed(k, n)
+
+
+class TestBasisConversion:
+    @given(st.lists(st.integers(min_value=-20, max_value=20), min_size=0, max_size=7))
+    def test_roundtrip(self, dense):
+        while dense and dense[-1] == 0:
+            dense.pop()
+        falling = power_to_falling(dense)
+        assert falling_to_power(falling) == dense
+
+    def test_known_conversion(self):
+        # x^2 = Y_2(x) + Y_1(x)
+        assert power_to_falling([0, 0, 1]) == {1: 1, 2: 1}
+
+    def test_empty(self):
+        assert power_to_falling([]) == {}
+        assert falling_to_power({}) == []

@@ -1,0 +1,78 @@
+"""Tests for the Buchberger engine over Q."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.poly import parse_polynomial as P
+from repro.rings.groebner import (
+    QPolynomial,
+    buchberger,
+    from_integer_polynomial,
+    ideal_membership,
+    reduce_polynomial,
+    s_polynomial,
+    to_integer_polynomial,
+)
+from repro.poly.orderings import lex_key
+
+
+def q(text, variables):
+    return from_integer_polynomial(P(text, variables=variables), tuple(variables))
+
+
+class TestConversion:
+    def test_roundtrip(self):
+        poly = P("3*x^2 - 2*x*y + 7")
+        assert to_integer_polynomial(from_integer_polynomial(poly)) == poly
+
+    def test_fractional_rejected(self):
+        bad = QPolynomial(("x",), {(1,): Fraction(1, 2)})
+        with pytest.raises(ValueError):
+            to_integer_polynomial(bad)
+
+
+class TestReduction:
+    def test_exact_multiple_reduces_to_zero(self):
+        f = q("x^2 + 6*x*y + 9*y^2", ("x", "y"))
+        g = q("x + 3*y", ("x", "y"))
+        assert reduce_polynomial(f, [g]).is_zero
+
+    def test_remainder_not_divisible(self):
+        f = q("x^2 + 1", ("x",))
+        g = q("x", ("x",))
+        remainder = reduce_polynomial(f, [g])
+        assert to_integer_polynomial(remainder) == 1
+
+    def test_s_polynomial_cancels_leads(self):
+        f = q("x^2 + y", ("x", "y"))
+        g = q("x*y + 1", ("x", "y"))
+        s = s_polynomial(f, g, lex_key)
+        # leading monomial x^2 y cancelled
+        assert all(e != (2, 1) for e in s.terms)
+
+
+class TestBuchberger:
+    def test_textbook_basis(self):
+        # <x^2 - y, x^3 - x> over lex x > y: GB contains y-only relations.
+        f = q("x^2 - y", ("x", "y"))
+        g = q("x^3 - x", ("x", "y"))
+        basis = buchberger([f, g])
+        # x^3 - x = x (x^2 - y) + (xy - x): so xy - x in ideal; S-polys give
+        # y^2 - y as the elimination ideal's generator.
+        target = q("y^2 - y", ("x", "y"))
+        assert ideal_membership(target, basis)
+
+    def test_membership_negative(self):
+        f = q("x^2 - y", ("x", "y"))
+        basis = buchberger([f])
+        assert not ideal_membership(q("x + y", ("x", "y")), basis)
+
+    def test_empty_generators(self):
+        assert buchberger([]) == []
+
+    def test_ideal_containing_one(self):
+        f = q("x", ("x",))
+        g = q("x + 1", ("x",))
+        basis = buchberger([f, g])
+        assert ideal_membership(q("1", ("x",)), basis)

@@ -1,0 +1,100 @@
+"""Tests for polynomial modeling by finite-difference interpolation."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+
+from repro.poly import Polynomial
+from repro.rings import (
+    BitVectorSignature,
+    fit_function,
+    fit_table,
+    model_polynomial,
+    to_canonical,
+)
+from tests.conftest import polynomials
+
+TINY = BitVectorSignature((("x", 2), ("y", 2)), 4)
+UNI = BitVectorSignature((("x", 3),), 3)
+
+
+def exhaustive_match(func, model, signature):
+    variables = signature.variables
+    modulus = signature.modulus
+    for point in product(
+        *(range(1 << signature.width_of(v)) for v in variables)
+    ):
+        env = dict(zip(variables, point))
+        assert model.evaluate_mod(env, modulus) == func(*point) % modulus, point
+
+
+class TestKnownFunctions:
+    def test_square(self):
+        model = model_polynomial(lambda x: x * x, UNI)
+        exhaustive_match(lambda x: x * x, model, UNI)
+        assert model == Polynomial.parse("x^2")
+
+    def test_affine(self):
+        model = model_polynomial(lambda x: 3 * x + 5, UNI)
+        assert model == Polynomial.parse("3*x + 5")
+
+    def test_bivariate_product(self):
+        model = model_polynomial(lambda x, y: x * y + 2, TINY)
+        exhaustive_match(lambda x, y: x * y + 2, model, TINY)
+
+    def test_paper_mixed_width_example(self):
+        # the f: Z_2^1 x Z_2^2 -> Z_2^3 table from Section 14.3.1
+        sig = BitVectorSignature((("x", 1), ("y", 2)), 3)
+        table = {
+            (0, 0): 1, (0, 1): 3, (0, 2): 5, (0, 3): 7,
+            (1, 0): 1, (1, 1): 4, (1, 2): 1, (1, 3): 0,
+        }
+        model = fit_table(table, sig)
+        poly = model.to_polynomial()
+        for point, want in table.items():
+            env = dict(zip(("x", "y"), point))
+            assert poly.evaluate_mod(env, 8) == want
+        # the paper's representative F = 1 + 2y + x y^2 has the same form
+        reference = to_canonical(
+            Polynomial.parse("1 + 2*y + x*y^2").with_vars(("x", "y")), sig
+        )
+        assert model == reference
+
+
+class TestRecoveryProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(polynomials(nvars=2, max_terms=4, max_exp=3, max_coeff=15))
+    def test_polynomial_functions_recovered(self, poly):
+        """Fitting the function of a polynomial returns its canonical form."""
+        def func(x, y):
+            return poly.evaluate({"x": x, "y": y})
+
+        model = fit_function(func, TINY)
+        assert model == to_canonical(poly, TINY)
+
+    @settings(max_examples=20, deadline=None)
+    @given(polynomials(nvars=1, max_terms=4, max_exp=4, max_coeff=15))
+    def test_univariate_exhaustive_match(self, poly):
+        def func(x):
+            return poly.evaluate({"x": x})
+
+        model = model_polynomial(func, UNI)
+        exhaustive_match(func, model, UNI)
+
+
+class TestNonPolynomial:
+    def test_non_polynomial_detected_or_mismatched(self):
+        # x >> 1 (integer halving) is not a polynomial function mod 2^m.
+        def func(x):
+            return x >> 1
+
+        try:
+            model = model_polynomial(func, UNI)
+        except ValueError:
+            return  # divisibility criterion fired: fine
+        # otherwise the model must fail exhaustive matching somewhere
+        mismatch = any(
+            model.evaluate_mod({"x": x}, 8) != (x >> 1) % 8 for x in range(8)
+        )
+        assert mismatch

@@ -1,0 +1,91 @@
+"""Tests for Z_2^m number-theoretic helpers."""
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.rings import (
+    coefficient_modulus,
+    degree_bound,
+    factorial_two_adic_valuation,
+    smarandache_lambda,
+    two_adic_valuation,
+)
+
+
+class TestValuations:
+    def test_two_adic(self):
+        assert two_adic_valuation(8) == 3
+        assert two_adic_valuation(12) == 2
+        assert two_adic_valuation(7) == 0
+
+    def test_two_adic_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            two_adic_valuation(0)
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_factorial_valuation_legendre(self, n):
+        # Legendre's formula vs direct factorial computation.
+        import math
+
+        direct = two_adic_valuation(math.factorial(n))
+        assert factorial_two_adic_valuation(n) == direct
+
+
+class TestSmarandache:
+    def test_paper_value(self):
+        # lambda(2^3) = 4: 4! = 24 is the least factorial divisible by 8.
+        assert smarandache_lambda(3) == 4
+
+    def test_sixteen_bit(self):
+        assert smarandache_lambda(16) == 18
+
+    def test_small(self):
+        assert smarandache_lambda(0) == 0
+        assert smarandache_lambda(1) == 2
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_defining_property(self, m):
+        import math
+
+        lam = smarandache_lambda(m)
+        assert math.factorial(lam) % (1 << m) == 0
+        assert math.factorial(lam - 1) % (1 << m) != 0
+
+
+class TestCoefficientModulus:
+    def test_unit_tuple(self):
+        assert coefficient_modulus(3, (0, 0)) == 8
+
+    def test_factorial_reduction(self):
+        # k = (2,): 2! = 2, so modulus is 2^m / 2.
+        assert coefficient_modulus(3, (2,)) == 4
+        # k = (4,): 4! has 2-valuation 3 -> modulus 1 (coefficient vanishes).
+        assert coefficient_modulus(3, (4,)) == 1
+
+    def test_multivariate_product(self):
+        # k = (2, 2): valuation 1 + 1 = 2 -> 2^3 / 4 = 2.
+        assert coefficient_modulus(3, (2, 2)) == 2
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.tuples(st.integers(min_value=0, max_value=10),
+                  st.integers(min_value=0, max_value=10)),
+    )
+    def test_divides_full_modulus(self, m, k):
+        modulus = coefficient_modulus(m, k)
+        assert (1 << m) % modulus == 0
+
+
+class TestDegreeBound:
+    def test_small_input_width_dominates(self):
+        # 1-bit input: only Y_0, Y_1 matter.
+        assert degree_bound(1, 16) == 2
+
+    def test_lambda_dominates(self):
+        assert degree_bound(16, 16) == 18
+
+    def test_paper_example_widths(self):
+        # f: Z_2 x Z_4 -> Z_8: mu = (2, 4) (both below lambda(8) = 4).
+        assert degree_bound(1, 3) == 2
+        assert degree_bound(2, 3) == 4

@@ -1,0 +1,55 @@
+"""Tests for vanishing polynomials of Z_2^m."""
+
+from repro.poly import Polynomial, parse_polynomial as P
+from repro.rings import (
+    BitVectorSignature,
+    exhaustive_functions_equal,
+    is_vanishing,
+    smallest_vanishing_degree,
+    vanishing_generators,
+)
+
+TINY = BitVectorSignature((("x", 2), ("y", 2)), 4)
+
+
+class TestIsVanishing:
+    def test_zero_vanishes(self):
+        assert is_vanishing(Polynomial.zero(("x", "y")), TINY)
+
+    def test_classic_vanisher(self):
+        # 8 * x(x-1) vanishes mod 16 (x(x-1) is always even).
+        assert is_vanishing(P("8*x^2 - 8*x", variables=("x", "y")), TINY)
+
+    def test_falling_factorial_past_range(self):
+        # Y_4(x) = x(x-1)(x-2)(x-3) vanishes on 2-bit x.
+        y4 = P("x*(x-1)*(x-2)*(x-3)", variables=("x", "y"))
+        assert is_vanishing(y4, TINY)
+
+    def test_non_vanisher(self):
+        assert not is_vanishing(P("x + 1", variables=("x", "y")), TINY)
+
+
+class TestGenerators:
+    def test_all_generators_vanish_exhaustively(self):
+        zero = Polynomial.zero(("x", "y"))
+        generators = list(vanishing_generators(TINY))
+        assert generators, "expected at least one generator"
+        for gen in generators:
+            assert exhaustive_functions_equal(gen, zero, TINY), str(gen)
+
+    def test_degree_cap_respected(self):
+        for gen in vanishing_generators(TINY, max_total_degree=3):
+            assert gen.total_degree() <= 3
+
+
+class TestSmallestVanishingDegree:
+    def test_sixteen_bit_is_18(self):
+        sig = BitVectorSignature.uniform(("x", "y"), 16)
+        assert smallest_vanishing_degree(sig) == 18
+
+    def test_tiny(self):
+        assert smallest_vanishing_degree(TINY) == 4
+
+    def test_narrow_input(self):
+        sig = BitVectorSignature((("x", 1),), 16)
+        assert smallest_vanishing_degree(sig) == 2

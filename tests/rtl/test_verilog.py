@@ -1,0 +1,93 @@
+"""Tests for the Verilog emitter."""
+
+import re
+
+import pytest
+
+from repro.expr import Decomposition, make_add, make_mul, make_pow
+from repro.expr.ast import BlockRef
+from repro.rings import BitVectorSignature
+from repro.rtl import decomposition_to_verilog
+from repro.rtl.verilog import _sanitize
+
+SIG = BitVectorSignature.uniform(("x", "y"), 16)
+
+
+def emit(*outputs, blocks=None, name="datapath"):
+    d = Decomposition()
+    for block, expr in (blocks or {}).items():
+        d.blocks[block] = expr
+    d.outputs = list(outputs)
+    return decomposition_to_verilog(d, SIG, name)
+
+
+class TestStructure:
+    def test_module_skeleton(self):
+        text = emit(make_mul("x", "y"), name="mac")
+        assert text.startswith("module mac(")
+        assert text.rstrip().endswith("endmodule")
+        assert "input  [15:0] x;" in text
+        assert "output [15:0] p0;" in text
+
+    def test_operators_emitted(self):
+        text = emit(make_add("x", make_mul(-1, "y")))
+        assert re.search(r"assign n\d+ = x - y;", text)
+
+    def test_constant_multiplication(self):
+        text = emit(make_mul(13, "x"))
+        assert "* 16'd13" in text
+
+    def test_negative_constant_becomes_subtraction(self):
+        text = emit(make_add("x", -5))
+        # x + (-5) lowers to a subtractor of the positive constant
+        assert re.search(r"assign n\d+ = x - 16'd5;", text)
+
+    def test_block_shared_as_single_wire(self):
+        blocks = {"d": make_add("x", "y")}
+        text = emit(
+            make_pow(BlockRef("d"), 2),
+            make_mul(3, BlockRef("d")),
+            blocks=blocks,
+        )
+        # exactly one adder for the block
+        assert len(re.findall(r"= x \+ y;", text)) == 1
+
+    def test_deterministic(self):
+        a = emit(make_mul("x", "y"), make_add("x", 1))
+        b = emit(make_mul("x", "y"), make_add("x", 1))
+        assert a == b
+
+
+class TestSanitize:
+    def test_plain_name(self):
+        assert _sanitize("x") == "x"
+
+    def test_special_characters(self):
+        assert _sanitize("_b1") == "_b1"
+        assert _sanitize("a.b") == "a_b"
+
+    def test_leading_digit(self):
+        assert _sanitize("1x") == "v_1x"
+
+    def test_collision_detected(self):
+        d = Decomposition()
+        d.outputs = [make_add("a.b", "a_b")]
+        with pytest.raises(ValueError, match="collide"):
+            decomposition_to_verilog(
+                d, BitVectorSignature.uniform(("a.b", "a_b"), 8)
+            )
+
+
+class TestSemantics:
+    def test_assignment_order_is_topological(self):
+        # every wire is assigned after the wires it reads
+        text = emit(make_mul(make_add("x", 1), make_add("y", 2)))
+        assigned: set[str] = {"x", "y"}
+        for line in text.splitlines():
+            match = re.match(r"\s*assign (n\d+) = (.*);", line)
+            if not match:
+                continue
+            target, expression = match.groups()
+            for used in re.findall(r"\bn\d+\b", expression):
+                assert used in assigned, f"{used} read before assignment"
+            assigned.add(target)

@@ -1,0 +1,86 @@
+"""Tests for the benchmark suite: Table 14.3 characteristics must match."""
+
+import pytest
+
+from repro.suite import (
+    TABLE_14_3_SYSTEMS,
+    available_systems,
+    get_system,
+    savitzky_golay_system,
+)
+
+# The paper's Table 14.3 columns: (variables, degree, m, #polys)
+PAPER_CHARACTERISTICS = {
+    "SG 3X2": (2, 2, 16, 9),
+    "SG 4X2": (2, 2, 16, 16),
+    "SG 4X3": (2, 3, 16, 16),
+    "SG 5X2": (2, 2, 16, 25),
+    "SG 5X3": (2, 3, 16, 25),
+    "Quad": (2, 2, 16, 2),
+    "Mibench": (3, 2, 8, 2),
+    "MVCS": (2, 3, 16, 1),
+}
+
+
+class TestTable14_3Characteristics:
+    @pytest.mark.parametrize("name", TABLE_14_3_SYSTEMS)
+    def test_row_matches_paper(self, name):
+        system = get_system(name)
+        nvars, degree, width, npolys = PAPER_CHARACTERISTICS[name]
+        assert len(system.variables) == nvars, name
+        assert system.degree == degree, name
+        assert system.output_width == width, name
+        assert system.num_polys == npolys, name
+
+    @pytest.mark.parametrize("name", TABLE_14_3_SYSTEMS)
+    def test_characteristics_string(self, name):
+        system = get_system(name)
+        nvars, degree, width, _ = PAPER_CHARACTERISTICS[name]
+        assert system.characteristics() == f"{nvars}/{degree}/{width}"
+
+
+class TestRegistry:
+    def test_all_names_buildable(self):
+        for name in available_systems():
+            system = get_system(name)
+            assert system.num_polys >= 1
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown system"):
+            get_system("SG 9X9")
+
+
+class TestSavitzkyGolay:
+    def test_shifted_copies(self):
+        from repro.poly import Polynomial
+
+        system = savitzky_golay_system(3, 2)
+        base = system.polys[0]
+        # every polynomial is the base with x,y shifted by integers
+        shifted = system.polys[4]  # shift (1, 1)
+        expected = base.subs(
+            {
+                "x": Polynomial.variable("x") + 1,
+                "y": Polynomial.variable("y") + 1,
+            }
+        )
+        assert shifted == expected
+
+    def test_homogeneous_top_invariant(self):
+        # the degree-2 homogeneous part is the same across all shifts
+        system = savitzky_golay_system(3, 2)
+
+        def top(poly):
+            return {e: c for e, c in poly.terms.items() if sum(e) == 2}
+
+        reference = top(system.polys[0])
+        for poly in system.polys[1:]:
+            assert top(poly) == reference
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            savitzky_golay_system(1, 2)
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(ValueError):
+            savitzky_golay_system(3, 5)

@@ -1,0 +1,113 @@
+"""Tests for Taylor Expansion Diagrams."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.poly import Polynomial, parse_polynomial as P, parse_system
+from repro.ted import TedManager, ted_node_count, ted_to_expression
+from tests.conftest import polynomials
+
+
+def manager():
+    return TedManager(("x", "y", "z"))
+
+
+class TestConstruction:
+    def test_constant_leaf(self):
+        m = manager()
+        node = m.build(Polynomial.constant(7))
+        assert node.is_leaf and node.value == 7
+
+    def test_zero(self):
+        m = manager()
+        node = m.build(Polynomial.zero(("x",)))
+        assert node.is_leaf and node.value == 0
+
+    def test_roundtrip(self):
+        m = manager()
+        poly = P("x^2*y + 3*x + z + 5")
+        assert m.to_polynomial(m.build(poly)) == poly
+
+    def test_variable_outside_order(self):
+        m = manager()
+        with pytest.raises(KeyError):
+            m.build(P("q + 1"))
+
+    @settings(max_examples=50)
+    @given(polynomials(max_terms=5, max_exp=3, max_coeff=9))
+    def test_roundtrip_random(self, poly):
+        m = manager()
+        assert m.to_polynomial(m.build(poly)) == poly.trim()
+
+
+class TestCanonicity:
+    def test_equal_polys_same_node(self):
+        m = manager()
+        assert m.build(P("(x + y)^2")) is m.build(P("x^2 + 2*x*y + y^2"))
+
+    def test_different_polys_different_nodes(self):
+        m = manager()
+        assert m.build(P("x + y")) is not m.build(P("x - y"))
+
+    @settings(max_examples=40)
+    @given(
+        polynomials(max_terms=4, max_exp=3, max_coeff=9),
+        polynomials(max_terms=4, max_exp=3, max_coeff=9),
+    )
+    def test_canonicity_matches_equality(self, a, b):
+        m = manager()
+        assert m.equal(a, b) == (a == b)
+
+
+class TestSharing:
+    def test_shared_subfunction_one_node(self):
+        # (x + common) and (x^2 + common) share the sub-diagram of common
+        m = manager()
+        common = P("y^2 + 3*z")
+        left = m.build(P("x") + common)
+        right = m.build(P("x^2") + common)
+        shared = m.build(common)
+        assert shared in left.children or any(
+            c is shared for c in left.children
+        )
+        assert any(c is shared for c in right.children)
+
+    def test_node_count_compresses(self):
+        m = manager()
+        # y appears under both x^0 and x^1: the diagram shares it.
+        node = m.build(P("x*y + y"))
+        assert ted_node_count(node) <= 4
+
+
+class TestLowering:
+    def test_decomposition_correct(self):
+        m = manager()
+        system = parse_system(["x^2*y + x*y + y", "x*y + 5"])
+        roots = [m.build(p) for p in system]
+        decomposition = ted_to_expression(m, roots)
+        decomposition.validate(list(system))
+
+    def test_shared_node_becomes_block(self):
+        m = manager()
+        common = P("y^2 + 3*y + 1")
+        system = parse_system([str(P("x") * common), str(P("x + 1") * common + 2)])
+        roots = [m.build(p) for p in system]
+        decomposition = ted_to_expression(m, roots)
+        decomposition.validate(list(system))
+        assert decomposition.blocks, "expected the shared sub-function as a block"
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            polynomials(max_terms=4, max_exp=3, max_coeff=9),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_lowering_random(self, polys):
+        system = Polynomial.unify_all(polys)
+        m = manager()
+        roots = [m.build(p) for p in system]
+        decomposition = ted_to_expression(m, roots)
+        decomposition.validate([p.trim() for p in system])

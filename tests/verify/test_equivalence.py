@@ -1,0 +1,105 @@
+"""Tests for canonical-form equivalence checking."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.poly import Polynomial, parse_polynomial as P, parse_system
+from repro.rings import BitVectorSignature
+from repro.verify import (
+    check_decompositions,
+    check_polynomials,
+    check_systems,
+    find_counterexample,
+)
+from tests.conftest import polynomials
+
+SIG16 = BitVectorSignature.uniform(("x", "y", "z"), 16)
+TINY = BitVectorSignature((("x", 2), ("y", 2)), 4)
+
+
+class TestPolynomials:
+    def test_syntactically_equal(self):
+        assert check_polynomials(P("x + y"), P("y + x"), SIG16)
+
+    def test_vanishing_difference_equal(self):
+        left = P("x^2", variables=("x", "y"))
+        right = left + P("8*x^2 - 8*x", variables=("x", "y"))
+        assert check_polynomials(left, right, TINY)
+
+    def test_different_functions(self):
+        report = check_polynomials(P("x"), P("x + 1"), SIG16)
+        assert not report
+        assert report.counterexample is not None
+        env = dict(report.counterexample)
+        assert P("x").evaluate_mod(env, SIG16.modulus) != P("x + 1").evaluate_mod(
+            env, SIG16.modulus
+        )
+
+    def test_report_str(self):
+        assert str(check_polynomials(P("x"), P("x"), SIG16)) == "equivalent"
+        assert "NOT equivalent" in str(check_polynomials(P("x"), P("y"), SIG16))
+
+
+class TestSystems:
+    def test_arity_mismatch(self):
+        report = check_systems(parse_system(["x"]), parse_system(["x", "y"]), SIG16)
+        assert not report
+
+    def test_first_mismatch_reported(self):
+        left = parse_system(["x", "y"])
+        right = parse_system(["x", "y + 1"])
+        report = check_systems(left, right, SIG16)
+        assert report.failing_output == 1
+
+
+class TestDecompositions:
+    def test_synthesized_equivalent_to_direct(self):
+        from repro.baselines import direct_decomposition
+        from repro.core import synthesize
+        from repro.suite import table_14_1_system
+
+        system = table_14_1_system()
+        proposed = synthesize(list(system.polys), system.signature).decomposition
+        direct = direct_decomposition(list(system.polys))
+        assert check_decompositions(proposed, direct, system.signature)
+
+    def test_corrupted_decomposition_caught(self):
+        from repro.baselines import direct_decomposition
+
+        system = parse_system(["x + y", "x*y"])
+        good = direct_decomposition(system)
+        bad = direct_decomposition(parse_system(["x + y", "x*y + 1"]))
+        report = check_decompositions(good, bad, SIG16)
+        assert not report and report.failing_output == 1
+
+
+class TestCounterexamples:
+    def test_none_for_equal(self):
+        assert find_counterexample(P("x"), P("x"), SIG16) is None
+
+    def test_algebraic_witness_small_ring(self):
+        # functions equal except on the vanishing structure
+        left = P("x^3", variables=("x", "y"))
+        right = P("x", variables=("x", "y"))
+        # x^3 != x mod 16 at x = 2 (8 vs 2): must find some witness
+        witness = find_counterexample(left, right, TINY)
+        assert witness is not None
+        assert left.evaluate_mod(witness, 16) != right.evaluate_mod(witness, 16)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        polynomials(nvars=2, max_terms=4, max_exp=3, max_coeff=9),
+        polynomials(nvars=2, max_terms=4, max_exp=3, max_coeff=9),
+    )
+    def test_witness_is_sound(self, a, b):
+        report = check_polynomials(a, b, TINY)
+        if report:
+            # claimed equal: exhaustive check over the tiny signature
+            for x in range(4):
+                for y in range(4):
+                    env = {"x": x, "y": y}
+                    assert a.evaluate_mod(env, 16) == b.evaluate_mod(env, 16)
+        else:
+            env = dict(report.counterexample)
+            assert a.evaluate_mod(env, 16) != b.evaluate_mod(env, 16)
