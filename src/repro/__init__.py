@@ -22,14 +22,18 @@ Layers (bottom up):
 """
 
 from repro.api import (
+    DEFAULT_METHODS,
     MethodOutcome,
     TradeoffPoint,
     compare_methods,
     explore_tradeoffs,
     improvement,
+    method_outcome,
     synthesize_system,
 )
-from repro.core import SynthesisOptions, SynthesisResult, synthesize
+from repro.baselines import available_methods, register_method
+from repro.core import SynthesisOptions, SynthesisResult, Timings, synthesize
+from repro.engine import BatchEngine, BatchJob, BatchReport, JobResult
 from repro.expr import Decomposition, OpCount
 from repro.poly import Polynomial, parse_polynomial, parse_system
 from repro.rings import BitVectorSignature
@@ -38,20 +42,29 @@ from repro.system import PolySystem
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchEngine",
+    "BatchJob",
+    "BatchReport",
     "BitVectorSignature",
+    "DEFAULT_METHODS",
     "Decomposition",
+    "JobResult",
     "MethodOutcome",
     "OpCount",
     "PolySystem",
     "Polynomial",
     "SynthesisOptions",
     "SynthesisResult",
+    "Timings",
     "TradeoffPoint",
+    "available_methods",
     "compare_methods",
     "explore_tradeoffs",
     "improvement",
+    "method_outcome",
     "parse_polynomial",
     "parse_system",
+    "register_method",
     "synthesize",
     "synthesize_system",
     "__version__",

@@ -17,6 +17,11 @@ Commands:
     Synthesize and emit a Verilog module.
 ``systems``
     List the built-in benchmark systems.
+``methods``
+    List the registered synthesis methods (the method registry).
+``batch``
+    Run many benchmark systems through the batch engine (parallel
+    workers, content-hash cache) and print per-phase timings.
 """
 
 from __future__ import annotations
@@ -28,7 +33,6 @@ from repro import (
     BitVectorSignature,
     PolySystem,
     compare_methods,
-    improvement,
     parse_system,
     synthesize_system,
 )
@@ -59,15 +63,64 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.api import DEFAULT_METHODS
+    from repro.baselines import available_methods
     from repro.report import markdown_report, text_report
 
     system = _system_from_args(args)
-    outcomes = compare_methods(system)
+    if args.methods:
+        methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+        unknown = [m for m in methods if m not in available_methods()]
+        if unknown:
+            print(
+                f"error: unknown method(s) {', '.join(unknown)}; "
+                f"registered: {', '.join(available_methods())}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        methods = DEFAULT_METHODS
+    outcomes = compare_methods(system, methods=methods)
     if args.markdown:
         print(markdown_report(system, outcomes))
     else:
         print(text_report(system, outcomes))
     return 0
+
+
+def _cmd_methods(args: argparse.Namespace) -> int:
+    from repro.baselines import available_methods, get_method
+
+    for name in available_methods():
+        doc = (get_method(name).__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:12s} {summary}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.baselines import available_methods
+    from repro.engine import BatchEngine
+    from repro.suite import TABLE_14_3_SYSTEMS
+
+    if args.method not in available_methods():
+        print(
+            f"error: unknown method {args.method!r}; "
+            f"registered: {', '.join(available_methods())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.systems:
+        names = tuple(n.strip() for n in args.systems.split(",") if n.strip())
+    else:
+        names = TABLE_14_3_SYSTEMS
+    engine = BatchEngine(workers=args.workers, cache_dir=args.cache_dir)
+    report = None
+    for _ in range(max(1, args.repeat)):
+        report = engine.run_suite(names, method=args.method)
+    assert report is not None
+    print(report.summary_table())
+    return 1 if report.errors else 0
 
 
 def _cmd_canon(args: argparse.Namespace) -> int:
@@ -141,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="compare all methods")
     add_system_options(p)
     p.add_argument("--markdown", action="store_true", help="emit a Markdown table")
+    p.add_argument(
+        "--methods",
+        help="comma-separated method names from the registry "
+        "(default: direct,horner,factor+cse,proposed)",
+    )
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("canon", help="canonical form over Z_2^m")
@@ -168,6 +226,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("systems", help="list built-in benchmark systems")
     p.set_defaults(func=_cmd_systems)
+
+    p = sub.add_parser("methods", help="list registered synthesis methods")
+    p.set_defaults(func=_cmd_methods)
+
+    p = sub.add_parser("batch", help="batch-synthesize systems via the engine")
+    p.add_argument(
+        "--systems",
+        help="comma-separated benchmark system names "
+        "(default: the eight Table 14.3 rows)",
+    )
+    p.add_argument(
+        "--method", default="proposed", help="registered method to run"
+    )
+    p.add_argument(
+        "--workers", type=int, default=1, help="process pool size (1 = in-process)"
+    )
+    p.add_argument(
+        "--cache-dir", help="directory for the on-disk result cache (optional)"
+    )
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the batch N times (N>1 demonstrates warm-cache hit rates)",
+    )
+    p.set_defaults(func=_cmd_batch)
     return parser
 
 

@@ -9,13 +9,10 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
-from repro.baselines import (
-    direct_decomposition,
-    factor_cse_decomposition,
-    horner_baseline,
-)
+from repro.baselines import available_methods, get_method
 from repro.core import SynthesisOptions, SynthesisResult, synthesize
 from repro.cost import (
     DEFAULT_MODEL,
@@ -37,6 +34,10 @@ class MethodOutcome:
     hardware: HardwareReport
 
 
+#: Methods compare_methods runs when the caller does not ask for a subset.
+DEFAULT_METHODS: tuple[str, ...] = ("direct", "horner", "factor+cse", "proposed")
+
+
 def synthesize_system(
     system: PolySystem, options: SynthesisOptions | None = None
 ) -> SynthesisResult:
@@ -44,43 +45,51 @@ def synthesize_system(
     return synthesize(list(system.polys), system.signature, options)
 
 
+def method_outcome(
+    method: str,
+    decomposition: Decomposition,
+    system: PolySystem,
+    model: TechnologyModel = DEFAULT_MODEL,
+) -> MethodOutcome:
+    """Price one method's decomposition (ops + hardware estimate)."""
+    return MethodOutcome(
+        method=method,
+        decomposition=decomposition,
+        op_count=decomposition.op_count(),
+        hardware=estimate_decomposition(decomposition, system.signature, model),
+    )
+
+
 def compare_methods(
     system: PolySystem,
     options: SynthesisOptions | None = None,
     model: TechnologyModel = DEFAULT_MODEL,
-    methods: tuple[str, ...] = ("direct", "horner", "factor+cse", "proposed"),
+    methods: tuple[str, ...] = DEFAULT_METHODS,
 ) -> dict[str, MethodOutcome]:
     """Synthesize a system with every method and price the results.
+
+    Methods are resolved through :mod:`repro.baselines.registry`, so
+    anything registered with
+    :func:`~repro.baselines.registry.register_method` can be named here.
+    Unknown names emit a :class:`DeprecationWarning` and are skipped (the
+    historical behaviour was to skip silently).
 
     This drives the Table 14.1 and Table 14.3 reproductions: operator
     counts for the former, area/delay for the latter.
     """
-    polys = list(system.polys)
     outcomes: dict[str, MethodOutcome] = {}
-
-    def add(method: str, decomposition: Decomposition) -> None:
-        outcomes[method] = MethodOutcome(
-            method=method,
-            decomposition=decomposition,
-            op_count=decomposition.op_count(),
-            hardware=estimate_decomposition(decomposition, system.signature, model),
-        )
-
-    if "direct" in methods:
-        add("direct", direct_decomposition(polys))
-    if "horner" in methods:
-        add("horner", horner_baseline(polys))
-    if "factor+cse" in methods:
-        add("factor+cse", factor_cse_decomposition(polys))
-    if "ted" in methods:
-        from repro.ted import TedManager, ted_to_expression
-
-        manager = TedManager(system.variables)
-        roots = [manager.build(p) for p in polys]
-        add("ted", ted_to_expression(manager, roots))
-    if "proposed" in methods:
-        result = synthesize_system(system, options)
-        add("proposed", result.decomposition)
+    for method in methods:
+        try:
+            fn = get_method(method)
+        except KeyError:
+            warnings.warn(
+                f"compare_methods: unknown method {method!r} skipped; "
+                f"registered methods: {', '.join(available_methods())}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            continue
+        outcomes[method] = method_outcome(method, fn(system, options), system, model)
     return outcomes
 
 
@@ -112,7 +121,6 @@ def explore_tradeoffs(
     The points expose the knob the paper's Table 14.3 turns implicitly:
     buying area with delay and vice versa.
     """
-    from repro.baselines import factor_cse_decomposition
     from repro.cost import estimate_graph
     from repro.dfg import build_dfg
 
@@ -125,7 +133,7 @@ def explore_tradeoffs(
             TradeoffPoint(label, report.area, report.delay, decomposition.op_count())
         )
 
-    baseline = factor_cse_decomposition(list(system.polys))
+    baseline = get_method("factor+cse")(system, None)
     add("baseline", baseline)
 
     area_result = synthesize(list(system.polys), system.signature)

@@ -5,11 +5,25 @@ from .direct import direct_decomposition
 from .factor_cse import factor_cse_decomposition
 from .horner import horner_baseline
 from .library_match import library_match_decomposition, match_library
+from .registry import (
+    MethodFn,
+    available_methods,
+    get_method,
+    is_registered,
+    register_method,
+    unregister_method,
+)
 
 __all__ = [
+    "MethodFn",
+    "available_methods",
     "direct_decomposition",
     "factor_cse_decomposition",
+    "get_method",
     "horner_baseline",
+    "is_registered",
     "library_match_decomposition",
     "match_library",
+    "register_method",
+    "unregister_method",
 ]

@@ -26,7 +26,6 @@ from repro.core.synth import refactored_expression
 from repro.expr import Decomposition
 from repro.poly import Polynomial
 from repro.rings.groebner import (
-    QPolynomial,
     buchberger,
     from_integer_polynomial,
     reduce_polynomial,

@@ -20,6 +20,7 @@ from .cube_extract import (
     exposed_linear_kernels,
     homogeneous_part,
 )
+from .metrics import PhaseTiming, Timings
 from .representations import (
     Representation,
     canonical_representations,
@@ -45,9 +46,11 @@ __all__ = [
     "CceResult",
     "FlowEvent",
     "FlowTrace",
+    "PhaseTiming",
     "Representation",
     "SynthesisOptions",
     "SynthesisResult",
+    "Timings",
     "assemble_decomposition",
     "best_expression",
     "candidate_gcds",

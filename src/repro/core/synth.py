@@ -30,15 +30,15 @@ from itertools import product
 
 from repro.cse import eliminate_common_subexpressions
 from repro.expr import Decomposition, OpCount, expr_from_polynomial, expr_op_count
-from repro.expr.ast import Add, BlockRef, Const, Expr, Mul, Pow, Var
+from repro.expr.ast import Add, BlockRef, Expr, Mul, Pow, Var
 from repro.factor import horner_greedy
 from repro.poly import Polynomial
 from repro.rings import BitVectorSignature, functions_equal
 
 from .algdiv import division_candidates, refine_block_definitions
 from .blocks import BlockRegistry
-from .cce import common_coefficient_extraction
 from .cube_extract import cube_extraction
+from .metrics import Timings
 from .representations import (
     Representation,
     cce_representation,
@@ -82,6 +82,7 @@ class SynthesisResult:
     registry: BlockRegistry
     combinations_scored: int = 0
     trace: "FlowTrace | None" = None
+    timings: "Timings | None" = None
 
     def summary(self) -> str:
         lines = [
@@ -245,37 +246,48 @@ def synthesize(
     signature: BitVectorSignature | None = None,
     options: SynthesisOptions | None = None,
     trace: FlowTrace | None = None,
+    timings: Timings | None = None,
 ) -> SynthesisResult:
     """Run the full integrated flow on a polynomial system.
 
     ``signature`` enables the canonical-form representations (without it
     only the integer-exact transformations run).  Pass a
     :class:`~repro.core.trace.FlowTrace` to record what every phase did.
+    Per-phase wall times and counters are always collected into a
+    :class:`~repro.core.metrics.Timings` (pass your own to aggregate
+    across calls) and exposed as ``result.timings``.
     The returned decomposition is validated: integer-exact outputs must
     expand to the original polynomials, canonical-form outputs must be
     functionally equal over the signature.
     """
     options = options or SynthesisOptions()
     trace = trace if trace is not None else FlowTrace()
+    timings = timings if timings is not None else Timings()
     system = Polynomial.unify_all(list(system))
     if not system:
         raise ValueError("cannot synthesize an empty system")
     registry = BlockRegistry(system[0].vars)
 
-    # Phase 1: initial representation lists (Fig. 14.1a).
+    # Phase 1: initial representation lists (Fig. 14.1a) — original,
+    # square-free/factored, and canonical falling-factorial rewrites.
     lists: list[list[Representation]] = []
-    for poly in system:
-        reps = initial_representations(
-            poly,
-            registry,
-            signature=signature if options.enable_canonical else None,
-            enable_canonical=options.enable_canonical,
-            enable_factoring=options.enable_factoring,
-        )
-        lists.append(reps)
-        trace.record(
-            "initial", f"{len(reps)} representation(s)",
-            tags=[r.tag for r in reps],
+    with timings.phase("initial") as clock:
+        for poly in system:
+            reps = initial_representations(
+                poly,
+                registry,
+                signature=signature if options.enable_canonical else None,
+                enable_canonical=options.enable_canonical,
+                enable_factoring=options.enable_factoring,
+            )
+            lists.append(reps)
+            trace.record(
+                "initial", f"{len(reps)} representation(s)",
+                tags=[r.tag for r in reps],
+            )
+        clock.count(
+            representations=sum(len(reps) for reps in lists),
+            blocks=len(registry.defs),
         )
 
     # Phase 1b: CSE exposure — shared multi-term sub-expressions of the
@@ -283,89 +295,110 @@ def synthesize(
     # division phases can dig into them (e.g. a quadratic form shared by
     # every shifted filter copy, which then factors into linear blocks).
     if options.enable_cse_exposure:
-        exposure = eliminate_common_subexpressions(system, prefix="_pre")
-        mapping: dict[str, Polynomial] = {}
-        for pre_name, pre_def in exposure.blocks.items():
-            substituted = pre_def.subs(
-                {old: repl for old, repl in mapping.items()
-                 if old in pre_def.used_vars()}
-            )
-            try:
-                reg_name, sign = registry.register(substituted)
-            except ValueError:
-                continue  # trivial block (constant after substitution)
-            mapping[pre_name] = Polynomial.variable(reg_name).scale(sign)
-        trace.record(
-            "cse-exposure", f"{len(mapping)} shared sub-expression block(s)"
-        )
-        if mapping:
-            for poly, reps in zip(exposure.polys, lists):
-                rewritten = poly.subs(
+        with timings.phase("cse-exposure") as clock:
+            before_blocks = len(registry.defs)
+            exposure = eliminate_common_subexpressions(system, prefix="_pre")
+            mapping: dict[str, Polynomial] = {}
+            for pre_name, pre_def in exposure.blocks.items():
+                substituted = pre_def.subs(
                     {old: repl for old, repl in mapping.items()
-                     if old in poly.used_vars()}
+                     if old in pre_def.used_vars()}
                 )
-                if rewritten.trim() != reps[0].poly.trim():
-                    reps.append(Representation(rewritten, "cse"))
+                try:
+                    reg_name, sign = registry.register(substituted)
+                except ValueError:
+                    continue  # trivial block (constant after substitution)
+                mapping[pre_name] = Polynomial.variable(reg_name).scale(sign)
+            trace.record(
+                "cse-exposure", f"{len(mapping)} shared sub-expression block(s)"
+            )
+            if mapping:
+                for poly, reps in zip(exposure.polys, lists):
+                    rewritten = poly.subs(
+                        {old: repl for old, repl in mapping.items()
+                         if old in poly.used_vars()}
+                    )
+                    if rewritten.trim() != reps[0].poly.trim():
+                        reps.append(Representation(rewritten, "cse"))
+            clock.count(blocks=len(registry.defs) - before_blocks)
 
     # Phase 2: CCE on every representation.
     if options.enable_cce:
-        cce_hits = 0
-        for reps in lists:
-            for rep in list(reps):
-                extracted = cce_representation(rep, registry)
-                if extracted is not None:
-                    reps.append(extracted)
-                    cce_hits += 1
-        trace.record("cce", f"{cce_hits} representation(s) extracted")
+        with timings.phase("cce") as clock:
+            cce_hits = 0
+            for reps in lists:
+                for rep in list(reps):
+                    extracted = cce_representation(rep, registry)
+                    if extracted is not None:
+                        reps.append(extracted)
+                        cce_hits += 1
+            trace.record("cce", f"{cce_hits} representation(s) extracted")
+            clock.count(representations=cce_hits)
 
     # Phase 3: Cube_Ex exposes linear kernels as divisor blocks, and the
     # top homogeneous forms contribute their linear factors (shift-
     # invariant structure CCE's filter cannot split).
-    if options.enable_cube_extraction:
-        all_rep_polys = [rep.poly for reps in lists for rep in reps]
-        cube_extraction(all_rep_polys, registry)
-    if options.enable_factoring:
-        from .cube_extract import expose_homogeneous_factors
+    with timings.phase("cube-extract") as clock:
+        before_blocks = len(registry.defs)
+        if options.enable_cube_extraction:
+            all_rep_polys = [rep.poly for reps in lists for rep in reps]
+            cube_extraction(all_rep_polys, registry)
+        if options.enable_factoring:
+            from .cube_extract import expose_homogeneous_factors
 
-        exposed = expose_homogeneous_factors(list(system), registry)
-        trace.record(
-            "expose", f"{len(registry.defs)} block(s) in the registry",
-            homogeneous=[str(registry.ground[n]) for n in exposed],
-        )
+            exposed = expose_homogeneous_factors(list(system), registry)
+            trace.record(
+                "expose", f"{len(registry.defs)} block(s) in the registry",
+                homogeneous=[str(registry.ground[n]) for n in exposed],
+            )
+        clock.count(blocks=len(registry.defs) - before_blocks)
 
     # Phase 4: refine block definitions (factor + divide through blocks).
-    _factor_block_definitions(registry, options)
-    refined = refine_block_definitions(registry)
-    trace.record("refine", f"{refined} definition(s) rewritten through blocks")
+    with timings.phase("refine") as clock:
+        _factor_block_definitions(registry, options)
+        refined = refine_block_definitions(registry)
+        trace.record("refine", f"{refined} definition(s) rewritten through blocks")
+        clock.count(refined=refined)
 
     # Phase 5: algebraic division candidates (Fig. 14.1b).
     if options.enable_division:
-        for poly, reps in zip(system, lists):
-            for candidate in division_candidates(
-                poly, registry, options.max_division_candidates
-            ):
-                reps.append(Representation(candidate, "division"))
-            cce_reps = [r for r in reps if r.tag.startswith("cce")]
-            for rep in cce_reps:
+        with timings.phase("division") as clock:
+            division_hits = 0
+            for poly, reps in zip(system, lists):
                 for candidate in division_candidates(
-                    rep.poly, registry, 2
+                    poly, registry, options.max_division_candidates
                 ):
-                    reps.append(
-                        Representation(candidate, f"division({rep.tag})", rep.modular)
-                    )
+                    reps.append(Representation(candidate, "division"))
+                    division_hits += 1
+                cce_reps = [r for r in reps if r.tag.startswith("cce")]
+                for rep in cce_reps:
+                    for candidate in division_candidates(
+                        rep.poly, registry, 2
+                    ):
+                        reps.append(
+                            Representation(
+                                candidate, f"division({rep.tag})", rep.modular
+                            )
+                        )
+                        division_hits += 1
+            clock.count(representations=division_hits)
 
     # Prune each list: dedupe, keep the cheapest few (always keep original).
-    pruned: list[list[Representation]] = []
-    for reps in lists:
-        reps = dedupe_representations(reps)
-        scored = sorted(
-            reps, key=lambda r: _standalone_weight(r.poly, registry)
-        )
-        keep = scored[: options.max_representations]
-        if reps[0] not in keep:
-            keep.append(reps[0])
-        pruned.append(keep)
-    lists = pruned
+    with timings.phase("prune") as clock:
+        before_reps = sum(len(reps) for reps in lists)
+        pruned: list[list[Representation]] = []
+        for reps in lists:
+            reps = dedupe_representations(reps)
+            scored = sorted(
+                reps, key=lambda r: _standalone_weight(r.poly, registry)
+            )
+            keep = scored[: options.max_representations]
+            if reps[0] not in keep:
+                keep.append(reps[0])
+            pruned.append(keep)
+        lists = pruned
+        after_reps = sum(len(reps) for reps in lists)
+        clock.count(representations=after_reps, dropped=before_reps - after_reps)
 
     # Phase 6: combination search (Fig. 14.1c).
     cache: dict[tuple[int, ...], tuple[float, Decomposition]] = {}
@@ -379,47 +412,56 @@ def synthesize(
             scored_counter += 1
         return cache[indices]
 
-    sizes = [len(reps) for reps in lists]
-    total = 1
-    for size in sizes:
-        total *= size
-        if total > options.exhaustive_limit:
-            break
+    with timings.phase("search") as clock:
+        sizes = [len(reps) for reps in lists]
+        total = 1
+        for size in sizes:
+            total *= size
+            if total > options.exhaustive_limit:
+                break
 
-    if total <= options.exhaustive_limit:
-        best_indices = None
-        best_cost = None
-        for indices in product(*(range(s) for s in sizes)):
-            cost, _ = score_indices(indices)
-            if best_cost is None or cost < best_cost:
-                best_cost = cost
-                best_indices = indices
-    else:
-        best_indices, best_cost = _seeded_descent(
-            lists, sizes, registry, options, score_indices
+        if total <= options.exhaustive_limit:
+            best_indices = None
+            best_cost = None
+            for indices in product(*(range(s) for s in sizes)):
+                cost, _ = score_indices(indices)
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_indices = indices
+        else:
+            best_indices, best_cost = _seeded_descent(
+                lists, sizes, registry, options, score_indices
+            )
+
+        assert best_indices is not None
+        trace.record(
+            "search",
+            f"{scored_counter} combination(s) scored",
+            chosen=[lists[i][j].tag for i, j in enumerate(best_indices)],
+        )
+        _, decomposition = score_indices(best_indices)
+        chosen = [lists[i][j] for i, j in enumerate(best_indices)]
+        initial = direct_cost(system, options)
+        final = decomposition.op_count()
+        clock.count(
+            combinations=scored_counter,
+            ops_initial=_weighted(initial, options),
+            ops_final=_weighted(final, options),
         )
 
-    assert best_indices is not None
-    trace.record(
-        "search",
-        f"{scored_counter} combination(s) scored",
-        chosen=[lists[i][j].tag for i, j in enumerate(best_indices)],
-    )
-    _, decomposition = score_indices(best_indices)
-    chosen = [lists[i][j] for i, j in enumerate(best_indices)]
+    with timings.phase("validate"):
+        _validate(decomposition, system, chosen, signature)
 
-    _validate(decomposition, system, chosen, signature)
-
-    initial = direct_cost(system, options)
     return SynthesisResult(
         decomposition=decomposition,
-        op_count=decomposition.op_count(),
+        op_count=final,
         initial_op_count=initial,
         representation_lists=lists,
         chosen=best_indices,
         registry=registry,
         combinations_scored=scored_counter,
         trace=trace,
+        timings=timings,
     )
 
 

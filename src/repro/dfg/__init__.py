@@ -3,10 +3,11 @@
 from .build import DfgBuilder, build_dfg
 from .graph import DataFlowGraph, Node, NodeKind
 from .pipeline import PipelineReport, pipeline_cuts, pipeline_report
-from .schedule import asap_levels, critical_path
 from .scheduling import (
     Schedule,
     alap_levels,
+    asap_levels,
+    critical_path,
     list_schedule,
     mobility,
     resource_class,

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.cost.model import DEFAULT_MODEL, TechnologyModel
 
 from .graph import DataFlowGraph
-from .schedule import asap_levels
+from .scheduling import asap_levels
 
 
 @dataclass(frozen=True)

@@ -1,48 +1,11 @@
-"""ASAP levelization and critical-path analysis of dataflow graphs."""
+"""Deprecated shim — the contents merged into :mod:`repro.dfg.scheduling`.
+
+Import :func:`asap_levels` and :func:`critical_path` from
+``repro.dfg.scheduling`` (or simply ``repro.dfg``) instead.
+"""
 
 from __future__ import annotations
 
-from .graph import DataFlowGraph, Node
+from .scheduling import asap_levels, critical_path
 
-
-def asap_levels(graph: DataFlowGraph) -> dict[int, int]:
-    """Topological operator level of every node (inputs/constants at 0)."""
-    levels: dict[int, int] = {}
-    for node in graph.nodes:  # nodes list is already topologically ordered
-        if not node.operands:
-            levels[node.index] = 0
-        else:
-            levels[node.index] = 1 + max(levels[op] for op in node.operands)
-    return levels
-
-
-def critical_path(
-    graph: DataFlowGraph, node_delay
-) -> tuple[float, list[int]]:
-    """Longest weighted path through the graph.
-
-    ``node_delay(node) -> float`` supplies per-node delays (the cost model
-    provides width-aware ones).  Returns the total delay of the critical
-    path to any output, and the node indices along it (source first).
-    """
-    arrival: dict[int, float] = {}
-    predecessor: dict[int, int | None] = {}
-    for node in graph.nodes:
-        own = node_delay(node)
-        if not node.operands:
-            arrival[node.index] = own
-            predecessor[node.index] = None
-        else:
-            best_op = max(node.operands, key=lambda i: arrival[i])
-            arrival[node.index] = arrival[best_op] + own
-            predecessor[node.index] = best_op
-    if not graph.outputs:
-        return 0.0, []
-    end = max(graph.outputs, key=lambda i: arrival[i])
-    path: list[int] = []
-    cursor: int | None = end
-    while cursor is not None:
-        path.append(cursor)
-        cursor = predecessor[cursor]
-    path.reverse()
-    return arrival[end], path
+__all__ = ["asap_levels", "critical_path"]

@@ -1,12 +1,14 @@
-"""Resource-constrained list scheduling of dataflow graphs.
+"""Scheduling and timing analysis of dataflow graphs.
 
 The paper's flow stops at combinational blocks; a real high-level
 synthesis pipeline (Section 14.1's CDFG world) also *schedules* the
 operations onto a limited set of functional units.  This module provides
 the classical machinery:
 
+* :func:`asap_levels` — as-soon-as-possible topological levels,
+* :func:`critical_path` — longest weighted path to any output,
 * :func:`alap_levels` — as-late-as-possible levels against a latency
-  bound (ASAP lives in :mod:`repro.dfg.schedule`),
+  bound,
 * :func:`mobility` — the slack per node (ALAP - ASAP), the standard list
   scheduling priority,
 * :func:`list_schedule` — resource-constrained list scheduling with one
@@ -16,6 +18,9 @@ the classical machinery:
 Invariants (tested): data dependencies respected, per-cycle resource
 usage within bounds, latency between the ASAP bound and the fully
 serialized bound.
+
+(Historically split across ``repro.dfg.schedule`` and this module;
+``repro.dfg.schedule`` remains as a re-export shim.)
 """
 
 from __future__ import annotations
@@ -23,7 +28,49 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .graph import DataFlowGraph, Node, NodeKind
-from .schedule import asap_levels
+
+
+def asap_levels(graph: DataFlowGraph) -> dict[int, int]:
+    """Topological operator level of every node (inputs/constants at 0)."""
+    levels: dict[int, int] = {}
+    for node in graph.nodes:  # nodes list is already topologically ordered
+        if not node.operands:
+            levels[node.index] = 0
+        else:
+            levels[node.index] = 1 + max(levels[op] for op in node.operands)
+    return levels
+
+
+def critical_path(
+    graph: DataFlowGraph, node_delay
+) -> tuple[float, list[int]]:
+    """Longest weighted path through the graph.
+
+    ``node_delay(node) -> float`` supplies per-node delays (the cost model
+    provides width-aware ones).  Returns the total delay of the critical
+    path to any output, and the node indices along it (source first).
+    """
+    arrival: dict[int, float] = {}
+    predecessor: dict[int, int | None] = {}
+    for node in graph.nodes:
+        own = node_delay(node)
+        if not node.operands:
+            arrival[node.index] = own
+            predecessor[node.index] = None
+        else:
+            best_op = max(node.operands, key=lambda i: arrival[i])
+            arrival[node.index] = arrival[best_op] + own
+            predecessor[node.index] = best_op
+    if not graph.outputs:
+        return 0.0, []
+    end = max(graph.outputs, key=lambda i: arrival[i])
+    path: list[int] = []
+    cursor: int | None = end
+    while cursor is not None:
+        path.append(cursor)
+        cursor = predecessor[cursor]
+    path.reverse()
+    return arrival[end], path
 
 
 #: Which operator kinds compete for the same functional units.

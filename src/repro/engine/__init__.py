@@ -1,0 +1,29 @@
+"""Batch synthesis engine: parallel fan-out, content-hash caching, metrics.
+
+The scaling layer above :func:`repro.core.synth.synthesize` — see
+``docs/ENGINE.md`` for the design and ``python -m repro batch`` for the
+CLI front-end.
+"""
+
+from .cache import (
+    CACHE_SALT,
+    CacheStats,
+    DiskCache,
+    LruCache,
+    ResultCache,
+    cache_key,
+)
+from .engine import BatchEngine, BatchJob, BatchReport, JobResult
+
+__all__ = [
+    "BatchEngine",
+    "BatchJob",
+    "BatchReport",
+    "CACHE_SALT",
+    "CacheStats",
+    "DiskCache",
+    "JobResult",
+    "LruCache",
+    "ResultCache",
+    "cache_key",
+]

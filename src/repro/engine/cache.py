@@ -1,0 +1,200 @@
+"""Two-tier result cache for the batch synthesis engine.
+
+Results are keyed by a **stable content hash** of everything that can
+change the answer:
+
+* the canonicalized polynomial system (``PolySystem`` unifies variable
+  tuples on construction; ``polynomial_to_dict`` sorts terms),
+* the bit-vector signature,
+* the full :class:`~repro.core.synth.SynthesisOptions`,
+* the method name,
+* a code-version salt (bumped whenever the flow's output can change).
+
+Two tiers:
+
+* an in-memory LRU (:class:`LruCache`) — hot within one process,
+* an optional on-disk store (:class:`DiskCache`) — survives processes,
+  one JSON file per key, written atomically (tmp + rename) so concurrent
+  writers can only ever race to an identical byte string.
+
+Values are opaque *strings* (the engine stores canonical JSON payloads),
+which keeps both tiers trivial and makes the serial-vs-parallel
+byte-identity guarantee easy to state: whatever path produced the value,
+the cached bytes are compared and returned verbatim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core import SynthesisOptions
+from repro.serialize import polynomial_to_dict, signature_to_dict
+from repro.system import PolySystem
+
+#: Code-version salt baked into every key.  Bump the trailing number in
+#: any PR that changes what the flow produces for the same input, so
+#: stale on-disk entries read as misses instead of wrong answers.
+CACHE_SALT = "repro-engine-v1"
+
+
+def cache_key(
+    system: PolySystem,
+    options: SynthesisOptions | None = None,
+    method: str = "proposed",
+    salt: str = CACHE_SALT,
+) -> str:
+    """Stable content hash identifying one synthesis job.
+
+    The system's *name* and *description* are metadata and deliberately
+    excluded: two systems with identical polynomials and signatures share
+    a cache entry.
+    """
+    options = options or SynthesisOptions()
+    payload = {
+        "method": method,
+        "polys": [polynomial_to_dict(p) for p in system.polys],
+        "signature": signature_to_dict(system.signature),
+        "options": asdict(options),
+        "salt": salt,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class LruCache:
+    """A tiny string->string LRU (no external dependencies)."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("LRU cache needs at least one slot")
+        self.maxsize = maxsize
+        self._data: OrderedDict[str, str] = OrderedDict()
+
+    def get(self, key: str) -> str | None:
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return None
+        return self._data[key]
+
+    def put(self, key: str, value: str) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class DiskCache:
+    """One file per key under a directory; corrupt entries read as misses."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> str | None:
+        path = self._path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            json.loads(text)  # refuse truncated / corrupt entries
+        except ValueError:
+            return None
+        return text
+
+    def put(self, key: str, value: str) -> None:
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:16]}-", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(value)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by tier."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from a cache tier (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """The two tiers glued together: memory first, then disk (promoting)."""
+
+    memory: LruCache = field(default_factory=LruCache)
+    disk: DiskCache | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    @classmethod
+    def create(
+        cls, maxsize: int = 256, cache_dir: str | os.PathLike | None = None
+    ) -> "ResultCache":
+        return cls(
+            memory=LruCache(maxsize),
+            disk=DiskCache(cache_dir) if cache_dir is not None else None,
+        )
+
+    def get(self, key: str) -> str | None:
+        value = self.memory.get(key)
+        if value is not None:
+            self.stats.memory_hits += 1
+            return value
+        if self.disk is not None:
+            value = self.disk.get(key)
+            if value is not None:
+                self.stats.disk_hits += 1
+                self.memory.put(key, value)
+                return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: str) -> None:
+        self.memory.put(key, value)
+        if self.disk is not None:
+            self.disk.put(key, value)
+        self.stats.stores += 1

@@ -1,0 +1,355 @@
+"""BatchEngine — parallel, cached synthesis of many polynomial systems.
+
+The paper evaluates Algorithm 7 over whole benchmark *suites* (the eight
+Table 14.3 rows); this engine is the layer that makes such batches cheap:
+
+* **fan-out** over a ``concurrent.futures.ProcessPoolExecutor`` with a
+  configurable worker count — results are returned in input order and are
+  byte-identical to serial execution (every job's result is reduced to a
+  canonical JSON payload before it crosses the process boundary),
+* **memoization** in a two-tier content-hash cache
+  (:mod:`repro.engine.cache`): an in-memory LRU plus an optional on-disk
+  store, so a warm rerun of a suite does zero synthesis work,
+* **graceful degradation** — ``workers=1`` never spawns processes, and a
+  broken pool (pickling failure, dead worker, fork refusal) falls back to
+  in-process execution instead of failing the batch,
+* **metrics** — each job carries the per-phase
+  :class:`~repro.core.metrics.Timings` of its synthesis run, and the
+  :class:`BatchReport` aggregates them across the batch.
+
+Methods other than the paper's flow can be batched too: any name
+registered in :mod:`repro.baselines.registry` is a valid ``BatchJob.method``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.baselines import get_method
+from repro.core import SynthesisOptions, Timings, direct_cost, synthesize
+from repro.expr import Decomposition, OpCount
+from repro.serialize import (
+    decomposition_from_dict,
+    decomposition_to_dict,
+    op_count_from_dict,
+    op_count_to_dict,
+    system_from_dict,
+    system_to_dict,
+    timings_from_dict,
+    timings_to_dict,
+)
+from repro.system import PolySystem
+
+from .cache import CACHE_SALT, CacheStats, ResultCache, cache_key
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of work: a system, the options, and the method to run."""
+
+    system: PolySystem
+    options: SynthesisOptions | None = None
+    method: str = "proposed"
+    name: str | None = None  # display name; defaults to system.name
+
+    @property
+    def label(self) -> str:
+        return self.name if self.name is not None else self.system.name
+
+
+@dataclass
+class JobResult:
+    """One job's outcome, decoded from the canonical payload."""
+
+    name: str
+    method: str
+    cache_hit: bool
+    cache_key: str
+    decomposition: Decomposition | None
+    op_count: OpCount | None
+    initial_op_count: OpCount | None
+    timings: Timings
+    payload: str  # canonical JSON of the whole outcome (incl. timings)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def canonical_result(self) -> str:
+        """Canonical JSON of the result alone — no timing measurements.
+
+        This is the byte-identity unit: serial, parallel, and cached
+        executions of the same job must produce identical strings.
+        """
+        data = json.loads(self.payload)
+        return json.dumps(
+            {
+                "method": data["method"],
+                "decomposition": data["decomposition"],
+                "op_count": data["op_count"],
+                "initial_op_count": data["initial_op_count"],
+                "error": data["error"],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @property
+    def seconds(self) -> float:
+        """Synthesis wall time (of the original computation when cached)."""
+        return self.timings.total_seconds()
+
+
+@dataclass
+class BatchReport:
+    """Everything one ``BatchEngine.run`` produced, in input order."""
+
+    results: list[JobResult]
+    workers: int
+    seconds: float
+    cache_hits: int
+    cache_misses: int
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def errors(self) -> list[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Per-phase synthesis seconds aggregated over every job."""
+        out: dict[str, float] = {}
+        for result in self.results:
+            for phase, seconds in result.timings.seconds_by_phase().items():
+                out[phase] = out.get(phase, 0.0) + seconds
+        return out
+
+    def summary_table(self) -> str:
+        from repro.report import batch_text_report
+
+        return batch_text_report(self)
+
+
+def _run_job_payload(
+    system_data: dict[str, Any],
+    options_data: dict[str, Any] | None,
+    method: str,
+) -> str:
+    """Execute one job and reduce the result to canonical JSON.
+
+    Runs identically in-process and inside pool workers — the payload is
+    the single representation results take before reaching the caller, so
+    serial and parallel execution cannot diverge.
+    """
+    payload: dict[str, Any] = {
+        "kind": "job-result",
+        "method": method,
+        "decomposition": None,
+        "op_count": None,
+        "initial_op_count": None,
+        "timings": Timings().as_dict(),
+        "error": None,
+    }
+    try:
+        system = system_from_dict(system_data)
+        options = SynthesisOptions(**options_data) if options_data else None
+        if method == "proposed":
+            result = synthesize(list(system.polys), system.signature, options)
+            decomposition = result.decomposition
+            op_count = result.op_count
+            initial = result.initial_op_count
+            timings = result.timings or Timings()
+        else:
+            fn = get_method(method)
+            timings = Timings()
+            with timings.phase(f"method:{method}"):
+                decomposition = fn(system, options)
+            op_count = decomposition.op_count()
+            initial = direct_cost(
+                list(system.polys), options or SynthesisOptions()
+            )
+        payload.update(
+            decomposition=decomposition_to_dict(decomposition),
+            op_count=op_count_to_dict(op_count),
+            initial_op_count=op_count_to_dict(initial),
+            timings=timings_to_dict(timings),
+        )
+    except Exception as exc:  # noqa: BLE001 - one bad job must not kill the batch
+        payload["error"] = f"{type(exc).__name__}: {exc}"
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _pool_worker(args: tuple[int, str]) -> tuple[int, str]:
+    """Top-level (picklable) pool entry point."""
+    index, blob = args
+    data = json.loads(blob)
+    return index, _run_job_payload(data["system"], data["options"], data["method"])
+
+
+class BatchEngine:
+    """Run many synthesis jobs with caching, parallelism, and metrics."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_size: int = 256,
+        cache_dir: str | None = None,
+        salt: str = CACHE_SALT,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.salt = salt
+        self.cache = ResultCache.create(maxsize=cache_size, cache_dir=cache_dir)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: Iterable[BatchJob | PolySystem]) -> BatchReport:
+        """Execute a batch; results come back in input order."""
+        batch = [self._coerce(job) for job in jobs]
+        start = time.perf_counter()
+        keys = [
+            cache_key(job.system, job.options, job.method, self.salt)
+            for job in batch
+        ]
+        payloads: dict[int, str] = {}
+        hits: dict[int, bool] = {}
+        pending: list[int] = []
+        for index, key in enumerate(keys):
+            cached = self.cache.get(key)
+            if cached is not None:
+                payloads[index] = cached
+                hits[index] = True
+            else:
+                pending.append(index)
+
+        for index, payload in self._execute(batch, pending).items():
+            payloads[index] = payload
+            hits[index] = False
+            if json.loads(payload).get("error") is None:
+                self.cache.put(keys[index], payload)
+
+        results = [
+            _decode_result(batch[i].label, batch[i].method, keys[i],
+                           payloads[i], hits[i])
+            for i in range(len(batch))
+        ]
+        return BatchReport(
+            results=results,
+            workers=self.workers if len(pending) > 1 else 1,
+            seconds=time.perf_counter() - start,
+            cache_hits=sum(1 for h in hits.values() if h),
+            cache_misses=len(pending),
+            stats=self.cache.stats,
+        )
+
+    def run_suite(
+        self,
+        names: Sequence[str] | None = None,
+        options: SynthesisOptions | None = None,
+        method: str = "proposed",
+    ) -> BatchReport:
+        """Batch the named benchmark systems (default: the Table 14.3 eight)."""
+        from repro.suite import TABLE_14_3_SYSTEMS, get_system
+
+        names = tuple(names) if names is not None else TABLE_14_3_SYSTEMS
+        return self.run(
+            BatchJob(system=get_system(name), options=options, method=method)
+            for name in names
+        )
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+
+    def _coerce(self, job: BatchJob | PolySystem) -> BatchJob:
+        if isinstance(job, PolySystem):
+            return BatchJob(system=job)
+        return job
+
+    def _job_blob(self, job: BatchJob) -> str:
+        return json.dumps(
+            {
+                "system": system_to_dict(job.system),
+                "options": asdict(job.options) if job.options else None,
+                "method": job.method,
+            }
+        )
+
+    def _execute(self, batch: list[BatchJob], pending: list[int]) -> dict[int, str]:
+        if not pending:
+            return {}
+        if self.workers > 1 and len(pending) > 1:
+            try:
+                return self._execute_pool(batch, pending)
+            except Exception:
+                # Broken pool (fork refusal, dead worker, pickling issue):
+                # degrade to in-process execution rather than fail the batch.
+                pass
+        return self._execute_serial(batch, pending)
+
+    def _execute_serial(
+        self, batch: list[BatchJob], pending: list[int]
+    ) -> dict[int, str]:
+        out: dict[int, str] = {}
+        for index in pending:
+            _, payload = _pool_worker((index, self._job_blob(batch[index])))
+            out[index] = payload
+        return out
+
+    def _execute_pool(
+        self, batch: list[BatchJob], pending: list[int]
+    ) -> dict[int, str]:
+        out: dict[int, str] = {}
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(_pool_worker, (index, self._job_blob(batch[index])))
+                for index in pending
+            ]
+            for future in futures:
+                index, payload = future.result()
+                out[index] = payload
+        return out
+
+
+def _decode_result(
+    name: str, method: str, key: str, payload: str, cache_hit: bool
+) -> JobResult:
+    data = json.loads(payload)
+    decomposition = (
+        decomposition_from_dict(data["decomposition"])
+        if data.get("decomposition") is not None
+        else None
+    )
+    return JobResult(
+        name=name,
+        method=method,
+        cache_hit=cache_hit,
+        cache_key=key,
+        decomposition=decomposition,
+        op_count=(
+            op_count_from_dict(data["op_count"])
+            if data.get("op_count") is not None
+            else None
+        ),
+        initial_op_count=(
+            op_count_from_dict(data["initial_op_count"])
+            if data.get("initial_op_count") is not None
+            else None
+        ),
+        timings=timings_from_dict(data["timings"]),
+        payload=payload,
+        error=data.get("error"),
+    )

@@ -25,7 +25,7 @@ constants, and drop identities, keeping cost counting honest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Union
+from typing import Mapping, Union
 
 from repro.poly import Polynomial
 

@@ -20,7 +20,7 @@ variables, so ``parse("x+y") * parse("y+z")`` works as expected.
 from __future__ import annotations
 
 from math import gcd
-from typing import Callable, Dict, Iterable, Iterator, Mapping, Tuple, Union
+from typing import Callable, Dict, Iterable, Mapping, Tuple, Union
 
 from .monomial import (
     Exponents,

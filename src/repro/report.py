@@ -7,8 +7,13 @@ the CLI's ``compare --markdown`` flag and directly importable.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.api import MethodOutcome, improvement
 from repro.system import PolySystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import BatchReport
 
 _METHOD_ORDER = ("direct", "horner", "factor+cse", "library-match", "proposed")
 
@@ -70,6 +75,48 @@ def markdown_report(system: PolySystem, outcomes: dict[str, MethodOutcome]) -> s
         lines.append(f"| {method} | {mul} | {add} | {area:.0f} | {delay:.0f} |")
     lines.append("")
     lines.append(_headline(outcomes))
+    return "\n".join(lines)
+
+
+def batch_text_report(report: "BatchReport") -> str:
+    """Fixed-width summary of a batch engine run.
+
+    One row per job (cache state, operator counts, synthesis seconds),
+    then the per-phase seconds aggregated across the batch — the
+    ``python -m repro batch`` output.
+    """
+    lines = [
+        f"batch: {len(report.results)} job(s), workers={report.workers}, "
+        f"{report.seconds:.2f} s wall",
+        f"cache: {report.cache_hits} hit(s) / {report.cache_misses} miss(es) "
+        f"({report.hit_rate * 100.0:.0f}% hit rate)",
+        "",
+        f"{'job':16s} {'method':12s} {'cache':6s} "
+        f"{'MULT':>5s} {'ADD':>5s} {'synth s':>8s}",
+    ]
+    for result in report.results:
+        if result.ok:
+            assert result.op_count is not None
+            cells = (
+                f"{result.op_count.mul:5d} {result.op_count.add:5d} "
+                f"{result.seconds:8.3f}"
+            )
+        else:
+            cells = f"ERROR: {result.error}"
+        lines.append(
+            f"{result.name:16s} {result.method:12s} "
+            f"{'hit' if result.cache_hit else 'miss':6s} {cells}"
+        )
+    phases = report.phase_seconds()
+    if phases:
+        lines.append("")
+        lines.append("phase seconds (aggregated over the batch):")
+        total = sum(phases.values())
+        for phase, seconds in sorted(
+            phases.items(), key=lambda item: -item[1]
+        ):
+            share = seconds / total * 100.0 if total else 0.0
+            lines.append(f"  {phase:14s} {seconds:8.3f}  {share:5.1f}%")
     return "\n".join(lines)
 
 

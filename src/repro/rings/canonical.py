@@ -30,7 +30,6 @@ from repro.poly import Polynomial
 from .falling import (
     falling_factorial_expr,
     falling_factorial_poly,
-    power_to_falling,
     stirling_second,
 )
 from .modular import coefficient_modulus, degree_bound

@@ -15,7 +15,8 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.expr import Decomposition
+from repro.core.metrics import Timings
+from repro.expr import Decomposition, OpCount
 from repro.expr.ast import Add, BlockRef, Const, Expr, Mul, Pow, Var
 from repro.poly import Polynomial
 from repro.rings import BitVectorSignature
@@ -147,6 +148,33 @@ def decomposition_from_dict(data: dict[str, Any]) -> Decomposition:
 
 
 # ----------------------------------------------------------------------
+# Operator counts and per-phase timings (the engine's metrics payloads)
+# ----------------------------------------------------------------------
+
+def op_count_to_dict(count: OpCount) -> dict[str, Any]:
+    return {
+        "kind": "op-count",
+        "mul": count.mul,
+        "add": count.add,
+        "const_mul": count.const_mul,
+    }
+
+
+def op_count_from_dict(data: dict[str, Any]) -> OpCount:
+    if data.get("kind") != "op-count":
+        raise ValueError(f"not an op-count payload: {data.get('kind')!r}")
+    return OpCount(int(data["mul"]), int(data["add"]), int(data["const_mul"]))
+
+
+def timings_to_dict(timings: Timings) -> dict[str, Any]:
+    return timings.as_dict()
+
+
+def timings_from_dict(data: dict[str, Any]) -> Timings:
+    return Timings.from_dict(data)
+
+
+# ----------------------------------------------------------------------
 # String convenience
 # ----------------------------------------------------------------------
 
@@ -155,6 +183,8 @@ _SERIALIZERS = {
     PolySystem: system_to_dict,
     BitVectorSignature: signature_to_dict,
     Decomposition: decomposition_to_dict,
+    OpCount: op_count_to_dict,
+    Timings: timings_to_dict,
 }
 
 _DESERIALIZERS = {
@@ -162,6 +192,8 @@ _DESERIALIZERS = {
     "system": system_from_dict,
     "signature": signature_from_dict,
     "decomposition": decomposition_from_dict,
+    "op-count": op_count_from_dict,
+    "timings": timings_from_dict,
 }
 
 

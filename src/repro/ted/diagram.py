@@ -17,8 +17,6 @@ achieves over the expression tree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
-
 from repro.poly import Polynomial
 
 

@@ -10,7 +10,7 @@ multiply-referenced node to a named block of the resulting
 
 from __future__ import annotations
 
-from repro.expr import Decomposition, Expr, make_add, make_mul, make_pow
+from repro.expr import Decomposition, Expr, make_add, make_mul
 from repro.expr.ast import BlockRef, Const, Var
 
 from .diagram import TedManager, TedNode

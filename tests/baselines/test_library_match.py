@@ -1,7 +1,5 @@
 """Tests for Groebner library matching ([19] baseline)."""
 
-import pytest
-
 from repro.baselines import library_match_decomposition, match_library
 from repro.poly import Polynomial, parse_polynomial as P, parse_system
 

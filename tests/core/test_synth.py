@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import SynthesisOptions, synthesize
 from repro.poly import parse_system
-from repro.rings import BitVectorSignature
 from repro.suite import table_14_1_system, table_14_2_system
 
 

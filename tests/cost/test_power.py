@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cost import estimate_power, node_activities
-from repro.dfg import DataFlowGraph, NodeKind, build_dfg
+from repro.dfg import DataFlowGraph, NodeKind
 from repro.expr import Decomposition, make_add, make_mul, make_pow
 from repro.expr.ast import BlockRef
 from repro.rings import BitVectorSignature

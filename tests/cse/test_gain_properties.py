@@ -3,7 +3,7 @@
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
-from repro.cse import eliminate_common_subexpressions, expand_blocks
+from repro.cse import eliminate_common_subexpressions
 from repro.cse.extract import _poly_weight
 from repro.poly import Polynomial
 from tests.conftest import polynomials

@@ -4,14 +4,13 @@ import pytest
 
 from repro.dfg import (
     DataFlowGraph,
-    NodeKind,
     build_dfg,
     critical_path,
     pipeline_cuts,
     pipeline_report,
 )
 from repro.cost import node_delay as cost_node_delay
-from repro.expr import Decomposition, make_mul, make_pow
+from repro.expr import Decomposition, make_pow
 from repro.rings import BitVectorSignature
 
 SIG = BitVectorSignature.uniform(("x", "y"), 16)

@@ -1,0 +1,97 @@
+"""Tests for the two-tier result cache and its content-hash keying."""
+
+import json
+
+from repro.core import SynthesisOptions
+from repro.engine import DiskCache, LruCache, ResultCache, cache_key
+from repro.suite import get_system
+from repro.system import PolySystem
+
+
+def small_system(name="s"):
+    system = get_system("Table 14.1")
+    return PolySystem(
+        name=name, polys=system.polys, signature=system.signature
+    )
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        assert cache_key(small_system()) == cache_key(small_system())
+
+    def test_ignores_name_and_description(self):
+        a = small_system("alpha")
+        b = small_system("beta")
+        assert cache_key(a) == cache_key(b)
+
+    def test_sensitive_to_options(self):
+        system = small_system()
+        default = cache_key(system, SynthesisOptions())
+        tweaked = cache_key(system, SynthesisOptions(objective="ops"))
+        assert default != tweaked
+        budget = cache_key(system, SynthesisOptions(descent_budget=10))
+        assert default != budget
+
+    def test_none_options_equal_defaults(self):
+        system = small_system()
+        assert cache_key(system, None) == cache_key(system, SynthesisOptions())
+
+    def test_sensitive_to_method(self):
+        system = small_system()
+        assert cache_key(system, method="proposed") != cache_key(
+            system, method="horner"
+        )
+
+    def test_sensitive_to_system_and_salt(self):
+        a = small_system()
+        b = get_system("Table 14.2")
+        assert cache_key(a) != cache_key(b)
+        assert cache_key(a) != cache_key(a, salt="other-salt")
+
+
+class TestLruCache:
+    def test_get_put(self):
+        lru = LruCache(maxsize=2)
+        assert lru.get("a") is None
+        lru.put("a", "1")
+        assert lru.get("a") == "1"
+
+    def test_evicts_least_recently_used(self):
+        lru = LruCache(maxsize=2)
+        lru.put("a", "1")
+        lru.put("b", "2")
+        lru.get("a")  # refresh a; b becomes LRU
+        lru.put("c", "3")
+        assert lru.get("b") is None
+        assert lru.get("a") == "1" and lru.get("c") == "3"
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.put("k", json.dumps({"x": 1}))
+        assert disk.get("k") == '{"x": 1}'
+        assert disk.get("missing") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        (tmp_path / "bad.json").write_text("{truncated", encoding="utf-8")
+        assert disk.get("bad") is None
+
+
+class TestResultCache:
+    def test_disk_promotes_to_memory(self, tmp_path):
+        first = ResultCache.create(cache_dir=tmp_path)
+        first.put("k", '{"v": 1}')
+        # Fresh in-memory tier, same disk directory — a new process.
+        second = ResultCache.create(cache_dir=tmp_path)
+        assert second.get("k") == '{"v": 1}'
+        assert second.stats.disk_hits == 1
+        assert second.get("k") == '{"v": 1}'
+        assert second.stats.memory_hits == 1
+
+    def test_stats_track_misses(self):
+        cache = ResultCache.create()
+        assert cache.get("nope") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0

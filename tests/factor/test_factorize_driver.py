@@ -4,7 +4,7 @@ import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.factor import factor_polynomial
-from repro.poly import Polynomial, parse_polynomial as P
+from repro.poly import parse_polynomial as P
 from tests.conftest import small_polynomials
 
 

@@ -82,6 +82,43 @@ class TestSystems:
         assert "SG 3X2" in out and "MVCS" in out
 
 
+class TestMethods:
+    def test_listing(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "direct" in out and "proposed" in out
+
+
+class TestBatch:
+    def test_single_system_prints_phase_timings(self, capsys):
+        code = main(["batch", "--systems", "Table 14.1", "--workers", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out and "phase seconds" in out
+        assert "search" in out and "Table 14.1" in out
+
+    def test_repeat_reports_warm_hits(self, capsys):
+        code = main(
+            ["batch", "--systems", "Table 14.1", "--repeat", "2"]
+        )
+        assert code == 0
+        assert "100% hit rate" in capsys.readouterr().out
+
+    def test_unknown_method_errors(self, capsys):
+        code = main(["batch", "--systems", "Table 14.1", "--method", "nope"])
+        assert code == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_disk_cache_dir(self, tmp_path, capsys):
+        args = [
+            "batch", "--systems", "Table 14.1", "--cache-dir", str(tmp_path)
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0  # fresh engine, warm disk
+        assert "100% hit rate" in capsys.readouterr().out
+
+
 class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):

@@ -12,7 +12,7 @@ import pytest
 from repro import synthesize_system
 from repro.dfg import build_dfg, simulate
 from repro.expr import Decomposition, make_add
-from repro.expr.ast import Add, BlockRef, Const, Mul
+from repro.expr.ast import Add
 from repro.suite import get_system
 from repro.verify import check_decompositions
 

@@ -29,8 +29,7 @@ class TestMixerSystem:
         from repro.cost import estimate_decomposition
         from repro.baselines import direct_decomposition
         from repro.rings import BitVectorSignature
-        from repro.system import PolySystem
-
+        
         system = mixer_system()
         narrow = estimate_decomposition(
             direct_decomposition(list(system.polys)), system.signature

@@ -101,3 +101,30 @@ class TestDispatch:
 
         expr = BlockRef("d1")
         assert expr_from_dict(expr_to_dict(expr)) == expr
+
+
+class TestMetricsPayloads:
+    def test_op_count_roundtrip(self):
+        from repro.expr import OpCount
+        from repro.serialize import op_count_from_dict, op_count_to_dict
+
+        count = OpCount(mul=7, add=3, const_mul=2)
+        assert op_count_from_dict(op_count_to_dict(count)) == count
+        assert loads(dumps(count)) == count
+
+    def test_timings_roundtrip(self):
+        from repro.core import Timings
+
+        timings = Timings()
+        timings.record("search", 0.25, combinations=42)
+        timings.record("validate", 0.01)
+        restored = loads(dumps(timings))
+        assert [p.phase for p in restored.phases] == ["search", "validate"]
+        assert restored.phases[0].counters == {"combinations": 42}
+        assert restored.total_seconds() == pytest.approx(0.26)
+
+    def test_timings_wrong_kind_rejected(self):
+        from repro.core import Timings
+
+        with pytest.raises(ValueError):
+            Timings.from_dict({"kind": "polynomial", "phases": []})

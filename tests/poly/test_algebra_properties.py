@@ -3,7 +3,7 @@
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
-from repro.poly import Polynomial, poly_gcd
+from repro.poly import poly_gcd
 from tests.conftest import polynomials, small_polynomials
 
 

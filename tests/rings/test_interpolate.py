@@ -2,7 +2,6 @@
 
 from itertools import product
 
-import pytest
 from hypothesis import given, settings
 
 from repro.poly import Polynomial

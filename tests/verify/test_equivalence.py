@@ -1,10 +1,8 @@
 """Tests for canonical-form equivalence checking."""
 
-import hypothesis.strategies as st
-import pytest
 from hypothesis import given, settings
 
-from repro.poly import Polynomial, parse_polynomial as P, parse_system
+from repro.poly import parse_polynomial as P, parse_system
 from repro.rings import BitVectorSignature
 from repro.verify import (
     check_decompositions,
