@@ -15,7 +15,10 @@ content-hash cache and the harness exposes the same knobs as
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from dataclasses import asdict
 
 from repro import compare_methods, method_outcome
 from repro.core import SynthesisOptions
@@ -77,7 +80,9 @@ def compare_system(name: str) -> dict:
         outcomes = compare_methods(
             system, options, methods=("direct", "horner", "factor+cse")
         )
+        started = time.perf_counter()
         [result] = synthesize_named([name]).results
+        wall = time.perf_counter() - started
         if result.error is not None:
             raise RuntimeError(f"engine failed on {name}: {result.error}")
         assert result.decomposition is not None
@@ -85,4 +90,47 @@ def compare_system(name: str) -> dict:
             "proposed", result.decomposition, system
         )
         _COMPARISON_CACHE[name] = outcomes
+        _PERF[name] = {
+            "wall_seconds": round(wall, 6),
+            "synth_seconds": round(result.seconds, 6),
+            "cache_hit": result.cache_hit,
+            "methods": {
+                method: {
+                    "mul": outcome.op_count.mul,
+                    "add": outcome.op_count.add,
+                    "area": round(outcome.hardware.area, 2),
+                    "delay": round(outcome.hardware.delay, 2),
+                }
+                for method, outcome in outcomes.items()
+            },
+        }
     return _COMPARISON_CACHE[name]
+
+
+# ----------------------------------------------------------------------
+# The machine-readable perf-trajectory baseline (BENCH_PR2.json)
+# ----------------------------------------------------------------------
+
+_PERF: dict[str, dict] = {}
+
+
+def perf_snapshot() -> dict:
+    """Everything a future PR compares itself against, as one JSON-able dict."""
+    return {
+        "kind": "bench-baseline",
+        "baseline": "PR2",
+        "workers": ENGINE.workers,
+        "cache": asdict(ENGINE.cache.stats),
+        "benchmarks": {name: _PERF[name] for name in sorted(_PERF)},
+    }
+
+
+def write_perf_baseline(path: str) -> bool:
+    """Write the baseline JSON; returns False when no benchmark ran."""
+    snapshot = perf_snapshot()
+    if not snapshot["benchmarks"]:
+        return False
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return True

@@ -14,7 +14,19 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from bench_common import record_table, recorded_tables  # noqa: E402
+from bench_common import record_table, recorded_tables, write_perf_baseline  # noqa: E402
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the machine-readable perf baseline (see BENCH_PR2.json).
+
+    ``REPRO_BENCH_JSON`` overrides the output path; nothing is written
+    when no benchmark exercised :func:`bench_common.compare_system`.
+    """
+    path = os.environ.get("REPRO_BENCH_JSON") or os.path.join(
+        os.path.dirname(__file__), "BENCH_PR2.json"
+    )
+    write_perf_baseline(path)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file produced by ``repro``.
+
+The CI smoke check: loads the file, runs the bundled schema validator
+(:mod:`repro.obs.validate`), and optionally enforces a minimum span
+nesting depth and the presence of stitched worker spans (a ``batch``
+root with ``job:*`` children, as ``repro batch --trace-out`` with
+``--workers 2`` must produce).
+
+Exit status: 0 when every check passes, 1 otherwise.
+
+Usage::
+
+    python scripts/check_trace.py trace.json --min-depth 3 --require-stitched
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Allow running from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.validate import (  # noqa: E402
+    chrome_trace_depth,
+    event_names,
+    validate_chrome_trace,
+)
+
+
+def check_trace(
+    path: str, min_depth: int = 0, require_stitched: bool = False
+) -> list[str]:
+    """Every failed check as a message (empty = the file passed)."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    problems = validate_chrome_trace(document)
+    if problems:
+        return [f"{path}: {p}" for p in problems]
+    depth = chrome_trace_depth(document)
+    if depth < min_depth:
+        problems.append(
+            f"{path}: span depth {depth} is below the required {min_depth}"
+        )
+    if require_stitched:
+        names = event_names(document)
+        if "batch" not in names:
+            problems.append(f"{path}: no 'batch' span found")
+        if not any(name.startswith("job:") for name in names):
+            problems.append(f"{path}: no stitched 'job:*' worker spans found")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file to check")
+    parser.add_argument(
+        "--min-depth",
+        type=int,
+        default=0,
+        help="require at least this span nesting depth",
+    )
+    parser.add_argument(
+        "--require-stitched",
+        action="store_true",
+        help="require a 'batch' span with stitched 'job:*' worker spans",
+    )
+    args = parser.parse_args(argv)
+    problems = check_trace(args.trace, args.min_depth, args.require_stitched)
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"{args.trace}: valid Chrome trace")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,12 +22,22 @@ Commands:
 ``batch``
     Run many benchmark systems through the batch engine (parallel
     workers, content-hash cache) and print per-phase timings.
+``trace``
+    Run the integrated flow under the span tracer and write the
+    hierarchical trace (Chrome trace-event JSON, optionally JSONL and
+    Prometheus metrics) — see ``docs/OBSERVABILITY.md``.
+
+``synthesize`` and ``batch`` additionally accept ``--trace-out FILE``
+(write a Chrome trace of the run) and ``--stats`` (print the metrics
+registry in Prometheus text format).  Setting ``REPRO_TRACE`` to a file
+name traces any command and writes the Chrome trace there on exit.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 
 from repro import (
     BitVectorSignature,
@@ -53,12 +63,38 @@ def _system_from_args(args: argparse.Namespace) -> PolySystem:
     return PolySystem("cli", tuple(polys), signature)
 
 
+def _trace_scope(args: argparse.Namespace):
+    """(context manager, tracer) honouring --trace-out / --stats flags."""
+    from repro.obs import Tracer, use_tracer
+
+    if getattr(args, "trace_out", None) or getattr(args, "stats", False):
+        tracer = Tracer()
+        return use_tracer(tracer), tracer
+    return nullcontext(), None
+
+
+def _emit_trace_artifacts(args: argparse.Namespace, tracer) -> None:
+    from repro.obs import get_registry, prometheus_text, write_chrome_trace
+
+    if getattr(args, "trace_out", None) and tracer is not None:
+        events = write_chrome_trace(args.trace_out, tracer.snapshot())
+        print(f"trace: {events} event(s) -> {args.trace_out}")
+    if getattr(args, "stats", False):
+        text = prometheus_text(get_registry())
+        if text:
+            print()
+            print(text, end="")
+
+
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     system = _system_from_args(args)
-    result = synthesize_system(system)
+    scope, tracer = _trace_scope(args)
+    with scope:
+        result = synthesize_system(system)
     print(result.summary())
     report = estimate_decomposition(result.decomposition, system.signature)
     print(f"hardware: {report}")
+    _emit_trace_artifacts(args, tracer)
     return 0
 
 
@@ -116,11 +152,56 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         names = TABLE_14_3_SYSTEMS
     engine = BatchEngine(workers=args.workers, cache_dir=args.cache_dir)
     report = None
-    for _ in range(max(1, args.repeat)):
-        report = engine.run_suite(names, method=args.method)
+    scope, tracer = _trace_scope(args)
+    with scope:
+        for _ in range(max(1, args.repeat)):
+            report = engine.run_suite(names, method=args.method)
     assert report is not None
     print(report.summary_table())
+    _emit_trace_artifacts(args, tracer)
     return 1 if report.errors else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        Tracer,
+        chrome_trace,
+        chrome_trace_depth,
+        format_span_tree,
+        get_registry,
+        use_tracer,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_jsonl,
+        write_prometheus,
+    )
+
+    system = _system_from_args(args)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = synthesize_system(system)
+    print(result.summary())
+    print()
+    snapshot = tracer.snapshot()
+    print(format_span_tree(snapshot.spans))
+    document = chrome_trace(snapshot)
+    errors = validate_chrome_trace(document)
+    if errors:
+        for error in errors:
+            print(f"invalid trace: {error}", file=sys.stderr)
+        return 1
+    events = write_chrome_trace(args.out, snapshot)
+    print(
+        f"trace: {events} event(s), depth {chrome_trace_depth(document)} "
+        f"-> {args.out}"
+    )
+    if args.jsonl:
+        lines = write_jsonl(args.jsonl, snapshot)
+        print(f"jsonl: {lines} span(s) -> {args.jsonl}")
+    if args.metrics:
+        write_prometheus(args.metrics, get_registry())
+        print(f"metrics: -> {args.metrics}")
+    return 0
 
 
 def _cmd_canon(args: argparse.Namespace) -> int:
@@ -187,8 +268,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--system", help="name of a built-in benchmark system")
         p.add_argument("--width", type=int, default=16, help="bit-vector width")
 
+    def add_observability_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace-out",
+            help="write a Chrome trace-event JSON of the run to this file",
+        )
+        p.add_argument(
+            "--stats",
+            action="store_true",
+            help="print the metrics registry (Prometheus text format)",
+        )
+
     p = sub.add_parser("synthesize", help="run the integrated flow")
     add_system_options(p)
+    add_observability_options(p)
     p.set_defaults(func=_cmd_synthesize)
 
     p = sub.add_parser("compare", help="compare all methods")
@@ -251,17 +344,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run the batch N times (N>1 demonstrates warm-cache hit rates)",
     )
+    add_observability_options(p)
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "trace", help="run the flow under the span tracer and export the trace"
+    )
+    add_system_options(p)
+    p.add_argument(
+        "--out", default="trace.json", help="Chrome trace-event JSON output file"
+    )
+    p.add_argument("--jsonl", help="also write a flat JSONL span log here")
+    p.add_argument(
+        "--metrics", help="also write the metrics registry (Prometheus text) here"
+    )
+    p.set_defaults(func=_cmd_trace)
     return parser
+
+
+def _flush_env_trace() -> None:
+    """Honour ``REPRO_TRACE=<file>``: dump the ambient tracer on exit."""
+    from repro.obs import current_tracer, env_trace_path, write_chrome_trace
+
+    path = env_trace_path()
+    tracer = current_tracer()
+    if path and getattr(tracer, "roots", None):
+        write_chrome_trace(path, tracer.snapshot())
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "command", None) in ("synthesize", "compare", "verilog"):
+    if getattr(args, "command", None) in ("synthesize", "compare", "verilog", "trace"):
         if not args.polynomials and not args.system:
             print("error: provide polynomials or --system NAME", file=sys.stderr)
             return 2
-    return args.func(args)
+    code = args.func(args)
+    _flush_env_trace()
+    return code
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ combination search of Algorithm 7 decides which ones win.
 
 from __future__ import annotations
 
+from repro.obs import current_tracer
 from repro.poly import Polynomial, divmod_poly
 
 from .blocks import BlockRegistry
@@ -57,19 +58,23 @@ def division_candidates(
     """
     candidates: list[tuple[int, Polynomial]] = []
     poly_vars = set(ground_poly.used_vars())
-    for name, divisor in registry.linear_blocks():
-        if name in ground_poly.vars and ground_poly.degree(name) > 0:
-            continue
-        if not set(divisor.used_vars()) <= poly_vars:
-            continue  # the divisor mentions variables the polynomial lacks
-        rewritten = divide_by_block(ground_poly, divisor, name)
-        if rewritten is None:
-            continue
-        if rewritten.trim() == ground_poly.trim():
-            continue
-        # Rank: strongly prefer representations with fewer terms (more of
-        # the polynomial folded into the block structure).
-        candidates.append((len(rewritten), rewritten))
+    with current_tracer().span("algdiv/divide") as span:
+        divisors = 0
+        for name, divisor in registry.linear_blocks():
+            if name in ground_poly.vars and ground_poly.degree(name) > 0:
+                continue
+            if not set(divisor.used_vars()) <= poly_vars:
+                continue  # the divisor mentions variables the polynomial lacks
+            divisors += 1
+            rewritten = divide_by_block(ground_poly, divisor, name)
+            if rewritten is None:
+                continue
+            if rewritten.trim() == ground_poly.trim():
+                continue
+            # Rank: strongly prefer representations with fewer terms (more of
+            # the polynomial folded into the block structure).
+            candidates.append((len(rewritten), rewritten))
+        span.count(divisors=divisors, candidates=len(candidates))
     candidates.sort(key=lambda item: item[0])
     return [poly for _, poly in candidates[:max_candidates]]
 
@@ -85,6 +90,14 @@ def refine_block_definitions(registry: BlockRegistry) -> int:
     """
     from repro.poly import divide_out_all
 
+    rewritten = 0
+    with current_tracer().span("algdiv/refine") as span:
+        rewritten = _refine_block_definitions(registry, divide_out_all)
+        span.count(rewritten=rewritten)
+    return rewritten
+
+
+def _refine_block_definitions(registry: BlockRegistry, divide_out_all) -> int:
     rewritten = 0
     for name in list(registry.defs):
         ground = registry.ground[name]

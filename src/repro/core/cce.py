@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import gcd
 
+from repro.obs import current_tracer
 from repro.poly import Polynomial
 from repro.poly.monomial import mono_literal_count
 
@@ -67,22 +68,27 @@ def common_coefficient_extraction(
     }
     if len(eligible) < 2:
         return None
-    gcd_list = candidate_gcds(list(eligible.values()))
-    if not gcd_list:
-        return None
+    with current_tracer().span("cce/gcd_pass") as span:
+        gcd_list = candidate_gcds(list(eligible.values()))
+        span.count(eligible=len(eligible), gcds=len(gcd_list))
+        if not gcd_list:
+            return None
 
-    consumed: set = set()
-    groups: list[tuple[int, dict]] = []
-    for g in gcd_list:
-        group = {
-            exps: coeff
-            for exps, coeff in eligible.items()
-            if exps not in consumed and coeff % g == 0
-        }
-        if len(group) < 2:
-            continue
-        consumed.update(group)
-        groups.append((g, {exps: coeff // g for exps, coeff in group.items()}))
+        consumed: set = set()
+        groups: list[tuple[int, dict]] = []
+        for g in gcd_list:
+            group = {
+                exps: coeff
+                for exps, coeff in eligible.items()
+                if exps not in consumed and coeff % g == 0
+            }
+            if len(group) < 2:
+                continue
+            consumed.update(group)
+            groups.append(
+                (g, {exps: coeff // g for exps, coeff in group.items()})
+            )
+        span.count(groups=len(groups))
     if not groups:
         return None
 

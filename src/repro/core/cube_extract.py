@@ -17,6 +17,7 @@ factoring from the flat form, and the cost model scores it identically.
 from __future__ import annotations
 
 from repro.cse import all_kernels
+from repro.obs import current_tracer
 from repro.poly import Polynomial
 
 from .blocks import BlockRegistry
@@ -60,13 +61,15 @@ def cube_extraction(
             if name not in names:
                 names.append(name)
 
-    for poly in polys:
-        harvest(poly)
-        expanded = registry.expand(poly)
-        if expanded != poly:
-            harvest(expanded)
-    for block_name in list(registry.defs):
-        harvest(registry.ground[block_name])
+    with current_tracer().span("cube_extract/kernels") as span:
+        for poly in polys:
+            harvest(poly)
+            expanded = registry.expand(poly)
+            if expanded != poly:
+                harvest(expanded)
+        for block_name in list(registry.defs):
+            harvest(registry.ground[block_name])
+        span.count(kernels=len(names))
     return names
 
 
@@ -98,19 +101,21 @@ def expose_homogeneous_factors(
 
     names: list[str] = []
     seen: set[Polynomial] = set()
-    for poly in polys:
-        ground = registry.expand(poly)
-        top = homogeneous_part(ground).primitive_part()
-        if top.is_constant or top.total_degree() < 2 or len(top) < 2:
-            continue
-        key = top.trim()
-        if key in seen:
-            continue
-        seen.add(key)
-        factorization = factor_polynomial(top)
-        for base, _ in factorization.factors:
-            if base.is_linear and len(base) >= 2:
-                name, _ = registry.register(base)
-                if name not in names:
-                    names.append(name)
+    with current_tracer().span("cube_extract/homogeneous") as span:
+        for poly in polys:
+            ground = registry.expand(poly)
+            top = homogeneous_part(ground).primitive_part()
+            if top.is_constant or top.total_degree() < 2 or len(top) < 2:
+                continue
+            key = top.trim()
+            if key in seen:
+                continue
+            seen.add(key)
+            factorization = factor_polynomial(top)
+            for base, _ in factorization.factors:
+                if base.is_linear and len(base) >= 2:
+                    name, _ = registry.register(base)
+                    if name not in names:
+                        names.append(name)
+        span.count(forms=len(seen), factors=len(names))
     return names

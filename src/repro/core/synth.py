@@ -25,10 +25,13 @@ The winner is returned as a validated
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from itertools import product
+from typing import Iterator
 
 from repro.cse import eliminate_common_subexpressions
+from repro.obs import current_tracer, observe_timings
 from repro.expr import Decomposition, OpCount, expr_from_polynomial, expr_op_count
 from repro.expr.ast import Add, BlockRef, Expr, Mul, Pow, Var
 from repro.factor import horner_greedy
@@ -241,6 +244,21 @@ def direct_cost(system: list[Polynomial], options: SynthesisOptions) -> OpCount:
     return total
 
 
+@contextmanager
+def _phase(timings: Timings, tracer, name: str) -> Iterator:
+    """Time one phase into both the Timings and a span of the same name.
+
+    The yielded clock is the :class:`~repro.core.metrics.Timings` phase
+    accumulator; its counters are mirrored onto the span when the phase
+    closes, so the span tree and the flat timings always agree.
+    """
+    with tracer.span(name) as span, timings.phase(name) as clock:
+        try:
+            yield clock
+        finally:
+            span.count(**clock.counters)
+
+
 def synthesize(
     system: list[Polynomial],
     signature: BitVectorSignature | None = None,
@@ -256,6 +274,14 @@ def synthesize(
     Per-phase wall times and counters are always collected into a
     :class:`~repro.core.metrics.Timings` (pass your own to aggregate
     across calls) and exposed as ``result.timings``.
+
+    When the ambient :func:`repro.obs.current_tracer` is enabled the run
+    additionally records a hierarchical span tree — ``poly_synth`` at the
+    root, one child per phase, algorithm sub-steps (``cce/extract``,
+    ``algdiv/divide``, ``cse/extract``, ...) below — and the timings feed
+    the global metrics registry.  The flow never reads any of this back:
+    traced and untraced runs produce identical results.
+
     The returned decomposition is validated: integer-exact outputs must
     expand to the original polynomials, canonical-form outputs must be
     functionally equal over the signature.
@@ -263,6 +289,30 @@ def synthesize(
     options = options or SynthesisOptions()
     trace = trace if trace is not None else FlowTrace()
     timings = timings if timings is not None else Timings()
+    tracer = current_tracer()
+    with tracer.span("poly_synth", objective=options.objective) as root:
+        result = _synthesize_flow(
+            system, signature, options, trace, timings, tracer
+        )
+        root.count(
+            combinations=result.combinations_scored,
+            ops_final=_weighted(result.op_count, options),
+            ops_initial=_weighted(result.initial_op_count, options),
+        )
+    if tracer.enabled:
+        observe_timings(timings)
+    return result
+
+
+def _synthesize_flow(
+    system: list[Polynomial],
+    signature: BitVectorSignature | None,
+    options: SynthesisOptions,
+    trace: FlowTrace,
+    timings: Timings,
+    tracer,
+) -> SynthesisResult:
+    """The phases of Algorithm 7 (see :func:`synthesize` for the contract)."""
     system = Polynomial.unify_all(list(system))
     if not system:
         raise ValueError("cannot synthesize an empty system")
@@ -271,7 +321,7 @@ def synthesize(
     # Phase 1: initial representation lists (Fig. 14.1a) — original,
     # square-free/factored, and canonical falling-factorial rewrites.
     lists: list[list[Representation]] = []
-    with timings.phase("initial") as clock:
+    with _phase(timings, tracer, "initial") as clock:
         for poly in system:
             reps = initial_representations(
                 poly,
@@ -295,7 +345,7 @@ def synthesize(
     # division phases can dig into them (e.g. a quadratic form shared by
     # every shifted filter copy, which then factors into linear blocks).
     if options.enable_cse_exposure:
-        with timings.phase("cse-exposure") as clock:
+        with _phase(timings, tracer, "cse-exposure") as clock:
             before_blocks = len(registry.defs)
             exposure = eliminate_common_subexpressions(system, prefix="_pre")
             mapping: dict[str, Polynomial] = {}
@@ -324,7 +374,7 @@ def synthesize(
 
     # Phase 2: CCE on every representation.
     if options.enable_cce:
-        with timings.phase("cce") as clock:
+        with _phase(timings, tracer, "cce") as clock:
             cce_hits = 0
             for reps in lists:
                 for rep in list(reps):
@@ -338,7 +388,7 @@ def synthesize(
     # Phase 3: Cube_Ex exposes linear kernels as divisor blocks, and the
     # top homogeneous forms contribute their linear factors (shift-
     # invariant structure CCE's filter cannot split).
-    with timings.phase("cube-extract") as clock:
+    with _phase(timings, tracer, "cube-extract") as clock:
         before_blocks = len(registry.defs)
         if options.enable_cube_extraction:
             all_rep_polys = [rep.poly for reps in lists for rep in reps]
@@ -354,7 +404,7 @@ def synthesize(
         clock.count(blocks=len(registry.defs) - before_blocks)
 
     # Phase 4: refine block definitions (factor + divide through blocks).
-    with timings.phase("refine") as clock:
+    with _phase(timings, tracer, "refine") as clock:
         _factor_block_definitions(registry, options)
         refined = refine_block_definitions(registry)
         trace.record("refine", f"{refined} definition(s) rewritten through blocks")
@@ -362,7 +412,7 @@ def synthesize(
 
     # Phase 5: algebraic division candidates (Fig. 14.1b).
     if options.enable_division:
-        with timings.phase("division") as clock:
+        with _phase(timings, tracer, "division") as clock:
             division_hits = 0
             for poly, reps in zip(system, lists):
                 for candidate in division_candidates(
@@ -384,7 +434,7 @@ def synthesize(
             clock.count(representations=division_hits)
 
     # Prune each list: dedupe, keep the cheapest few (always keep original).
-    with timings.phase("prune") as clock:
+    with _phase(timings, tracer, "prune") as clock:
         before_reps = sum(len(reps) for reps in lists)
         pruned: list[list[Representation]] = []
         for reps in lists:
@@ -412,7 +462,7 @@ def synthesize(
             scored_counter += 1
         return cache[indices]
 
-    with timings.phase("search") as clock:
+    with _phase(timings, tracer, "search") as clock:
         sizes = [len(reps) for reps in lists]
         total = 1
         for size in sizes:
@@ -449,7 +499,7 @@ def synthesize(
             ops_final=_weighted(final, options),
         )
 
-    with timings.phase("validate"):
+    with _phase(timings, tracer, "validate"):
         _validate(decomposition, system, chosen, signature)
 
     return SynthesisResult(

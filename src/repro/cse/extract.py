@@ -498,6 +498,8 @@ def eliminate_common_subexpressions(
     kernels, single cubes, KCM rectangles) for ablation studies; the full
     extractor is strictly stronger than any restriction.
     """
+    from repro.obs import current_tracer
+
     extractor = _Extractor(
         list(polys),
         prefix,
@@ -507,7 +509,10 @@ def eliminate_common_subexpressions(
         enable_cubes=enable_cubes,
         enable_rectangles=enable_rectangles,
     )
-    return extractor.run()
+    with current_tracer().span("cse/extract") as span:
+        result = extractor.run()
+        span.count(rounds=result.rounds, blocks=len(result.blocks))
+    return result
 
 
 def expand_blocks(poly: Polynomial, blocks: dict[str, Polynomial]) -> Polynomial:

@@ -6,6 +6,15 @@ Import :func:`asap_levels` and :func:`critical_path` from
 
 from __future__ import annotations
 
+import warnings
+
 from .scheduling import asap_levels, critical_path
+
+warnings.warn(
+    "repro.dfg.schedule is deprecated; import asap_levels and "
+    "critical_path from repro.dfg.scheduling (or repro.dfg) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["asap_levels", "critical_path"]

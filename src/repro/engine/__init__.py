@@ -13,7 +13,7 @@ from .cache import (
     ResultCache,
     cache_key,
 )
-from .engine import BatchEngine, BatchJob, BatchReport, JobResult
+from .engine import BatchEngine, BatchJob, BatchReport, JobResult, PoolStats
 
 __all__ = [
     "BatchEngine",
@@ -24,6 +24,7 @@ __all__ = [
     "DiskCache",
     "JobResult",
     "LruCache",
+    "PoolStats",
     "ResultCache",
     "cache_key",
 ]

@@ -40,7 +40,7 @@ from repro.system import PolySystem
 #: Code-version salt baked into every key.  Bump the trailing number in
 #: any PR that changes what the flow produces for the same input, so
 #: stale on-disk entries read as misses instead of wrong answers.
-CACHE_SALT = "repro-engine-v1"
+CACHE_SALT = "repro-engine-v2"
 
 
 def cache_key(
@@ -74,6 +74,7 @@ class LruCache:
         if maxsize < 1:
             raise ValueError("LRU cache needs at least one slot")
         self.maxsize = maxsize
+        self.evictions = 0
         self._data: OrderedDict[str, str] = OrderedDict()
 
     def get(self, key: str) -> str | None:
@@ -83,11 +84,16 @@ class LruCache:
             return None
         return self._data[key]
 
-    def put(self, key: str, value: str) -> None:
+    def put(self, key: str, value: str) -> int:
+        """Store; returns how many entries were evicted to make room."""
         self._data[key] = value
         self._data.move_to_end(key)
+        evicted = 0
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
 
     def __len__(self) -> int:
         return len(self._data)
@@ -141,12 +147,21 @@ class DiskCache:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, split by tier."""
+    """Hit/miss counters, split by tier, plus churn counters.
+
+    ``evictions`` counts LRU entries displaced to make room;
+    ``disk_reads`` counts disk-tier *probes* (whether or not they hit)
+    and ``disk_writes`` counts files written — together the disk
+    round-trips a batch performed.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
+    disk_reads: int = 0
+    disk_writes: int = 0
 
     @property
     def hits(self) -> int:
@@ -185,16 +200,18 @@ class ResultCache:
             self.stats.memory_hits += 1
             return value
         if self.disk is not None:
+            self.stats.disk_reads += 1
             value = self.disk.get(key)
             if value is not None:
                 self.stats.disk_hits += 1
-                self.memory.put(key, value)
+                self.stats.evictions += self.memory.put(key, value)
                 return value
         self.stats.misses += 1
         return None
 
     def put(self, key: str, value: str) -> None:
-        self.memory.put(key, value)
+        self.stats.evictions += self.memory.put(key, value)
         if self.disk is not None:
             self.disk.put(key, value)
+            self.stats.disk_writes += 1
         self.stats.stores += 1

@@ -24,14 +24,17 @@ registered in :mod:`repro.baselines.registry` is a valid ``BatchJob.method``.
 from __future__ import annotations
 
 import json
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, field
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Iterable, Sequence
 
 from repro.baselines import get_method
 from repro.core import SynthesisOptions, Timings, direct_cost, synthesize
 from repro.expr import Decomposition, OpCount
+from repro.obs import Tracer, current_tracer, get_registry, use_tracer
 from repro.serialize import (
     decomposition_from_dict,
     decomposition_to_dict,
@@ -106,6 +109,32 @@ class JobResult:
 
 
 @dataclass
+class PoolStats:
+    """How one batch actually executed: pooled, serial, or degraded.
+
+    ``queue_wait_seconds`` is the summed wall-clock gap between a job's
+    submission and the moment a worker started it; ``busy_seconds`` is
+    the summed worker wall time, so ``utilization`` compares it to the
+    pool's total capacity (``pool_seconds * workers``).
+    """
+
+    mode: str = "idle"  # "idle" | "serial" | "pool" | "fallback"
+    workers: int = 1
+    jobs_executed: int = 0
+    pool_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
+    max_queue_wait_seconds: float = 0.0
+    fallbacks: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool's capacity spent executing jobs."""
+        capacity = self.pool_seconds * max(self.workers, 1)
+        return self.busy_seconds / capacity if capacity > 0 else 0.0
+
+
+@dataclass
 class BatchReport:
     """Everything one ``BatchEngine.run`` produced, in input order."""
 
@@ -115,6 +144,7 @@ class BatchReport:
     cache_hits: int
     cache_misses: int
     stats: CacheStats = field(default_factory=CacheStats)
+    pool: PoolStats = field(default_factory=PoolStats)
 
     @property
     def hit_rate(self) -> float:
@@ -143,12 +173,18 @@ def _run_job_payload(
     system_data: dict[str, Any],
     options_data: dict[str, Any] | None,
     method: str,
+    label: str = "",
+    trace: bool = False,
 ) -> str:
     """Execute one job and reduce the result to canonical JSON.
 
     Runs identically in-process and inside pool workers — the payload is
     the single representation results take before reaching the caller, so
-    serial and parallel execution cannot diverge.
+    serial and parallel execution cannot diverge.  With ``trace`` set the
+    job runs under its own fresh :class:`~repro.obs.Tracer` (whichever
+    process it lands in) and ships the resulting span tree home inside
+    the payload for :meth:`~repro.obs.Tracer.adopt` to stitch; the
+    caller strips it again before caching.
     """
     payload: dict[str, Any] = {
         "kind": "job-result",
@@ -157,26 +193,38 @@ def _run_job_payload(
         "op_count": None,
         "initial_op_count": None,
         "timings": Timings().as_dict(),
+        "worker": None,
         "error": None,
     }
+    tracer = Tracer() if trace else None
+    start_wall = time.time()
     try:
         system = system_from_dict(system_data)
         options = SynthesisOptions(**options_data) if options_data else None
-        if method == "proposed":
-            result = synthesize(list(system.polys), system.signature, options)
-            decomposition = result.decomposition
-            op_count = result.op_count
-            initial = result.initial_op_count
-            timings = result.timings or Timings()
-        else:
-            fn = get_method(method)
-            timings = Timings()
-            with timings.phase(f"method:{method}"):
-                decomposition = fn(system, options)
-            op_count = decomposition.op_count()
-            initial = direct_cost(
-                list(system.polys), options or SynthesisOptions()
+        with use_tracer(tracer) if tracer is not None else nullcontext():
+            job_span = (
+                tracer.span(f"job:{label or method}", method=method)
+                if tracer is not None
+                else nullcontext()
             )
+            with job_span:
+                if method == "proposed":
+                    result = synthesize(
+                        list(system.polys), system.signature, options
+                    )
+                    decomposition = result.decomposition
+                    op_count = result.op_count
+                    initial = result.initial_op_count
+                    timings = result.timings or Timings()
+                else:
+                    fn = get_method(method)
+                    timings = Timings()
+                    with timings.phase(f"method:{method}"):
+                        decomposition = fn(system, options)
+                    op_count = decomposition.op_count()
+                    initial = direct_cost(
+                        list(system.polys), options or SynthesisOptions()
+                    )
         payload.update(
             decomposition=decomposition_to_dict(decomposition),
             op_count=op_count_to_dict(op_count),
@@ -185,6 +233,13 @@ def _run_job_payload(
         )
     except Exception as exc:  # noqa: BLE001 - one bad job must not kill the batch
         payload["error"] = f"{type(exc).__name__}: {exc}"
+    payload["worker"] = {
+        "pid": os.getpid(),
+        "start_wall": start_wall,
+        "end_wall": time.time(),
+    }
+    if tracer is not None:
+        payload["spans"] = tracer.snapshot().to_dict()
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
@@ -192,7 +247,13 @@ def _pool_worker(args: tuple[int, str]) -> tuple[int, str]:
     """Top-level (picklable) pool entry point."""
     index, blob = args
     data = json.loads(blob)
-    return index, _run_job_payload(data["system"], data["options"], data["method"])
+    return index, _run_job_payload(
+        data["system"],
+        data["options"],
+        data["method"],
+        label=data.get("label", ""),
+        trace=bool(data.get("trace")),
+    )
 
 
 class BatchEngine:
@@ -210,6 +271,7 @@ class BatchEngine:
         self.workers = workers
         self.salt = salt
         self.cache = ResultCache.create(maxsize=cache_size, cache_dir=cache_dir)
+        self.last_pool = PoolStats()
 
     # ------------------------------------------------------------------
     # Public API
@@ -219,40 +281,64 @@ class BatchEngine:
         """Execute a batch; results come back in input order."""
         batch = [self._coerce(job) for job in jobs]
         start = time.perf_counter()
-        keys = [
-            cache_key(job.system, job.options, job.method, self.salt)
-            for job in batch
-        ]
-        payloads: dict[int, str] = {}
-        hits: dict[int, bool] = {}
-        pending: list[int] = []
-        for index, key in enumerate(keys):
-            cached = self.cache.get(key)
-            if cached is not None:
-                payloads[index] = cached
-                hits[index] = True
-            else:
-                pending.append(index)
+        tracer = current_tracer()
+        stats_before = replace(self.cache.stats)
+        with tracer.span("batch", workers=self.workers) as batch_span:
+            keys = [
+                cache_key(job.system, job.options, job.method, self.salt)
+                for job in batch
+            ]
+            payloads: dict[int, str] = {}
+            hits: dict[int, bool] = {}
+            pending: list[int] = []
+            for index, key in enumerate(keys):
+                cached = self.cache.get(key)
+                if cached is not None:
+                    payloads[index] = cached
+                    hits[index] = True
+                    with tracer.span("cache_hit", job=batch[index].label):
+                        pass
+                else:
+                    pending.append(index)
 
-        for index, payload in self._execute(batch, pending).items():
-            payloads[index] = payload
-            hits[index] = False
-            if json.loads(payload).get("error") is None:
-                self.cache.put(keys[index], payload)
+            for index, payload in self._execute(batch, pending).items():
+                data = json.loads(payload)
+                spans_data = data.pop("spans", None)
+                if spans_data is not None:
+                    # Span trees are transport-only: stitch them under the
+                    # batch span, then strip them so the cached payload
+                    # (and JobResult.payload) is identical to an untraced
+                    # run's.
+                    payload = json.dumps(
+                        data, sort_keys=True, separators=(",", ":")
+                    )
+                    tracer.adopt(spans_data, tid=index + 1)
+                payloads[index] = payload
+                hits[index] = False
+                if data.get("error") is None:
+                    self.cache.put(keys[index], payload)
+            batch_span.count(
+                jobs=len(batch),
+                cache_hits=sum(1 for h in hits.values() if h),
+                executed=len(pending),
+            )
 
         results = [
             _decode_result(batch[i].label, batch[i].method, keys[i],
                            payloads[i], hits[i])
             for i in range(len(batch))
         ]
-        return BatchReport(
+        report = BatchReport(
             results=results,
             workers=self.workers if len(pending) > 1 else 1,
             seconds=time.perf_counter() - start,
             cache_hits=sum(1 for h in hits.values() if h),
             cache_misses=len(pending),
             stats=self.cache.stats,
+            pool=self.last_pool,
         )
+        self._publish_metrics(report, stats_before)
+        return report
 
     def run_suite(
         self,
@@ -284,20 +370,44 @@ class BatchEngine:
                 "system": system_to_dict(job.system),
                 "options": asdict(job.options) if job.options else None,
                 "method": job.method,
+                "label": job.label,
+                "trace": current_tracer().enabled,
             }
         )
 
     def _execute(self, batch: list[BatchJob], pending: list[int]) -> dict[int, str]:
+        stats = PoolStats()
+        self.last_pool = stats
         if not pending:
             return {}
+        out: dict[int, str] | None = None
         if self.workers > 1 and len(pending) > 1:
+            stats.workers = min(self.workers, len(pending))
+            started = time.perf_counter()
             try:
-                return self._execute_pool(batch, pending)
+                out = self._execute_pool(batch, pending)
+                stats.mode = "pool"
+                stats.pool_seconds = time.perf_counter() - started
             except Exception:
                 # Broken pool (fork refusal, dead worker, pickling issue):
                 # degrade to in-process execution rather than fail the batch.
-                pass
-        return self._execute_serial(batch, pending)
+                stats.mode = "fallback"
+                stats.workers = 1
+                stats.fallbacks += 1
+                out = None
+        if out is None:
+            started = time.perf_counter()
+            out = self._execute_serial(batch, pending)
+            stats.pool_seconds = time.perf_counter() - started
+            if stats.mode == "idle":
+                stats.mode = "serial"
+        stats.jobs_executed = len(out)
+        for payload in out.values():
+            worker = json.loads(payload).get("worker") or {}
+            begin, finish = worker.get("start_wall"), worker.get("end_wall")
+            if begin is not None and finish is not None:
+                stats.busy_seconds += max(finish - begin, 0.0)
+        return out
 
     def _execute_serial(
         self, batch: list[BatchJob], pending: list[int]
@@ -312,16 +422,56 @@ class BatchEngine:
         self, batch: list[BatchJob], pending: list[int]
     ) -> dict[int, str]:
         out: dict[int, str] = {}
+        stats = self.last_pool
+        wait_histogram = get_registry().histogram("repro_pool_queue_wait_seconds")
         max_workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(_pool_worker, (index, self._job_blob(batch[index])))
-                for index in pending
-            ]
-            for future in futures:
+            submitted: list[tuple[Any, float]] = []
+            for index in pending:
+                submitted.append(
+                    (
+                        pool.submit(
+                            _pool_worker, (index, self._job_blob(batch[index]))
+                        ),
+                        time.time(),
+                    )
+                )
+            for future, submit_wall in submitted:
                 index, payload = future.result()
                 out[index] = payload
+                worker = json.loads(payload).get("worker") or {}
+                started_wall = worker.get("start_wall")
+                if started_wall is not None:
+                    wait = max(started_wall - submit_wall, 0.0)
+                    stats.queue_wait_seconds += wait
+                    stats.max_queue_wait_seconds = max(
+                        stats.max_queue_wait_seconds, wait
+                    )
+                    wait_histogram.observe(wait)
         return out
+
+    def _publish_metrics(
+        self, report: BatchReport, stats_before: CacheStats
+    ) -> None:
+        """Publish one run's cache / pool deltas to the global registry."""
+        registry = get_registry()
+        for name in (
+            "memory_hits", "disk_hits", "misses", "stores",
+            "evictions", "disk_reads", "disk_writes",
+        ):
+            delta = getattr(report.stats, name) - getattr(stats_before, name)
+            if delta:
+                registry.counter(f"repro_cache_{name}_total").inc(delta)
+        pool = report.pool
+        if pool.jobs_executed:
+            registry.counter(
+                "repro_pool_jobs_total", mode=pool.mode
+            ).inc(pool.jobs_executed)
+        if pool.fallbacks:
+            registry.counter("repro_pool_fallbacks_total").inc(pool.fallbacks)
+        if pool.mode == "pool":
+            registry.gauge("repro_pool_utilization").set(pool.utilization)
+        registry.histogram("repro_batch_seconds").observe(report.seconds)
 
 
 def _decode_result(

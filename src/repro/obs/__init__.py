@@ -1,0 +1,80 @@
+"""Unified observability: hierarchical spans, metrics, exporters.
+
+The subsystem the ROADMAP's scaling PRs measure themselves against:
+
+* :mod:`repro.obs.tracer` — hierarchical :class:`Span` trees behind a
+  near-zero-overhead no-op default; ambient via :func:`current_tracer`
+  / :func:`use_tracer`; cross-process stitching via
+  :meth:`Tracer.adopt`; ``REPRO_TRACE`` turns the default on.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, and fixed-bucket histograms; :func:`observe_timings` bridges
+  the flow's per-phase :class:`~repro.core.metrics.Timings` into it.
+* :mod:`repro.obs.exporters` — JSONL span logs, Chrome trace-event JSON
+  (Perfetto / ``chrome://tracing``), Prometheus text exposition.
+* :mod:`repro.obs.validate` — the bundled Chrome-trace checker used by
+  tests, ``repro trace``, and CI.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and formats.
+"""
+
+from .exporters import (
+    chrome_trace,
+    prometheus_text,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    observe_timings,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    TraceSnapshot,
+    current_tracer,
+    env_trace_path,
+    env_trace_settings,
+    format_span_tree,
+    set_tracer,
+    use_tracer,
+)
+from .validate import chrome_trace_depth, event_names, validate_chrome_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceSnapshot",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_depth",
+    "current_tracer",
+    "env_trace_path",
+    "env_trace_settings",
+    "event_names",
+    "format_span_tree",
+    "get_registry",
+    "observe_timings",
+    "prometheus_text",
+    "set_tracer",
+    "spans_to_jsonl",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

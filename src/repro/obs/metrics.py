@@ -1,0 +1,205 @@
+"""Counters, gauges, and fixed-bucket histograms for the whole system.
+
+The :class:`MetricsRegistry` is the quantitative companion of the span
+tracer: spans answer *where inside one run* time went, the registry
+accumulates *how the system behaves across runs* — cache hit counters,
+pool queue-wait histograms, per-phase second histograms fed from
+:class:`~repro.core.metrics.Timings` via :func:`observe_timings`.
+
+Metrics are identified by name plus an optional label set, mirroring the
+Prometheus data model so :func:`repro.obs.exporters.prometheus_text` is
+a straight transcription.  A process-wide default registry is available
+via :func:`get_registry`; the flow and engine publish into it, and the
+CLI's ``--stats`` flag prints it.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.metrics import Timings
+
+#: Default histogram buckets (seconds) — spans sub-millisecond phase
+#: steps up to multi-second whole-suite synthesis runs.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> Labels:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (worker utilization, pool size)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative Prometheus semantics.
+
+    ``buckets`` are upper bounds (an implicit ``+Inf`` bucket is always
+    present); ``bucket_counts[i]`` is the number of observations at or
+    under ``buckets[i]`` exclusive of earlier buckets — cumulated only
+    at export time, matching the exposition format.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "sum", "count")
+
+    def __init__(self, name: str, labels: Labels, buckets: Iterable[float]) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # + the +Inf bucket
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Per-bucket cumulative counts, ending with the total (+Inf)."""
+        out: list[int] = []
+        running = 0
+        for n in self.bucket_counts:
+            running += n
+            out.append(running)
+        return out
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics, thread-safe."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, str, Labels], Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, kind: str, name: str, labels: dict, factory) -> Metric:
+        key = (kind, name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory(name, key[2])
+                self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create("gauge", name, labels, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS, **labels: Any
+    ) -> Histogram:
+        return self._get_or_create(
+            "histogram", name, labels,
+            lambda n, lbls: Histogram(n, lbls, buckets),
+        )
+
+    def collect(self) -> list[Metric]:
+        """Every registered metric, sorted by (name, labels) for stable output."""
+        with self._lock:
+            return sorted(
+                self._metrics.values(), key=lambda m: (m.name, m.labels)
+            )
+
+    def reset(self) -> None:
+        """Drop every metric (tests; the CLI's per-run isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able dump (the machine-readable sibling of the text format)."""
+        out: list[dict[str, Any]] = []
+        for metric in self.collect():
+            entry: dict[str, Any] = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["counts"] = metric.cumulative_counts()
+                entry["sum"] = metric.sum
+                entry["count"] = metric.count
+            else:
+                entry["value"] = metric.value
+            out.append(entry)
+        return {"kind": "metrics", "metrics": out}
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL
+
+
+def observe_timings(
+    timings: "Timings",
+    registry: MetricsRegistry | None = None,
+    prefix: str = "repro",
+) -> None:
+    """Feed one run's per-phase :class:`Timings` into a registry.
+
+    Each phase contributes an observation to the
+    ``<prefix>_phase_seconds`` histogram and adds its integer counters
+    to ``<prefix>_phase_<counter>_total`` counters, labelled by phase.
+    """
+    registry = registry if registry is not None else get_registry()
+    for phase in timings.phases:
+        registry.histogram(f"{prefix}_phase_seconds", phase=phase.phase).observe(
+            phase.seconds
+        )
+        for key, value in phase.counters.items():
+            registry.counter(f"{prefix}_phase_{key}_total", phase=phase.phase).inc(
+                value
+            )

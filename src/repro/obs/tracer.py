@@ -1,0 +1,470 @@
+"""Hierarchical span tracing for the synthesis flow and the batch engine.
+
+A :class:`Span` is one timed, named region of work; spans nest
+(``poly_synth`` > ``cce`` > ``cce/extract``), carry free-form attributes
+and integer counters, and together form the tree the exporters
+(:mod:`repro.obs.exporters`) serialize to JSONL, Chrome trace-event
+JSON, or feed into metrics.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when off.**  The ambient tracer defaults to
+   :data:`NULL_TRACER`, whose ``span()`` returns one shared no-op
+   context manager — entering a disabled span is two attribute-free
+   method calls and no allocation.  Instrumentation can therefore stay
+   unconditionally in the hot paths (the flow's results are required to
+   be bit-identical and within a few percent of the uninstrumented
+   runtime; tests enforce both).
+2. **Results never depend on tracing.**  Nothing reads a span back into
+   the flow; the tracer is write-only from the algorithm's perspective.
+3. **Thread- and process-safe.**  Open-span stacks are per-thread;
+   finished trees are appended under a lock.  Pool workers build their
+   own :class:`Tracer` and ship a :class:`TraceSnapshot` home inside the
+   job payload; :meth:`Tracer.adopt` stitches the worker tree under the
+   parent's current span, re-basing timestamps via each tracer's
+   wall-clock epoch.
+
+The ``REPRO_TRACE`` environment variable turns the ambient default on:
+``1``/``true``/``on``/``yes`` enable tracing, any other non-empty value
+both enables it *and* names the Chrome-trace file the CLI writes on
+exit (see :func:`env_trace_settings` and ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+@dataclass
+class Span:
+    """One timed region of work; a node of the trace tree.
+
+    ``start``/``end`` are seconds since the owning tracer's epoch (not
+    absolute wall time), so a serialized tree can be re-based onto a
+    different tracer's timeline with a single offset.  ``tid`` is a
+    display lane for the Chrome-trace exporter — worker subtrees get a
+    distinct lane per job when stitched.
+    """
+
+    name: str
+    start: float = 0.0
+    end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    tid: int = 0
+
+    # -- the API instrumented code sees --------------------------------
+
+    def set(self, **attrs: Any) -> None:
+        """Attach or overwrite attributes."""
+        self.attrs.update(attrs)
+
+    def count(self, **deltas: int) -> None:
+        """Add integer counters (cumulative per key)."""
+        for key, value in deltas.items():
+            self.counters[key] = self.counters.get(key, 0) + int(value)
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, in record order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (a leaf has depth 1)."""
+        return 1 + max((child.depth() for child in self.children), default=0)
+
+    def find(self, name: str) -> "Span | None":
+        """First span (depth-first) whose name matches exactly."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def signature(self) -> tuple:
+        """Timing-free structural identity: (name, child signatures).
+
+        Children are kept in record order — within one thread the order
+        is deterministic, and the cross-process stitching tests compare
+        *sets* of job-subtree signatures to stay order-independent.
+        """
+        return (self.name, tuple(child.signature() for child in self.children))
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "kind": "span",
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "children": [child.to_dict() for child in self.children],
+        }
+        if self.attrs:
+            data["attrs"] = dict(self.attrs)
+        if self.counters:
+            data["counters"] = dict(self.counters)
+        if self.tid:
+            data["tid"] = self.tid
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        if data.get("kind") != "span":
+            raise ValueError(f"not a span payload: {data.get('kind')!r}")
+        return cls(
+            name=str(data["name"]),
+            start=float(data["start"]),
+            end=None if data.get("end") is None else float(data["end"]),
+            attrs=dict(data.get("attrs", {})),
+            counters={str(k): int(v) for k, v in data.get("counters", {}).items()},
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+            tid=int(data.get("tid", 0)),
+        )
+
+
+@dataclass
+class TraceSnapshot:
+    """A tracer's finished span trees plus the epoch needed to re-base them."""
+
+    epoch_wall: float
+    spans: list[Span] = field(default_factory=list)
+    dropped: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "trace",
+            "epoch_wall": self.epoch_wall,
+            "dropped": self.dropped,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceSnapshot":
+        if data.get("kind") != "trace":
+            raise ValueError(f"not a trace payload: {data.get('kind')!r}")
+        return cls(
+            epoch_wall=float(data["epoch_wall"]),
+            spans=[Span.from_dict(s) for s in data.get("spans", [])],
+            dropped=int(data.get("dropped", 0)),
+        )
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.spans:
+            yield from root.walk()
+
+    def depth(self) -> int:
+        return max((root.depth() for root in self.spans), default=0)
+
+
+# ----------------------------------------------------------------------
+# The no-op path
+# ----------------------------------------------------------------------
+
+class _NullSpan:
+    """Shared do-nothing span handed out when tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def count(self, **deltas: int) -> None:
+        pass
+
+
+class _NullSpanContext:
+    """Shared do-nothing context manager; one instance serves every call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a cheap no-op."""
+
+    __slots__ = ()
+    enabled = False
+    dropped = 0
+
+    @property
+    def roots(self) -> list[Span]:
+        return []
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def adopt(self, tree: "TraceSnapshot | dict", tid: int = 0) -> None:
+        pass
+
+    def snapshot(self) -> TraceSnapshot:
+        return TraceSnapshot(epoch_wall=time.time())
+
+
+NULL_TRACER = NullTracer()
+
+
+# ----------------------------------------------------------------------
+# The real tracer
+# ----------------------------------------------------------------------
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span | _NullSpan:
+        self._span = self._tracer._enter(self._name, self._attrs)
+        return self._span
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._span is not NULL_SPAN:
+            self._tracer._exit(self._span, exc_type)
+        return False
+
+
+class Tracer:
+    """Collects hierarchical spans on one timeline.
+
+    ``max_spans`` bounds memory on pathological workloads (the
+    combination search can score hundreds of candidates, each opening a
+    ``cse/extract`` span): past the cap new spans are dropped and
+    counted in :attr:`dropped` instead of recorded.
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 200_000) -> None:
+        self.epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()
+        self.max_spans = max_spans
+        self.dropped = 0
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._recorded = 0
+
+    # -- internals -------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch_perf
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _enter(self, name: str, attrs: dict[str, Any]) -> Span | _NullSpan:
+        with self._lock:
+            if self._recorded >= self.max_spans:
+                self.dropped += 1
+                return NULL_SPAN
+            self._recorded += 1
+        span = Span(name=name, start=self._now(), attrs=dict(attrs))
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
+        return span
+
+    def _exit(self, span: Span, exc_type: type | None) -> None:
+        span.end = self._now()
+        if exc_type is not None:
+            span.attrs.setdefault("error", exc_type.__name__)
+        stack = self._stack()
+        # Tolerate a corrupted stack (a span leaked across threads)
+        # rather than poison the flow being traced.
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+
+    # -- public API ------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a nested span: ``with tracer.span("cce", polys=3) as s:``."""
+        return _SpanContext(self, name, attrs)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def adopt(self, tree: "TraceSnapshot | dict", tid: int = 0) -> None:
+        """Stitch a (worker's) serialized span tree under the current span.
+
+        Timestamps are re-based from the child tracer's wall-clock epoch
+        onto this tracer's timeline; ``tid`` tags the whole subtree so
+        the Chrome-trace exporter renders it in its own lane.
+        """
+        snapshot = TraceSnapshot.from_dict(tree) if isinstance(tree, dict) else tree
+        delta = snapshot.epoch_wall - self.epoch_wall
+        self.dropped += snapshot.dropped
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        for root in snapshot.spans:
+            rebased = _rebase(root, delta, tid)
+            if parent is not None:
+                parent.children.append(rebased)
+            else:
+                with self._lock:
+                    self.roots.append(rebased)
+
+    def snapshot(self) -> TraceSnapshot:
+        """An immutable copy-by-reference view suitable for serialization."""
+        with self._lock:
+            return TraceSnapshot(
+                epoch_wall=self.epoch_wall,
+                spans=list(self.roots),
+                dropped=self.dropped,
+            )
+
+    def depth(self) -> int:
+        return max((root.depth() for root in self.roots), default=0)
+
+    def find(self, name: str) -> Span | None:
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+def _rebase(span: Span, delta: float, tid: int) -> Span:
+    """A shifted, re-laned copy of a span tree (the original is untouched)."""
+    return Span(
+        name=span.name,
+        start=span.start + delta,
+        end=None if span.end is None else span.end + delta,
+        attrs=dict(span.attrs),
+        counters=dict(span.counters),
+        children=[_rebase(child, delta, tid) for child in span.children],
+        tid=tid,
+    )
+
+
+# ----------------------------------------------------------------------
+# The ambient tracer
+# ----------------------------------------------------------------------
+
+_FALSY = frozenset({"", "0", "false", "off", "no"})
+_TRUTHY = frozenset({"1", "true", "on", "yes"})
+
+
+def env_trace_settings() -> tuple[bool, str | None]:
+    """Interpret ``REPRO_TRACE``: (enabled, chrome-trace output path).
+
+    Unset / falsy values disable tracing; truthy values enable it; any
+    other value enables it *and* is taken as the file the CLI writes a
+    Chrome trace to when the command finishes.
+    """
+    raw = os.environ.get("REPRO_TRACE", "").strip()
+    if raw.lower() in _FALSY:
+        return False, None
+    if raw.lower() in _TRUTHY:
+        return True, None
+    return True, raw
+
+
+_env_enabled, _env_path = env_trace_settings()
+
+_current: ContextVar["Tracer | NullTracer"] = ContextVar(
+    "repro_tracer", default=Tracer() if _env_enabled else NULL_TRACER
+)
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    """The ambient tracer (the no-op tracer unless one was installed)."""
+    return _current.get()
+
+
+def set_tracer(tracer: "Tracer | NullTracer") -> None:
+    """Install ``tracer`` as the ambient tracer for this context."""
+    _current.set(tracer)
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | NullTracer") -> Iterator["Tracer | NullTracer"]:
+    """Temporarily install ``tracer`` as the ambient tracer.
+
+    >>> from repro.obs import Tracer, use_tracer
+    >>> with use_tracer(Tracer()) as tracer:
+    ...     pass  # everything in here records into `tracer`
+    """
+    token = _current.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _current.reset(token)
+
+
+def env_trace_path() -> str | None:
+    """The Chrome-trace output path named by ``REPRO_TRACE``, if any."""
+    return env_trace_settings()[1]
+
+
+def format_span_tree(
+    spans: "Tracer | TraceSnapshot | list[Span]",
+    max_children: int = 12,
+) -> str:
+    """Indented text rendering of a span tree (CLI / debugging aid)."""
+    if isinstance(spans, (Tracer, TraceSnapshot)):
+        roots = spans.roots if isinstance(spans, Tracer) else spans.spans
+    else:
+        roots = spans
+    lines: list[str] = []
+
+    def render(span: Span, indent: int) -> None:
+        extra = "".join(f" {k}={v}" for k, v in span.counters.items())
+        lines.append(
+            f"{'  ' * indent}{span.name}: {span.duration * 1000.0:.2f} ms{extra}"
+        )
+        for child in span.children[:max_children]:
+            render(child, indent + 1)
+        if len(span.children) > max_children:
+            lines.append(
+                f"{'  ' * (indent + 1)}... and "
+                f"{len(span.children) - max_children} more"
+            )
+
+    for root in roots:
+        render(root, 0)
+    return "\n".join(lines)

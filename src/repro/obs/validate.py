@@ -1,0 +1,104 @@
+"""Validator for Chrome trace-event JSON documents.
+
+Used by the test suite, by ``scripts/check_trace.py`` (the CI smoke
+check), and by ``repro trace`` before it reports success.  The checks
+cover what Perfetto / ``chrome://tracing`` actually require to load a
+file: the JSON Object Format with a ``traceEvents`` array of well-typed
+events, non-negative microsecond timestamps, and durations present on
+complete (``"X"``) events.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Event phases this repo emits or tolerates (the full spec has more).
+_KNOWN_PHASES = frozenset({"X", "B", "E", "i", "C", "M", "b", "e"})
+
+
+def validate_chrome_trace(document: Any) -> list[str]:
+    """Return a list of schema violations (empty = valid).
+
+    Accepts the JSON Object Format (``{"traceEvents": [...]}``) or the
+    bare JSON Array Format (``[...]``).
+    """
+    errors: list[str] = []
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object lacks a 'traceEvents' array"]
+    elif isinstance(document, list):
+        events = document
+    else:
+        return [f"expected an object or array, got {type(document).__name__}"]
+
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing or empty 'name'")
+        phase = event.get("ph")
+        if not isinstance(phase, str) or phase not in _KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"{where}: 'ts' must be a non-negative number")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                errors.append(f"{where}: complete event needs non-negative 'dur'")
+        for field in ("pid", "tid"):
+            value = event.get(field)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                errors.append(f"{where}: '{field}' must be an integer")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            errors.append(f"{where}: 'args' must be an object")
+    return errors
+
+
+def _events(document: Any) -> list[dict[str, Any]]:
+    events = document.get("traceEvents", []) if isinstance(document, dict) else document
+    return [e for e in events if isinstance(e, dict)]
+
+
+def chrome_trace_depth(document: Any) -> int:
+    """Maximum nesting depth of complete events, per (pid, tid) lane.
+
+    Depth is computed by interval containment: within one lane, events
+    are sorted by start time (ties: longer first) and pushed onto a
+    stack that pops when an event starts at-or-after the top's end.
+    Exactly-nested exporter output yields its true tree depth.
+    """
+    lanes: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    for event in _events(document):
+        if event.get("ph") != "X":
+            continue
+        key = (int(event.get("pid", 0)), int(event.get("tid", 0)))
+        start = float(event["ts"])
+        lanes.setdefault(key, []).append((start, start + float(event.get("dur", 0))))
+
+    deepest = 0
+    for intervals in lanes.values():
+        intervals.sort(key=lambda pair: (pair[0], -pair[1]))
+        stack: list[float] = []
+        for start, end in intervals:
+            while stack and stack[-1] <= start:
+                stack.pop()
+            stack.append(end)
+            deepest = max(deepest, len(stack))
+    return deepest
+
+
+def event_names(document: Any) -> list[str]:
+    """Every event name, in file order (duplicates preserved)."""
+    return [
+        str(event.get("name", ""))
+        for event in _events(document)
+    ]

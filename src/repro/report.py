@@ -85,11 +85,26 @@ def batch_text_report(report: "BatchReport") -> str:
     then the per-phase seconds aggregated across the batch — the
     ``python -m repro batch`` output.
     """
+    stats = report.stats
+    pool = report.pool
     lines = [
         f"batch: {len(report.results)} job(s), workers={report.workers}, "
         f"{report.seconds:.2f} s wall",
         f"cache: {report.cache_hits} hit(s) / {report.cache_misses} miss(es) "
         f"({report.hit_rate * 100.0:.0f}% hit rate)",
+        f"cache tiers: {stats.memory_hits} memory / {stats.disk_hits} disk "
+        f"hit(s), {stats.evictions} eviction(s), "
+        f"{stats.disk_reads} disk read(s) / {stats.disk_writes} write(s)",
+    ]
+    if pool.jobs_executed:
+        lines.append(
+            f"pool: mode={pool.mode}, {pool.jobs_executed} job(s) executed, "
+            f"utilization {pool.utilization * 100.0:.0f}%, "
+            f"queue wait {pool.queue_wait_seconds:.3f} s "
+            f"(max {pool.max_queue_wait_seconds:.3f} s), "
+            f"{pool.fallbacks} fallback(s)"
+        )
+    lines += [
         "",
         f"{'job':16s} {'method':12s} {'cache':6s} "
         f"{'MULT':>5s} {'ADD':>5s} {'synth s':>8s}",

@@ -18,6 +18,7 @@ from typing import Any
 from repro.core.metrics import Timings
 from repro.expr import Decomposition, OpCount
 from repro.expr.ast import Add, BlockRef, Const, Expr, Mul, Pow, Var
+from repro.obs import Span, TraceSnapshot
 from repro.poly import Polynomial
 from repro.rings import BitVectorSignature
 from repro.system import PolySystem
@@ -175,6 +176,26 @@ def timings_from_dict(data: dict[str, Any]) -> Timings:
 
 
 # ----------------------------------------------------------------------
+# Trace spans (the observability payloads — see :mod:`repro.obs`)
+# ----------------------------------------------------------------------
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    return span.to_dict()
+
+
+def span_from_dict(data: dict[str, Any]) -> Span:
+    return Span.from_dict(data)
+
+
+def trace_to_dict(snapshot: TraceSnapshot) -> dict[str, Any]:
+    return snapshot.to_dict()
+
+
+def trace_from_dict(data: dict[str, Any]) -> TraceSnapshot:
+    return TraceSnapshot.from_dict(data)
+
+
+# ----------------------------------------------------------------------
 # String convenience
 # ----------------------------------------------------------------------
 
@@ -185,6 +206,8 @@ _SERIALIZERS = {
     Decomposition: decomposition_to_dict,
     OpCount: op_count_to_dict,
     Timings: timings_to_dict,
+    Span: span_to_dict,
+    TraceSnapshot: trace_to_dict,
 }
 
 _DESERIALIZERS = {
@@ -194,6 +217,8 @@ _DESERIALIZERS = {
     "decomposition": decomposition_from_dict,
     "op-count": op_count_from_dict,
     "timings": timings_from_dict,
+    "span": span_from_dict,
+    "trace": trace_from_dict,
 }
 
 

@@ -1,0 +1,122 @@
+"""Tests for the span/metrics exporters and the Chrome-trace validator."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    chrome_trace_depth,
+    event_names,
+    prometheus_text,
+    spans_to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("poly_synth", objective="area") as root:
+        root.count(combinations=5)
+        with tracer.span("cce"):
+            with tracer.span("cce/gcd_pass"):
+                pass
+        with tracer.span("search"):
+            pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_schema_valid(self):
+        document = chrome_trace(sample_tracer())
+        assert validate_chrome_trace(document) == []
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_events_and_depth(self):
+        document = chrome_trace(sample_tracer())
+        assert event_names(document) == [
+            "poly_synth", "cce", "cce/gcd_pass", "search",
+        ]
+        assert chrome_trace_depth(document) == 3
+
+    def test_categories_and_args(self):
+        document = chrome_trace(sample_tracer())
+        by_name = {e["name"]: e for e in document["traceEvents"]}
+        assert by_name["cce/gcd_pass"]["cat"] == "cce"
+        assert by_name["poly_synth"]["args"] == {
+            "objective": "area", "combinations": 5,
+        }
+
+    def test_write_round_trips_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        events = write_chrome_trace(str(path), sample_tracer())
+        assert events == 4
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == []
+
+    def test_validator_rejects_garbage(self):
+        assert validate_chrome_trace(42)
+        assert validate_chrome_trace({"nope": []})
+        assert validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "X", "ts": -1, "dur": 0}]}
+        )
+        assert validate_chrome_trace(
+            {"traceEvents": [{"name": "", "ph": "X", "ts": 0, "dur": 0}]}
+        )
+        assert validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "??", "ts": 0}]}
+        )
+
+    def test_validator_accepts_array_format(self):
+        assert validate_chrome_trace([{"name": "x", "ph": "X", "ts": 0, "dur": 1}]) == []
+
+
+class TestJsonl:
+    def test_lines_parse_and_carry_paths(self, tmp_path):
+        lines = list(spans_to_jsonl(sample_tracer()))
+        records = [json.loads(line) for line in lines]
+        assert [r["path"] for r in records] == [
+            "poly_synth",
+            "poly_synth/cce",
+            "poly_synth/cce/cce/gcd_pass",
+            "poly_synth/search",
+        ]
+        assert records[0]["parent"] is None
+        assert records[1]["parent"] == "poly_synth"
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl(str(path), sample_tracer()) == 4
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_cache_misses_total").inc(3)
+        registry.gauge("repro_pool_utilization").set(0.5)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_cache_misses_total counter" in text
+        assert "repro_cache_misses_total 3" in text
+        assert "repro_pool_utilization 0.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_phase_seconds", buckets=(0.1, 1.0), phase="cce"
+        )
+        histogram.observe(0.05)
+        histogram.observe(5.0)
+        text = prometheus_text(registry)
+        assert 'repro_phase_seconds_bucket{phase="cce",le="0.1"} 1' in text
+        assert 'repro_phase_seconds_bucket{phase="cce",le="+Inf"} 2' in text
+        assert 'repro_phase_seconds_count{phase="cce"} 2' in text
+
+    def test_empty_registry_is_empty_string(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", quote='he said "hi"\n').inc()
+        text = prometheus_text(registry)
+        assert r'quote="he said \"hi\"\n"' in text

@@ -1,0 +1,100 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.core.metrics import Timings
+from repro.obs import MetricsRegistry, get_registry, observe_timings
+
+
+class TestCounter:
+    def test_monotone(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", tier="memory").inc()
+        registry.counter("hits", tier="disk").inc(5)
+        assert registry.counter("hits", tier="memory").value == 1
+        assert registry.counter("hits", tier="disk").value == 5
+
+
+class TestGauge:
+    def test_up_and_down(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("utilization")
+        gauge.set(0.5)
+        gauge.inc(0.25)
+        gauge.dec(0.5)
+        assert gauge.value == pytest.approx(0.25)
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.cumulative_counts() == [1, 2, 3, 4]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(55.55)
+
+    def test_boundary_lands_in_its_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # le="1" is inclusive
+        assert histogram.cumulative_counts()[0] == 1
+
+    def test_empty_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.counter("c", a="1") is not registry.counter("c", a="2")
+
+    def test_collect_sorted_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        assert [m.name for m in registry.collect()] == ["a", "b"]
+        registry.reset()
+        assert registry.collect() == []
+
+    def test_as_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", x="1").inc(2)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        data = registry.as_dict()
+        assert data["kind"] == "metrics"
+        kinds = {entry["name"]: entry["kind"] for entry in data["metrics"]}
+        assert kinds == {"c": "counter", "h": "histogram"}
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestObserveTimings:
+    def test_feeds_phases_and_counters(self):
+        timings = Timings()
+        with timings.phase("cce") as clock:
+            clock.count(representations=4)
+        with timings.phase("search"):
+            pass
+        registry = MetricsRegistry()
+        observe_timings(timings, registry)
+        histogram = registry.histogram("repro_phase_seconds", phase="cce")
+        assert histogram.count == 1
+        counter = registry.counter(
+            "repro_phase_representations_total", phase="cce"
+        )
+        assert counter.value == 4
