@@ -32,8 +32,17 @@ from repro.api import (
     synthesize_system,
 )
 from repro.baselines import available_methods, register_method
-from repro.core import SynthesisOptions, SynthesisResult, Timings, synthesize
+from repro.config import RetryPolicy, RunConfig
+from repro.core import (
+    Budget,
+    Degradation,
+    SynthesisOptions,
+    SynthesisResult,
+    Timings,
+    synthesize,
+)
 from repro.engine import BatchEngine, BatchJob, BatchReport, JobResult
+from repro.obs import Tracer
 from repro.expr import Decomposition, OpCount
 from repro.poly import Polynomial, parse_polynomial, parse_system
 from repro.rings import BitVectorSignature
@@ -46,16 +55,21 @@ __all__ = [
     "BatchJob",
     "BatchReport",
     "BitVectorSignature",
+    "Budget",
     "DEFAULT_METHODS",
     "Decomposition",
+    "Degradation",
     "JobResult",
     "MethodOutcome",
     "OpCount",
     "PolySystem",
     "Polynomial",
+    "RetryPolicy",
+    "RunConfig",
     "SynthesisOptions",
     "SynthesisResult",
     "Timings",
+    "Tracer",
     "TradeoffPoint",
     "available_methods",
     "compare_methods",

@@ -31,6 +31,11 @@ Commands:
 (write a Chrome trace of the run) and ``--stats`` (print the metrics
 registry in Prometheus text format).  Setting ``REPRO_TRACE`` to a file
 name traces any command and writes the Chrome trace there on exit.
+
+Every synthesis-running subcommand shares the resource-governance flags
+(``--job-seconds``, ``--phase-seconds``, ``--max-steps``,
+``--job-timeout``, ``--max-retries``) which assemble into one
+:class:`repro.config.RunConfig` — see ``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -46,6 +51,8 @@ from repro import (
     parse_system,
     synthesize_system,
 )
+from repro.config import RetryPolicy, RunConfig
+from repro.core import Budget
 from repro.cost import estimate_decomposition
 from repro.factor import factor_polynomial
 from repro.poly import parse_polynomial
@@ -61,6 +68,34 @@ def _system_from_args(args: argparse.Namespace) -> PolySystem:
     polys = [p.with_vars(variables) for p in polys]
     signature = BitVectorSignature.uniform(variables, args.width)
     return PolySystem("cli", tuple(polys), signature)
+
+
+def run_config_from_args(args: argparse.Namespace) -> RunConfig:
+    """Build the :class:`RunConfig` the shared CLI flags describe."""
+    budget = None
+    if (
+        getattr(args, "job_seconds", None) is not None
+        or getattr(args, "phase_seconds", None) is not None
+        or getattr(args, "max_steps", None) is not None
+    ):
+        budget = Budget(
+            job_seconds=getattr(args, "job_seconds", None),
+            phase_seconds=getattr(args, "phase_seconds", None),
+            max_steps=getattr(args, "max_steps", None),
+        )
+    max_retries = getattr(args, "max_retries", None)
+    retry = RetryPolicy(
+        max_retries=(
+            max_retries if max_retries is not None else RetryPolicy.max_retries
+        ),
+        job_timeout_seconds=getattr(args, "job_timeout", None),
+    )
+    return RunConfig(
+        budget=budget,
+        retry=retry,
+        workers=getattr(args, "workers", None) or 1,
+        cache_dir=getattr(args, "cache_dir", None),
+    )
 
 
 def _trace_scope(args: argparse.Namespace):
@@ -90,7 +125,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     system = _system_from_args(args)
     scope, tracer = _trace_scope(args)
     with scope:
-        result = synthesize_system(system)
+        result = synthesize_system(system, run_config_from_args(args))
     print(result.summary())
     report = estimate_decomposition(result.decomposition, system.signature)
     print(f"hardware: {report}")
@@ -116,7 +151,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             return 2
     else:
         methods = DEFAULT_METHODS
-    outcomes = compare_methods(system, methods=methods)
+    outcomes = compare_methods(system, run_config_from_args(args), methods=methods)
     if args.markdown:
         print(markdown_report(system, outcomes))
     else:
@@ -150,7 +185,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         names = tuple(n.strip() for n in args.systems.split(",") if n.strip())
     else:
         names = TABLE_14_3_SYSTEMS
-    engine = BatchEngine(workers=args.workers, cache_dir=args.cache_dir)
+    engine = BatchEngine(run_config_from_args(args))
     report = None
     scope, tracer = _trace_scope(args)
     with scope:
@@ -179,7 +214,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     system = _system_from_args(args)
     tracer = Tracer()
     with use_tracer(tracer):
-        result = synthesize_system(system)
+        result = synthesize_system(system, run_config_from_args(args))
     print(result.summary())
     print()
     snapshot = tracer.snapshot()
@@ -222,7 +257,7 @@ def _cmd_verilog(args: argparse.Namespace) -> int:
     from repro.rtl import decomposition_to_verilog, testbench_for_system
 
     system = _system_from_args(args)
-    result = synthesize_system(system)
+    result = synthesize_system(system, run_config_from_args(args))
     sys.stdout.write(
         decomposition_to_verilog(result.decomposition, system.signature, args.module)
     )
@@ -268,6 +303,37 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--system", help="name of a built-in benchmark system")
         p.add_argument("--width", type=int, default=16, help="bit-vector width")
 
+    def add_run_config_options(p: argparse.ArgumentParser) -> None:
+        group = p.add_argument_group("resource governance (RunConfig)")
+        group.add_argument(
+            "--job-seconds",
+            type=float,
+            help="cooperative wall-clock budget per synthesis job (graceful "
+            "degradation on overrun)",
+        )
+        group.add_argument(
+            "--phase-seconds",
+            type=float,
+            help="cooperative wall-clock budget per synthesis phase",
+        )
+        group.add_argument(
+            "--max-steps",
+            type=int,
+            help="deterministic step-count fuse across the flow's hot loops",
+        )
+        group.add_argument(
+            "--job-timeout",
+            type=float,
+            help="hard per-job timeout for pooled batch jobs (worker killed, "
+            "job rerun degraded)",
+        )
+        group.add_argument(
+            "--max-retries",
+            type=int,
+            help="retry attempts for crashed or failing batch jobs "
+            "(default: 2)",
+        )
+
     def add_observability_options(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace-out",
@@ -281,11 +347,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("synthesize", help="run the integrated flow")
     add_system_options(p)
+    add_run_config_options(p)
     add_observability_options(p)
     p.set_defaults(func=_cmd_synthesize)
 
     p = sub.add_parser("compare", help="compare all methods")
     add_system_options(p)
+    add_run_config_options(p)
     p.add_argument("--markdown", action="store_true", help="emit a Markdown table")
     p.add_argument(
         "--methods",
@@ -305,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("verilog", help="synthesize and emit Verilog")
     add_system_options(p)
+    add_run_config_options(p)
     p.add_argument("--module", default="datapath", help="Verilog module name")
     p.add_argument(
         "--testbench", action="store_true", help="also emit a self-checking testbench"
@@ -344,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run the batch N times (N>1 demonstrates warm-cache hit rates)",
     )
+    add_run_config_options(p)
     add_observability_options(p)
     p.set_defaults(func=_cmd_batch)
 
@@ -351,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="run the flow under the span tracer and export the trace"
     )
     add_system_options(p)
+    add_run_config_options(p)
     p.add_argument(
         "--out", default="trace.json", help="Chrome trace-event JSON output file"
     )

@@ -1,10 +1,17 @@
-"""One-call convenience API.
+"""One-call convenience API — the canonical facade of the package.
 
 >>> from repro import synthesize_system, compare_methods
 >>> from repro.suite import table_14_1_system
 >>> result = synthesize_system(table_14_1_system())
 >>> print(result.op_count)
 8 MULT, 1 ADD
+
+Everything a typical caller needs is importable from here (and from the
+top-level :mod:`repro` package): the one-shot helpers below plus the
+re-exported :class:`~repro.config.RunConfig`,
+:class:`~repro.engine.BatchEngine` / :class:`~repro.engine.BatchReport`,
+and :class:`~repro.obs.Tracer`.  Deeper modules remain importable but
+are implementation surface, not the supported API.
 """
 
 from __future__ import annotations
@@ -13,15 +20,39 @@ import warnings
 from dataclasses import dataclass
 
 from repro.baselines import available_methods, get_method
-from repro.core import SynthesisOptions, SynthesisResult, synthesize
+from repro.config import RetryPolicy, RunConfig, as_run_config
+from repro.core import Budget, SynthesisOptions, SynthesisResult, synthesize
 from repro.cost import (
     DEFAULT_MODEL,
     HardwareReport,
     TechnologyModel,
     estimate_decomposition,
 )
+from repro.engine import BatchEngine, BatchJob, BatchReport, JobResult
 from repro.expr import Decomposition, OpCount
+from repro.obs import Tracer
 from repro.system import PolySystem
+
+__all__ = [
+    "BatchEngine",
+    "BatchJob",
+    "BatchReport",
+    "Budget",
+    "DEFAULT_METHODS",
+    "JobResult",
+    "MethodOutcome",
+    "RetryPolicy",
+    "RunConfig",
+    "SynthesisOptions",
+    "SynthesisResult",
+    "Tracer",
+    "TradeoffPoint",
+    "compare_methods",
+    "explore_tradeoffs",
+    "improvement",
+    "method_outcome",
+    "synthesize_system",
+]
 
 
 @dataclass(frozen=True)
@@ -39,10 +70,35 @@ DEFAULT_METHODS: tuple[str, ...] = ("direct", "horner", "factor+cse", "proposed"
 
 
 def synthesize_system(
-    system: PolySystem, options: SynthesisOptions | None = None
+    system: PolySystem,
+    config: RunConfig | SynthesisOptions | None = None,
+    *,
+    options: SynthesisOptions | None = None,
 ) -> SynthesisResult:
-    """Run the paper's integrated flow (Algorithm 7) on a PolySystem."""
-    return synthesize(list(system.polys), system.signature, options)
+    """Run the paper's integrated flow (Algorithm 7) on a PolySystem.
+
+    ``config`` is a :class:`~repro.config.RunConfig` — options plus an
+    optional :class:`~repro.core.Budget`; a bare
+    :class:`~repro.core.SynthesisOptions` is accepted positionally for
+    compatibility and wrapped.  The ``options=`` keyword is deprecated.
+    """
+    if options is not None:
+        if config is not None:
+            raise TypeError(
+                "synthesize_system() takes either a config or the deprecated "
+                "options= keyword, not both"
+            )
+        warnings.warn(
+            "synthesize_system(options=...) is deprecated; pass the options "
+            "positionally or inside a RunConfig",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = options
+    cfg = as_run_config(config)
+    return synthesize(
+        list(system.polys), system.signature, cfg.options, budget=cfg.budget
+    )
 
 
 def method_outcome(
@@ -62,7 +118,7 @@ def method_outcome(
 
 def compare_methods(
     system: PolySystem,
-    options: SynthesisOptions | None = None,
+    options: RunConfig | SynthesisOptions | None = None,
     model: TechnologyModel = DEFAULT_MODEL,
     methods: tuple[str, ...] = DEFAULT_METHODS,
 ) -> dict[str, MethodOutcome]:
@@ -72,11 +128,14 @@ def compare_methods(
     anything registered with
     :func:`~repro.baselines.registry.register_method` can be named here.
     Unknown names emit a :class:`DeprecationWarning` and are skipped (the
-    historical behaviour was to skip silently).
+    historical behaviour was to skip silently).  ``options`` also accepts
+    a :class:`~repro.config.RunConfig`; each method then runs under its
+    synthesis options.
 
     This drives the Table 14.1 and Table 14.3 reproductions: operator
     counts for the former, area/delay for the latter.
     """
+    synth_options = as_run_config(options).options
     outcomes: dict[str, MethodOutcome] = {}
     for method in methods:
         try:
@@ -89,7 +148,9 @@ def compare_methods(
                 stacklevel=2,
             )
             continue
-        outcomes[method] = method_outcome(method, fn(system, options), system, model)
+        outcomes[method] = method_outcome(
+            method, fn(system, synth_options), system, model
+        )
     return outcomes
 
 

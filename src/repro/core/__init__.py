@@ -13,6 +13,15 @@ from .algdiv import (
     refine_block_definitions,
 )
 from .blocks import BlockRegistry
+from .budget import (
+    Budget,
+    BudgetExceeded,
+    Deadline,
+    Degradation,
+    current_deadline,
+    deadline_for,
+    use_deadline,
+)
 from .cce import CceResult, candidate_gcds, common_coefficient_extraction
 from .cube_extract import (
     cube_extraction,
@@ -43,7 +52,11 @@ from .trace import FlowEvent, FlowTrace
 
 __all__ = [
     "BlockRegistry",
+    "Budget",
+    "BudgetExceeded",
     "CceResult",
+    "Deadline",
+    "Degradation",
     "FlowEvent",
     "FlowTrace",
     "PhaseTiming",
@@ -58,6 +71,8 @@ __all__ = [
     "cce_representation",
     "common_coefficient_extraction",
     "cube_extraction",
+    "current_deadline",
+    "deadline_for",
     "dedupe_representations",
     "divide_by_block",
     "direct_cost",
@@ -71,4 +86,5 @@ __all__ = [
     "refactored_expression",
     "refine_block_definitions",
     "synthesize",
+    "use_deadline",
 ]

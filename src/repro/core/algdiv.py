@@ -18,6 +18,7 @@ from repro.obs import current_tracer
 from repro.poly import Polynomial, divmod_poly
 
 from .blocks import BlockRegistry
+from .budget import current_deadline
 
 
 def divide_by_block(
@@ -58,9 +59,11 @@ def division_candidates(
     """
     candidates: list[tuple[int, Polynomial]] = []
     poly_vars = set(ground_poly.used_vars())
+    deadline = current_deadline()
     with current_tracer().span("algdiv/divide") as span:
         divisors = 0
         for name, divisor in registry.linear_blocks():
+            deadline.tick(site="algdiv/divide")
             if name in ground_poly.vars and ground_poly.degree(name) > 0:
                 continue
             if not set(divisor.used_vars()) <= poly_vars:
@@ -98,6 +101,7 @@ def refine_block_definitions(registry: BlockRegistry) -> int:
 
 
 def _refine_block_definitions(registry: BlockRegistry, divide_out_all) -> int:
+    deadline = current_deadline()
     rewritten = 0
     for name in list(registry.defs):
         ground = registry.ground[name]
@@ -105,6 +109,7 @@ def _refine_block_definitions(registry: BlockRegistry, divide_out_all) -> int:
             continue
         best: Polynomial | None = None
         for divisor_name, divisor in registry.linear_blocks():
+            deadline.tick(site="algdiv/refine")
             if divisor_name == name:
                 continue
             reduced, multiplicity = divide_out_all(ground, divisor)

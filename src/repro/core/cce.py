@@ -25,6 +25,7 @@ from repro.poly import Polynomial
 from repro.poly.monomial import mono_literal_count
 
 from .blocks import BlockRegistry
+from .budget import current_deadline
 
 
 @dataclass(frozen=True)
@@ -37,9 +38,11 @@ class CceResult:
 
 def candidate_gcds(coefficients: list[int]) -> list[int]:
     """The filtered, descending GCD list of Algorithm 6 (lines 3-10)."""
+    deadline = current_deadline()
     magnitudes = [abs(c) for c in coefficients if abs(c) > 1]
     kept: set[int] = set()
     for i in range(len(magnitudes)):
+        deadline.tick(len(magnitudes) - i - 1, site="cce/candidate_gcds")
         for j in range(i + 1, len(magnitudes)):
             g = gcd(magnitudes[i], magnitudes[j])
             if g == 1:
@@ -74,9 +77,11 @@ def common_coefficient_extraction(
         if not gcd_list:
             return None
 
+        deadline = current_deadline()
         consumed: set = set()
         groups: list[tuple[int, dict]] = []
         for g in gcd_list:
+            deadline.tick(len(eligible), site="cce/group")
             group = {
                 exps: coeff
                 for exps, coeff in eligible.items()

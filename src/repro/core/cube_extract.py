@@ -21,6 +21,7 @@ from repro.obs import current_tracer
 from repro.poly import Polynomial
 
 from .blocks import BlockRegistry
+from .budget import current_deadline
 
 
 def exposed_linear_kernels(poly: Polynomial) -> list[Polynomial]:
@@ -46,11 +47,13 @@ def cube_extraction(
     CCE block (``4(xy^2+3y^3)`` hiding the kernel ``x+3y``) is still
     found.
     """
+    deadline = current_deadline()
     names: list[str] = []
     seen: set[Polynomial] = set()
 
     def harvest(poly: Polynomial) -> None:
         for kernel in exposed_linear_kernels(poly):
+            deadline.tick(site="cube_extract/harvest")
             ground = registry.expand(kernel).trim()
             if not ground.is_linear or ground.is_constant or ground.is_zero:
                 continue

@@ -26,7 +26,7 @@ The winner is returned as a validated
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import product
 from typing import Iterator
 
@@ -37,9 +37,19 @@ from repro.expr.ast import Add, BlockRef, Expr, Mul, Pow, Var
 from repro.factor import horner_greedy
 from repro.poly import Polynomial
 from repro.rings import BitVectorSignature, functions_equal
+from repro.testing.faults import fault_point
 
 from .algdiv import division_candidates, refine_block_definitions
 from .blocks import BlockRegistry
+from .budget import (
+    NULL_DEADLINE,
+    Budget,
+    BudgetExceeded,
+    Deadline,
+    Degradation,
+    deadline_for,
+    use_deadline,
+)
 from .cube_extract import cube_extraction
 from .metrics import Timings
 from .representations import (
@@ -86,14 +96,22 @@ class SynthesisResult:
     combinations_scored: int = 0
     trace: "FlowTrace | None" = None
     timings: "Timings | None" = None
+    degradations: list[Degradation] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Did any phase run out of budget (and get skipped or replaced)?"""
+        return bool(self.degradations)
 
     def summary(self) -> str:
         lines = [
             f"initial cost: {self.initial_op_count}",
             f"final cost:   {self.op_count}",
-            "",
-            self.decomposition.summary(),
         ]
+        if self.degradations:
+            lines.append("degradations:")
+            lines.extend(f"  {d}" for d in self.degradations)
+        lines += ["", self.decomposition.summary()]
         return "\n".join(lines)
 
 
@@ -245,17 +263,41 @@ def direct_cost(system: list[Polynomial], options: SynthesisOptions) -> OpCount:
 
 
 @contextmanager
-def _phase(timings: Timings, tracer, name: str) -> Iterator:
+def _phase(
+    timings: Timings,
+    tracer,
+    name: str,
+    deadline=NULL_DEADLINE,
+    degradations: list[Degradation] | None = None,
+    skippable: bool = False,
+) -> Iterator:
     """Time one phase into both the Timings and a span of the same name.
 
     The yielded clock is the :class:`~repro.core.metrics.Timings` phase
     accumulator; its counters are mirrored onto the span when the phase
     closes, so the span tree and the flat timings always agree.
+
+    The phase is also a budget boundary: the ambient deadline's per-phase
+    clock restarts here, and — for ``skippable`` phases, whose work only
+    *enriches* the candidate representation lists — a
+    :class:`BudgetExceeded` raised by a cooperative check inside the body
+    is absorbed: the overrun is recorded in ``degradations`` and the flow
+    continues with whatever the phase produced so far.  Non-skippable
+    phases let the exception propagate to :func:`synthesize`'s fallback
+    ladder.
     """
     with tracer.span(name) as span, timings.phase(name) as clock:
+        deadline.start_phase(name)
         try:
+            fault_point(f"phase:{name}")
             yield clock
+        except BudgetExceeded as exc:
+            if not skippable or degradations is None:
+                raise
+            degradations.append(Degradation(name, "skipped", str(exc)))
+            span.set(degraded=True)
         finally:
+            deadline.end_phase()
             span.count(**clock.counters)
 
 
@@ -265,6 +307,7 @@ def synthesize(
     options: SynthesisOptions | None = None,
     trace: FlowTrace | None = None,
     timings: Timings | None = None,
+    budget: Budget | None = None,
 ) -> SynthesisResult:
     """Run the full integrated flow on a polynomial system.
 
@@ -274,6 +317,14 @@ def synthesize(
     Per-phase wall times and counters are always collected into a
     :class:`~repro.core.metrics.Timings` (pass your own to aggregate
     across calls) and exposed as ``result.timings``.
+
+    ``budget`` bounds the run (see :mod:`repro.core.budget` and
+    ``docs/ROBUSTNESS.md``): when a phase exceeds its share, the flow
+    *degrades gracefully* instead of raising — enrichment phases are
+    skipped, the combination search settles for the best candidate scored
+    so far, and in the worst case the whole flow falls back down the
+    ladder ``factor+cse`` → ``horner``.  Every overrun is recorded in
+    ``result.degradations``; the returned decomposition is always valid.
 
     When the ambient :func:`repro.obs.current_tracer` is enabled the run
     additionally records a hierarchical span tree — ``poly_synth`` at the
@@ -290,18 +341,122 @@ def synthesize(
     trace = trace if trace is not None else FlowTrace()
     timings = timings if timings is not None else Timings()
     tracer = current_tracer()
+    deadline = deadline_for(budget)
+    degradations: list[Degradation] = []
     with tracer.span("poly_synth", objective=options.objective) as root:
-        result = _synthesize_flow(
-            system, signature, options, trace, timings, tracer
-        )
+        with use_deadline(deadline):
+            if deadline.expired():
+                # The deadline passed before any work started: skip the
+                # flow entirely and take the cheapest valid fallback.
+                degradations.append(
+                    Degradation("job", "expired-at-start", "deadline already expired")
+                )
+                result = _degraded_result(
+                    system, signature, options, trace, timings, tracer,
+                    degradations, ladder=("horner",),
+                )
+            else:
+                try:
+                    result = _synthesize_flow(
+                        system, signature, options, trace, timings, tracer,
+                        deadline, degradations,
+                    )
+                except BudgetExceeded as exc:
+                    degradations.append(Degradation("job", "fallback", str(exc)))
+                    result = _degraded_result(
+                        system, signature, options, trace, timings, tracer,
+                        degradations,
+                    )
         root.count(
             combinations=result.combinations_scored,
             ops_final=_weighted(result.op_count, options),
             ops_initial=_weighted(result.initial_op_count, options),
+            degradations=len(result.degradations),
         )
+        if result.degradations:
+            root.set(degraded=True)
     if tracer.enabled:
         observe_timings(timings)
     return result
+
+
+def _degraded_result(
+    system: list[Polynomial],
+    signature: BitVectorSignature | None,
+    options: SynthesisOptions,
+    trace: FlowTrace,
+    timings: Timings,
+    tracer,
+    degradations: list[Degradation],
+    ladder: tuple[str, ...] = ("factor+cse", "horner"),
+) -> SynthesisResult:
+    """Walk the degradation ladder and return a valid, cheap decomposition.
+
+    ``factor+cse`` (the paper's baseline — a strict subset of the
+    proposed flow's search space) runs under a fresh grace deadline so a
+    pathological system cannot hang the fallback either; ``horner`` (and
+    the implicit ``direct`` expression inside :func:`best_expression`)
+    runs unbounded — it is linear in the input and cannot blow up.
+    """
+    system = Polynomial.unify_all(list(system))
+    if not system:
+        raise ValueError("cannot synthesize an empty system")
+    decomposition: Decomposition | None = None
+    with _phase(timings, tracer, "degraded-fallback") as clock:
+        for method in ladder:
+            try:
+                if method == "factor+cse":
+                    from repro.baselines.factor_cse import factor_cse_decomposition
+
+                    # A bounded second chance: generous relative to one
+                    # phase, tiny relative to a hung job.
+                    grace = Budget(job_seconds=_FALLBACK_GRACE_SECONDS)
+                    with use_deadline(deadline_for(grace)):
+                        decomposition = factor_cse_decomposition(system)
+                else:
+                    from repro.baselines.horner import horner_baseline
+
+                    with use_deadline(NULL_DEADLINE):
+                        decomposition = horner_baseline(system)
+            except Exception as exc:  # noqa: BLE001 - walk down the ladder
+                degradations.append(
+                    Degradation("degraded-fallback", f"failed:{method}", str(exc))
+                )
+                continue
+            degradations.append(
+                Degradation(
+                    "degraded-fallback",
+                    f"fallback:{method}",
+                    "budget exceeded; degraded to a baseline decomposition",
+                )
+            )
+            trace.record("degraded-fallback", f"fell back to {method}")
+            clock.count(ladder_steps=ladder.index(method) + 1)
+            break
+    if decomposition is None:
+        raise RuntimeError(
+            "degradation ladder exhausted without a valid decomposition"
+        )
+    initial = direct_cost(system, options)
+    lists = [[Representation(poly, "original")] for poly in system]
+    return SynthesisResult(
+        decomposition=decomposition,
+        op_count=decomposition.op_count(),
+        initial_op_count=initial,
+        representation_lists=lists,
+        chosen=tuple(0 for _ in system),
+        registry=BlockRegistry(system[0].vars),
+        combinations_scored=0,
+        trace=trace,
+        timings=timings,
+        degradations=degradations,
+    )
+
+
+#: Wall-clock grace the ``factor+cse`` fallback gets after the main flow
+#: ran out of budget (seconds).  The baseline is orders of magnitude
+#: cheaper than the full flow; if even this expires we drop to Horner.
+_FALLBACK_GRACE_SECONDS = 10.0
 
 
 def _synthesize_flow(
@@ -311,8 +466,12 @@ def _synthesize_flow(
     trace: FlowTrace,
     timings: Timings,
     tracer,
+    deadline=NULL_DEADLINE,
+    degradations: list[Degradation] | None = None,
 ) -> SynthesisResult:
     """The phases of Algorithm 7 (see :func:`synthesize` for the contract)."""
+    if degradations is None:
+        degradations = []
     system = Polynomial.unify_all(list(system))
     if not system:
         raise ValueError("cannot synthesize an empty system")
@@ -320,16 +479,29 @@ def _synthesize_flow(
 
     # Phase 1: initial representation lists (Fig. 14.1a) — original,
     # square-free/factored, and canonical falling-factorial rewrites.
+    # Canonicalization is the flow's combinatorial worst case (the
+    # falling-factorial rewrite of Section 14.3.1 is exponential in wide
+    # signatures); over budget it degrades per-polynomial to the identity
+    # representation — the original polynomial — and the flow carries on.
     lists: list[list[Representation]] = []
-    with _phase(timings, tracer, "initial") as clock:
+    with _phase(timings, tracer, "initial", deadline, degradations) as clock:
+        degraded_polys = 0
         for poly in system:
-            reps = initial_representations(
-                poly,
-                registry,
-                signature=signature if options.enable_canonical else None,
-                enable_canonical=options.enable_canonical,
-                enable_factoring=options.enable_factoring,
-            )
+            try:
+                reps = initial_representations(
+                    poly,
+                    registry,
+                    signature=signature if options.enable_canonical else None,
+                    enable_canonical=options.enable_canonical,
+                    enable_factoring=options.enable_factoring,
+                )
+            except BudgetExceeded as exc:
+                reps = [Representation(poly, "original")]
+                degraded_polys += 1
+                if degraded_polys == 1:
+                    degradations.append(
+                        Degradation("initial", "identity", str(exc))
+                    )
             lists.append(reps)
             trace.record(
                 "initial", f"{len(reps)} representation(s)",
@@ -338,6 +510,7 @@ def _synthesize_flow(
         clock.count(
             representations=sum(len(reps) for reps in lists),
             blocks=len(registry.defs),
+            degraded_polys=degraded_polys,
         )
 
     # Phase 1b: CSE exposure — shared multi-term sub-expressions of the
@@ -345,7 +518,9 @@ def _synthesize_flow(
     # division phases can dig into them (e.g. a quadratic form shared by
     # every shifted filter copy, which then factors into linear blocks).
     if options.enable_cse_exposure:
-        with _phase(timings, tracer, "cse-exposure") as clock:
+        with _phase(
+            timings, tracer, "cse-exposure", deadline, degradations, skippable=True
+        ) as clock:
             before_blocks = len(registry.defs)
             exposure = eliminate_common_subexpressions(system, prefix="_pre")
             mapping: dict[str, Polynomial] = {}
@@ -374,7 +549,9 @@ def _synthesize_flow(
 
     # Phase 2: CCE on every representation.
     if options.enable_cce:
-        with _phase(timings, tracer, "cce") as clock:
+        with _phase(
+            timings, tracer, "cce", deadline, degradations, skippable=True
+        ) as clock:
             cce_hits = 0
             for reps in lists:
                 for rep in list(reps):
@@ -388,7 +565,9 @@ def _synthesize_flow(
     # Phase 3: Cube_Ex exposes linear kernels as divisor blocks, and the
     # top homogeneous forms contribute their linear factors (shift-
     # invariant structure CCE's filter cannot split).
-    with _phase(timings, tracer, "cube-extract") as clock:
+    with _phase(
+        timings, tracer, "cube-extract", deadline, degradations, skippable=True
+    ) as clock:
         before_blocks = len(registry.defs)
         if options.enable_cube_extraction:
             all_rep_polys = [rep.poly for reps in lists for rep in reps]
@@ -404,7 +583,9 @@ def _synthesize_flow(
         clock.count(blocks=len(registry.defs) - before_blocks)
 
     # Phase 4: refine block definitions (factor + divide through blocks).
-    with _phase(timings, tracer, "refine") as clock:
+    with _phase(
+        timings, tracer, "refine", deadline, degradations, skippable=True
+    ) as clock:
         _factor_block_definitions(registry, options)
         refined = refine_block_definitions(registry)
         trace.record("refine", f"{refined} definition(s) rewritten through blocks")
@@ -412,7 +593,9 @@ def _synthesize_flow(
 
     # Phase 5: algebraic division candidates (Fig. 14.1b).
     if options.enable_division:
-        with _phase(timings, tracer, "division") as clock:
+        with _phase(
+            timings, tracer, "division", deadline, degradations, skippable=True
+        ) as clock:
             division_hits = 0
             for poly, reps in zip(system, lists):
                 for candidate in division_candidates(
@@ -434,7 +617,7 @@ def _synthesize_flow(
             clock.count(representations=division_hits)
 
     # Prune each list: dedupe, keep the cheapest few (always keep original).
-    with _phase(timings, tracer, "prune") as clock:
+    with _phase(timings, tracer, "prune", deadline) as clock:
         before_reps = sum(len(reps) for reps in lists)
         pruned: list[list[Representation]] = []
         for reps in lists:
@@ -462,7 +645,7 @@ def _synthesize_flow(
             scored_counter += 1
         return cache[indices]
 
-    with _phase(timings, tracer, "search") as clock:
+    with _phase(timings, tracer, "search", deadline) as clock:
         sizes = [len(reps) for reps in lists]
         total = 1
         for size in sizes:
@@ -470,18 +653,32 @@ def _synthesize_flow(
             if total > options.exhaustive_limit:
                 break
 
-        if total <= options.exhaustive_limit:
-            best_indices = None
-            best_cost = None
-            for indices in product(*(range(s) for s in sizes)):
-                cost, _ = score_indices(indices)
-                if best_cost is None or cost < best_cost:
-                    best_cost = cost
-                    best_indices = indices
-        else:
-            best_indices, best_cost = _seeded_descent(
-                lists, sizes, registry, options, score_indices
-            )
+        try:
+            if total <= options.exhaustive_limit:
+                best_indices = None
+                best_cost = None
+                for indices in product(*(range(s) for s in sizes)):
+                    cost, _ = score_indices(indices)
+                    if best_cost is None or cost < best_cost:
+                        best_cost = cost
+                        best_indices = indices
+            else:
+                best_indices, best_cost = _seeded_descent(
+                    lists, sizes, registry, options, score_indices
+                )
+        except BudgetExceeded as exc:
+            # Out of budget mid-search: settle for the best combination
+            # scored so far (the search caches every scored candidate).
+            # If nothing at all was scored, escalate to the fallback
+            # ladder — even a single scoring pass was too expensive.
+            if not cache:
+                raise
+            best_indices = min(cache, key=lambda indices: cache[indices][0])
+            degradations.append(Degradation("search", "partial", str(exc)))
+            clock.count(degraded=1)
+            # Committed to the partial winner: retrieval and validation
+            # below must finish, so enforcement stops here.
+            deadline.disarm()
 
         assert best_indices is not None
         trace.record(
@@ -499,7 +696,10 @@ def _synthesize_flow(
             ops_final=_weighted(final, options),
         )
 
-    with _phase(timings, tracer, "validate"):
+    with _phase(timings, tracer, "validate", deadline):
+        # Validation is a correctness gate, never skipped: it runs with
+        # the per-phase clock restarted, so a job-budget overrun earlier
+        # in the flow does not leave the winning decomposition unchecked.
         _validate(decomposition, system, chosen, signature)
 
     return SynthesisResult(
@@ -512,6 +712,7 @@ def _synthesize_flow(
         combinations_scored=scored_counter,
         trace=trace,
         timings=timings,
+        degradations=degradations,
     )
 
 

@@ -38,6 +38,14 @@ _CMUL_WEIGHT = 2   # multiply by a compile-time constant (CSD shift-add)
 _ADD_WEIGHT = 1
 
 
+def _current_deadline():
+    # Lazy import: cse is a dependency of core, so the budget module is
+    # reached at call time to keep the import graph acyclic.
+    from repro.core.budget import current_deadline
+
+    return current_deadline()
+
+
 @dataclass
 class CseResult:
     """Rewritten system plus the building blocks CSE introduced."""
@@ -144,7 +152,9 @@ class _Extractor:
         kernels = list(unique.values())
         for kernel in kernels:
             add(kernel)
+        deadline = _current_deadline()
         for left, right in combinations(range(len(kernels)), 2):
+            deadline.tick(site="cse/kernel_pairs")
             a, b = kernels[left], kernels[right]
             shared = {
                 e: c for e, c in a.terms.items() if b.terms.get(e) == c
@@ -237,8 +247,10 @@ class _Extractor:
                     monomials.add(exps)
                 if abs(coeff) != 1 and mono_literal_count(exps) >= 1:
                     coeff_terms.add((abs(coeff), exps))
+        deadline = _current_deadline()
         sparse_monos = [self._sparse(e) for e in sorted(monomials)]
         for a, b in combinations(sparse_monos, 2):
+            deadline.tick(site="cse/cube_pairs")
             shared = self._shared_cube(a, b, 2)
             if shared is not None:
                 pool.add(_CubeCandidate(1, shared))
@@ -250,6 +262,7 @@ class _Extractor:
                 continue
             sparse_group = [self._sparse(e) for e in sorted(group)]
             for a, b in combinations(sparse_group, 2):
+                deadline.tick(site="cse/coeff_cube_pairs")
                 shared = self._shared_cube(a, b, 1)
                 if shared is not None:
                     pool.add(_CubeCandidate(coeff, shared))
@@ -439,7 +452,9 @@ class _Extractor:
     # -- the greedy loop --------------------------------------------------
 
     def run(self) -> CseResult:
+        deadline = _current_deadline()
         while self.rounds < self.max_rounds:
+            deadline.tick(site="cse/round")
             rows = self._kernel_rows() if self.enable_kernels else []
             best_gain = 0
             best_action = None

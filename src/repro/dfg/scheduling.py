@@ -19,8 +19,8 @@ Invariants (tested): data dependencies respected, per-cycle resource
 usage within bounds, latency between the ASAP bound and the fully
 serialized bound.
 
-(Historically split across ``repro.dfg.schedule`` and this module;
-``repro.dfg.schedule`` remains as a re-export shim.)
+(Historically split across ``repro.dfg.schedule`` and this module; the
+``repro.dfg.schedule`` shim was removed after one deprecation release.)
 """
 
 from __future__ import annotations

@@ -10,9 +10,20 @@ Table 14.3 rows); this engine is the layer that makes such batches cheap:
 * **memoization** in a two-tier content-hash cache
   (:mod:`repro.engine.cache`): an in-memory LRU plus an optional on-disk
   store, so a warm rerun of a suite does zero synthesis work,
+* **fault tolerance** (see ``docs/ROBUSTNESS.md``) — a hard per-job
+  timeout kills hung workers and reruns the job down the in-process
+  degraded path; failing jobs are retried with exponential backoff and
+  deterministic jitter; a crashed worker (``BrokenProcessPool``) gets the
+  pool respawned and the in-flight jobs retried; a circuit breaker stops
+  repeat offenders from being offered to the pool at all.  Everything is
+  governed by the :class:`~repro.config.RunConfig`'s
+  :class:`~repro.config.RetryPolicy` and surfaced through
+  :class:`PoolStats` (``retries``/``timeouts``/``degraded``) and the
+  ``repro_pool_*`` metrics,
 * **graceful degradation** — ``workers=1`` never spawns processes, and a
-  broken pool (pickling failure, dead worker, fork refusal) falls back to
-  in-process execution instead of failing the batch,
+  pool that cannot even be created falls back to in-process execution
+  (with a logged warning and ``PoolStats.fallbacks`` incremented) instead
+  of failing the batch,
 * **metrics** — each job carries the per-phase
   :class:`~repro.core.metrics.Timings` of its synthesis run, and the
   :class:`BatchReport` aggregates them across the batch.
@@ -24,17 +35,29 @@ registered in :mod:`repro.baselines.registry` is a valid ``BatchJob.method``.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Iterable, Sequence
 
 from repro.baselines import get_method
-from repro.core import SynthesisOptions, Timings, direct_cost, synthesize
-from repro.expr import Decomposition, OpCount
+from repro.config import RunConfig, as_run_config
+from repro.core import (
+    Budget,
+    Degradation,
+    SynthesisOptions,
+    Timings,
+    direct_cost,
+    synthesize,
+)
 from repro.obs import Tracer, current_tracer, get_registry, use_tracer
+from repro.expr import Decomposition, OpCount
+from repro.testing.faults import fault_point, use_attempt
 from repro.serialize import (
     decomposition_from_dict,
     decomposition_to_dict,
@@ -48,6 +71,18 @@ from repro.serialize import (
 from repro.system import PolySystem
 
 from .cache import CACHE_SALT, CacheStats, ResultCache, cache_key
+
+logger = logging.getLogger("repro.engine")
+
+#: How often the pool dispatch loop wakes to poll futures and timeouts.
+_POLL_SECONDS = 0.05
+
+#: Attempt number used for degraded in-process reruns.  It exceeds any
+#: realistic ``attempts`` gate, so injected faults never fire on the
+#: engine's last-resort path — a job whose fault persists across every
+#: pooled attempt still ends in a valid degraded result instead of
+#: hanging the engine process itself.
+_DEGRADED_ATTEMPT = 1 << 30
 
 
 @dataclass(frozen=True)
@@ -78,10 +113,18 @@ class JobResult:
     timings: Timings
     payload: str  # canonical JSON of the whole outcome (incl. timings)
     error: str | None = None
+    attempts: int = 1  # executions this result took (0 for a cache hit)
+    timed_out: bool = False  # killed by the hard pool timeout, then degraded
+    degradations: list[Degradation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def degraded(self) -> bool:
+        """Did the job overrun a budget and fall back somewhere?"""
+        return bool(self.degradations)
 
     def canonical_result(self) -> str:
         """Canonical JSON of the result alone — no timing measurements.
@@ -126,6 +169,10 @@ class PoolStats:
     queue_wait_seconds: float = 0.0
     max_queue_wait_seconds: float = 0.0
     fallbacks: int = 0
+    fallback_reason: str = ""  # why the pool was abandoned for serial
+    retries: int = 0     # re-executions after a failure or worker crash
+    timeouts: int = 0    # jobs killed by the hard per-job pool timeout
+    degraded: int = 0    # jobs rerouted to the in-process degraded path
 
     @property
     def utilization(self) -> float:
@@ -155,6 +202,21 @@ class BatchReport:
     def errors(self) -> list[JobResult]:
         return [r for r in self.results if not r.ok]
 
+    @property
+    def retries(self) -> int:
+        """Re-executions the batch needed (failures + worker crashes)."""
+        return self.pool.retries
+
+    @property
+    def timeouts(self) -> int:
+        """Jobs killed by the hard per-job pool timeout."""
+        return self.pool.timeouts
+
+    @property
+    def degraded(self) -> list[JobResult]:
+        """Results that overran a budget and carry degradations."""
+        return [r for r in self.results if r.degraded]
+
     def phase_seconds(self) -> dict[str, float]:
         """Per-phase synthesis seconds aggregated over every job."""
         out: dict[str, float] = {}
@@ -175,6 +237,9 @@ def _run_job_payload(
     method: str,
     label: str = "",
     trace: bool = False,
+    config_data: dict[str, Any] | None = None,
+    attempt: int = 0,
+    degraded_reason: str | None = None,
 ) -> str:
     """Execute one job and reduce the result to canonical JSON.
 
@@ -185,6 +250,16 @@ def _run_job_payload(
     process it lands in) and ships the resulting span tree home inside
     the payload for :meth:`~repro.obs.Tracer.adopt` to stitch; the
     caller strips it again before caching.
+
+    ``config_data`` is the engine's :class:`~repro.config.RunConfig`
+    round-tripped through the payload; its budget bounds the synthesis
+    cooperatively.  ``attempt`` gates the fault-injection harness
+    (:mod:`repro.testing.faults`) so injected crashes stop firing on
+    retries.  ``degraded_reason`` marks an in-process *degraded rerun*
+    after a hard pool timeout: the proposed flow runs with an
+    already-expired budget, taking the cheap fallback ladder immediately
+    — and fault injection is disabled (see :data:`_DEGRADED_ATTEMPT`)
+    because this path runs in the engine's own process and must complete.
     """
     payload: dict[str, Any] = {
         "kind": "job-result",
@@ -194,45 +269,62 @@ def _run_job_payload(
         "initial_op_count": None,
         "timings": Timings().as_dict(),
         "worker": None,
+        "degradations": [],
         "error": None,
     }
+    config = RunConfig.from_dict(config_data) if config_data else None
+    budget = config.budget if config is not None else None
+    if degraded_reason is not None:
+        payload["degradations"].append(
+            Degradation("pool", "degraded-rerun", degraded_reason).as_dict()
+        )
+        if method == "proposed":
+            # Force the expired-at-start fast path: the job already spent
+            # its wall-clock allowance inside the killed worker.
+            budget = Budget(job_seconds=0.0)
     tracer = Tracer() if trace else None
     start_wall = time.time()
-    try:
-        system = system_from_dict(system_data)
-        options = SynthesisOptions(**options_data) if options_data else None
-        with use_tracer(tracer) if tracer is not None else nullcontext():
-            job_span = (
-                tracer.span(f"job:{label or method}", method=method)
-                if tracer is not None
-                else nullcontext()
+    with use_attempt(attempt if degraded_reason is None else _DEGRADED_ATTEMPT):
+        try:
+            system = system_from_dict(system_data)
+            options = SynthesisOptions(**options_data) if options_data else None
+            fault_point(f"job:{label or method}")
+            with use_tracer(tracer) if tracer is not None else nullcontext():
+                job_span = (
+                    tracer.span(f"job:{label or method}", method=method)
+                    if tracer is not None
+                    else nullcontext()
+                )
+                with job_span:
+                    if method == "proposed":
+                        result = synthesize(
+                            list(system.polys), system.signature, options,
+                            budget=budget,
+                        )
+                        decomposition = result.decomposition
+                        op_count = result.op_count
+                        initial = result.initial_op_count
+                        timings = result.timings or Timings()
+                        payload["degradations"].extend(
+                            d.as_dict() for d in result.degradations
+                        )
+                    else:
+                        fn = get_method(method)
+                        timings = Timings()
+                        with timings.phase(f"method:{method}"):
+                            decomposition = fn(system, options)
+                        op_count = decomposition.op_count()
+                        initial = direct_cost(
+                            list(system.polys), options or SynthesisOptions()
+                        )
+            payload.update(
+                decomposition=decomposition_to_dict(decomposition),
+                op_count=op_count_to_dict(op_count),
+                initial_op_count=op_count_to_dict(initial),
+                timings=timings_to_dict(timings),
             )
-            with job_span:
-                if method == "proposed":
-                    result = synthesize(
-                        list(system.polys), system.signature, options
-                    )
-                    decomposition = result.decomposition
-                    op_count = result.op_count
-                    initial = result.initial_op_count
-                    timings = result.timings or Timings()
-                else:
-                    fn = get_method(method)
-                    timings = Timings()
-                    with timings.phase(f"method:{method}"):
-                        decomposition = fn(system, options)
-                    op_count = decomposition.op_count()
-                    initial = direct_cost(
-                        list(system.polys), options or SynthesisOptions()
-                    )
-        payload.update(
-            decomposition=decomposition_to_dict(decomposition),
-            op_count=op_count_to_dict(op_count),
-            initial_op_count=op_count_to_dict(initial),
-            timings=timings_to_dict(timings),
-        )
-    except Exception as exc:  # noqa: BLE001 - one bad job must not kill the batch
-        payload["error"] = f"{type(exc).__name__}: {exc}"
+        except Exception as exc:  # noqa: BLE001 - one bad job must not kill the batch
+            payload["error"] = f"{type(exc).__name__}: {exc}"
     payload["worker"] = {
         "pid": os.getpid(),
         "start_wall": start_wall,
@@ -241,6 +333,30 @@ def _run_job_payload(
     if tracer is not None:
         payload["spans"] = tracer.snapshot().to_dict()
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _error_payload(method: str, error: str) -> str:
+    """A synthetic failure payload for jobs that never returned one.
+
+    Used when the worker process died (crash, hard kill) so there is no
+    worker-produced payload to decode, or when retries were exhausted
+    engine-side.
+    """
+    return json.dumps(
+        {
+            "kind": "job-result",
+            "method": method,
+            "decomposition": None,
+            "op_count": None,
+            "initial_op_count": None,
+            "timings": Timings().as_dict(),
+            "worker": None,
+            "degradations": [],
+            "error": error,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
 
 
 def _pool_worker(args: tuple[int, str]) -> tuple[int, str]:
@@ -253,25 +369,76 @@ def _pool_worker(args: tuple[int, str]) -> tuple[int, str]:
         data["method"],
         label=data.get("label", ""),
         trace=bool(data.get("trace")),
+        config_data=data.get("config"),
+        attempt=int(data.get("attempt", 0)),
     )
 
 
 class BatchEngine:
-    """Run many synthesis jobs with caching, parallelism, and metrics."""
+    """Run many synthesis jobs with caching, parallelism, and metrics.
+
+    Configuration is one :class:`~repro.config.RunConfig`::
+
+        engine = BatchEngine(RunConfig(workers=4, budget=Budget(job_seconds=30)))
+
+    The pre-PR-4 keyword arguments (``workers=``, ``cache_size=``,
+    ``cache_dir=``) and the bare positional worker count still work for
+    one release and emit a :class:`DeprecationWarning`.
+    """
 
     def __init__(
         self,
-        workers: int = 1,
-        cache_size: int = 256,
+        config: RunConfig | int | None = None,
+        *,
+        workers: int | None = None,
+        cache_size: int | None = None,
         cache_dir: str | None = None,
         salt: str = CACHE_SALT,
     ) -> None:
-        if workers < 1:
+        if isinstance(config, int):
+            warnings.warn(
+                "BatchEngine(workers) as a positional int is deprecated; "
+                "pass RunConfig(workers=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = RunConfig(workers=config)
+        legacy = {
+            key: value
+            for key, value in (
+                ("workers", workers),
+                ("cache_size", cache_size),
+                ("cache_dir", cache_dir),
+            )
+            if value is not None
+        }
+        if legacy:
+            warnings.warn(
+                f"BatchEngine keyword argument(s) {sorted(legacy)} are "
+                f"deprecated; pass them inside a RunConfig instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        cfg = as_run_config(config)
+        if legacy:
+            cfg = replace(cfg, **legacy)
+        if cfg.workers < 1:
             raise ValueError("workers must be >= 1")
-        self.workers = workers
+        self.config = cfg
         self.salt = salt
-        self.cache = ResultCache.create(maxsize=cache_size, cache_dir=cache_dir)
+        self.cache = ResultCache.create(
+            maxsize=cfg.cache_size, cache_dir=cfg.cache_dir
+        )
         self.last_pool = PoolStats()
+        # Consecutive-failure counts per job label; survives across run()
+        # calls so repeat offenders eventually trip the circuit breaker.
+        self._breaker: dict[str, int] = {}
+        self._attempts: dict[int, int] = {}
+        self._timed_out: set[int] = set()
+
+    @property
+    def workers(self) -> int:
+        return self.config.workers
 
     # ------------------------------------------------------------------
     # Public API
@@ -283,6 +450,8 @@ class BatchEngine:
         start = time.perf_counter()
         tracer = current_tracer()
         stats_before = replace(self.cache.stats)
+        self._attempts = {}
+        self._timed_out = set()
         with tracer.span("batch", workers=self.workers) as batch_span:
             keys = [
                 cache_key(job.system, job.options, job.method, self.salt)
@@ -315,7 +484,10 @@ class BatchEngine:
                     tracer.adopt(spans_data, tid=index + 1)
                 payloads[index] = payload
                 hits[index] = False
-                if data.get("error") is None:
+                # Degraded results are wall-clock-dependent (a slower
+                # machine degrades where a faster one would not), so they
+                # must never poison the content-addressed cache.
+                if data.get("error") is None and not data.get("degradations"):
                     self.cache.put(keys[index], payload)
             batch_span.count(
                 jobs=len(batch),
@@ -324,8 +496,12 @@ class BatchEngine:
             )
 
         results = [
-            _decode_result(batch[i].label, batch[i].method, keys[i],
-                           payloads[i], hits[i])
+            _decode_result(
+                batch[i].label, batch[i].method, keys[i],
+                payloads[i], hits[i],
+                attempts=self._attempts.get(i, 0 if hits[i] else 1),
+                timed_out=i in self._timed_out,
+            )
             for i in range(len(batch))
         ]
         report = BatchReport(
@@ -361,10 +537,14 @@ class BatchEngine:
 
     def _coerce(self, job: BatchJob | PolySystem) -> BatchJob:
         if isinstance(job, PolySystem):
-            return BatchJob(system=job)
+            job = BatchJob(system=job)
+        if job.options is None:
+            # Materialize the engine-wide options so the cache key, the
+            # worker, and the serial path all see the same thing.
+            job = replace(job, options=self.config.options)
         return job
 
-    def _job_blob(self, job: BatchJob) -> str:
+    def _job_blob(self, job: BatchJob, attempt: int = 0) -> str:
         return json.dumps(
             {
                 "system": system_to_dict(job.system),
@@ -372,6 +552,8 @@ class BatchEngine:
                 "method": job.method,
                 "label": job.label,
                 "trace": current_tracer().enabled,
+                "config": self.config.as_dict(),
+                "attempt": attempt,
             }
         )
 
@@ -388,12 +570,21 @@ class BatchEngine:
                 out = self._execute_pool(batch, pending)
                 stats.mode = "pool"
                 stats.pool_seconds = time.perf_counter() - started
-            except Exception:
-                # Broken pool (fork refusal, dead worker, pickling issue):
-                # degrade to in-process execution rather than fail the batch.
+            except Exception as exc:
+                # A pool that cannot even run (fork refusal, pickling
+                # issue, broken executor beyond respawn): degrade to
+                # in-process execution rather than fail the batch — but
+                # never silently.
                 stats.mode = "fallback"
                 stats.workers = 1
                 stats.fallbacks += 1
+                stats.fallback_reason = f"{type(exc).__name__}: {exc}"
+                logger.warning(
+                    "process pool unavailable (%s); running %d job(s) "
+                    "in-process instead",
+                    stats.fallback_reason,
+                    len(pending),
+                )
                 out = None
         if out is None:
             started = time.perf_counter()
@@ -409,46 +600,291 @@ class BatchEngine:
                 stats.busy_seconds += max(finish - begin, 0.0)
         return out
 
+    # -- shared fault-handling helpers ---------------------------------
+
+    def _breaker_open(self, job: BatchJob) -> bool:
+        threshold = self.config.retry.breaker_threshold
+        return threshold > 0 and self._breaker.get(job.label, 0) >= threshold
+
+    def _note_failure(self, job: BatchJob) -> None:
+        self._breaker[job.label] = self._breaker.get(job.label, 0) + 1
+
+    def _note_success(self, job: BatchJob) -> None:
+        self._breaker.pop(job.label, None)
+
+    def _degraded_payload(self, job: BatchJob, attempt: int, reason: str) -> str:
+        """Rerun one job in-process down the degraded path (see ROBUSTNESS)."""
+        self.last_pool.degraded += 1
+        with current_tracer().span(
+            "pool/degraded", job=job.label, reason=reason
+        ):
+            return _run_job_payload(
+                system_to_dict(job.system),
+                asdict(job.options) if job.options else None,
+                job.method,
+                label=job.label,
+                trace=current_tracer().enabled,
+                config_data=self.config.as_dict(),
+                attempt=attempt,
+                degraded_reason=reason,
+            )
+
     def _execute_serial(
         self, batch: list[BatchJob], pending: list[int]
     ) -> dict[int, str]:
         out: dict[int, str] = {}
+        retry = self.config.retry
+        stats = self.last_pool
+        tracer = current_tracer()
         for index in pending:
-            _, payload = _pool_worker((index, self._job_blob(batch[index])))
+            job = batch[index]
+            if self._breaker_open(job):
+                with tracer.span("pool/breaker", job=job.label):
+                    pass
+                self._attempts[index] = 1
+                out[index] = self._degraded_payload(
+                    job,
+                    attempt=retry.max_retries + 1,
+                    reason=(
+                        f"circuit breaker open after "
+                        f"{self._breaker[job.label]} consecutive failure(s)"
+                    ),
+                )
+                continue
+            attempt = 0
+            while True:
+                self._attempts[index] = attempt + 1
+                _, payload = _pool_worker(
+                    (index, self._job_blob(job, attempt))
+                )
+                if json.loads(payload).get("error") is None:
+                    self._note_success(job)
+                    break
+                self._note_failure(job)
+                if attempt >= retry.max_retries:
+                    break
+                attempt += 1
+                stats.retries += 1
+                with tracer.span("pool/retry", job=job.label, attempt=attempt):
+                    pass
+                time.sleep(retry.delay(attempt, job.label))
             out[index] = payload
         return out
 
     def _execute_pool(
         self, batch: list[BatchJob], pending: list[int]
     ) -> dict[int, str]:
+        """Pooled execution with timeouts, retries, respawn, and breaking.
+
+        Submission uses a *sliding window* of at most ``max_workers``
+        in-flight jobs, so a job's submit time is (within one poll tick)
+        its start time and the hard per-job timeout can be measured from
+        submission.  The loop:
+
+        1. fills the window with eligible work (backoff delays gate
+           re-submissions),
+        2. waits briefly for completions; successful payloads are
+           accepted, failing ones are requeued with backoff until
+           ``max_retries`` is exhausted,
+        3. a broken pool (a worker crashed hard) is respawned and every
+           lost in-flight job retried at the next attempt,
+        4. in-flight jobs over ``job_timeout_seconds`` get the pool's
+           workers killed; the hung jobs are rerun in-process down the
+           degraded path, innocent casualties are requeued at the *same*
+           attempt.
+        """
         out: dict[int, str] = {}
         stats = self.last_pool
+        retry = self.config.retry
+        tracer = current_tracer()
         wait_histogram = get_registry().histogram("repro_pool_queue_wait_seconds")
         max_workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            submitted: list[tuple[Any, float]] = []
-            for index in pending:
-                submitted.append(
-                    (
-                        pool.submit(
-                            _pool_worker, (index, self._job_blob(batch[index]))
-                        ),
-                        time.time(),
-                    )
+
+        ready: list[tuple[int, int]] = []  # (job index, attempt)
+        for index in pending:
+            job = batch[index]
+            if self._breaker_open(job):
+                with tracer.span("pool/breaker", job=job.label):
+                    pass
+                self._attempts[index] = 1
+                out[index] = self._degraded_payload(
+                    job,
+                    attempt=retry.max_retries + 1,
+                    reason=(
+                        f"circuit breaker open after "
+                        f"{self._breaker[job.label]} consecutive failure(s)"
+                    ),
                 )
-            for future, submit_wall in submitted:
-                index, payload = future.result()
-                out[index] = payload
-                worker = json.loads(payload).get("worker") or {}
-                started_wall = worker.get("start_wall")
-                if started_wall is not None:
-                    wait = max(started_wall - submit_wall, 0.0)
-                    stats.queue_wait_seconds += wait
-                    stats.max_queue_wait_seconds = max(
-                        stats.max_queue_wait_seconds, wait
+                continue
+            ready.append((index, 0))
+
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        inflight: dict[Any, tuple[int, int, float]] = {}
+        not_before: dict[int, float] = {}
+        try:
+            while ready or inflight:
+                now = time.time()
+                for item in list(ready):
+                    if len(inflight) >= max_workers:
+                        break
+                    index, attempt = item
+                    if not_before.get(index, 0.0) > now:
+                        continue
+                    ready.remove(item)
+                    self._attempts[index] = attempt + 1
+                    future = pool.submit(
+                        _pool_worker, (index, self._job_blob(batch[index], attempt))
                     )
-                    wait_histogram.observe(wait)
+                    inflight[future] = (index, attempt, time.time())
+                if not inflight:
+                    # Everything runnable is backing off; sleep to the
+                    # earliest eligibility and try again.
+                    pause = min(
+                        not_before.get(index, 0.0) for index, _ in ready
+                    ) - time.time()
+                    time.sleep(min(max(pause, 0.0), _POLL_SECONDS))
+                    continue
+
+                done, _ = futures_wait(
+                    set(inflight), timeout=_POLL_SECONDS,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken: BaseException | None = None
+                for future in done:
+                    index, attempt, submit_wall = inflight.pop(future)
+                    job = batch[index]
+                    exc = future.exception()
+                    if exc is not None:
+                        # Worker died before returning (crash / hard
+                        # kill); the whole pool is broken — handle below.
+                        broken = exc
+                        inflight[future] = (index, attempt, submit_wall)
+                        continue
+                    _, payload = future.result()
+                    data = json.loads(payload)
+                    if data.get("error") is not None:
+                        self._note_failure(job)
+                        if attempt < retry.max_retries:
+                            stats.retries += 1
+                            with tracer.span(
+                                "pool/retry", job=job.label, attempt=attempt + 1
+                            ):
+                                pass
+                            not_before[index] = time.time() + retry.delay(
+                                attempt + 1, job.label
+                            )
+                            ready.append((index, attempt + 1))
+                            continue
+                    else:
+                        self._note_success(job)
+                    out[index] = payload
+                    worker = data.get("worker") or {}
+                    started_wall = worker.get("start_wall")
+                    if started_wall is not None:
+                        queue_wait = max(started_wall - submit_wall, 0.0)
+                        stats.queue_wait_seconds += queue_wait
+                        stats.max_queue_wait_seconds = max(
+                            stats.max_queue_wait_seconds, queue_wait
+                        )
+                        wait_histogram.observe(queue_wait)
+
+                if broken is not None:
+                    # Crash: which in-flight job segfaulted cannot be
+                    # recovered from a broken executor, so respawn the
+                    # pool and retry them all at the next attempt (fault
+                    # injection is attempt-gated, synthesis is
+                    # deterministic — innocent jobs simply rerun).
+                    logger.warning(
+                        "pool worker crashed (%s); respawning pool and "
+                        "retrying %d in-flight job(s)",
+                        f"{type(broken).__name__}: {broken}",
+                        len(inflight),
+                    )
+                    pool = self._respawn(pool, max_workers)
+                    for index, attempt, _ in inflight.values():
+                        job = batch[index]
+                        self._note_failure(job)
+                        if attempt < retry.max_retries:
+                            stats.retries += 1
+                            with tracer.span(
+                                "pool/retry", job=job.label, attempt=attempt + 1
+                            ):
+                                pass
+                            not_before[index] = time.time() + retry.delay(
+                                attempt + 1, job.label
+                            )
+                            ready.append((index, attempt + 1))
+                        else:
+                            out[index] = _error_payload(
+                                job.method,
+                                f"worker crashed "
+                                f"({type(broken).__name__}: {broken}); "
+                                f"retries exhausted after "
+                                f"{attempt + 1} attempt(s)",
+                            )
+                    inflight.clear()
+                    continue
+
+                if retry.job_timeout_seconds is not None and inflight:
+                    now = time.time()
+                    hung = {
+                        future: meta
+                        for future, meta in inflight.items()
+                        if now - meta[2] > retry.job_timeout_seconds
+                    }
+                    if hung:
+                        # The hung worker cannot be preempted
+                        # individually: kill the pool's processes and
+                        # respawn.  Hung jobs degrade in-process;
+                        # innocent in-flight casualties requeue at the
+                        # same attempt (their faults, if any, must still
+                        # fire deterministically) and are not counted as
+                        # retries.
+                        stats.timeouts += len(hung)
+                        hung_indices = {meta[0] for meta in hung.values()}
+                        logger.warning(
+                            "killing pool: job(s) %s exceeded the hard "
+                            "timeout of %.1fs",
+                            sorted(batch[i].label for i in hung_indices),
+                            retry.job_timeout_seconds,
+                        )
+                        pool = self._respawn(pool, max_workers, kill=True)
+                        for index, attempt, _ in inflight.values():
+                            job = batch[index]
+                            if index in hung_indices:
+                                with tracer.span(
+                                    "pool/timeout", job=job.label
+                                ):
+                                    pass
+                                self._note_failure(job)
+                                self._timed_out.add(index)
+                                self._attempts[index] = attempt + 2
+                                out[index] = self._degraded_payload(
+                                    job,
+                                    attempt=attempt + 1,
+                                    reason=(
+                                        f"hard pool timeout of "
+                                        f"{retry.job_timeout_seconds}s "
+                                        f"exceeded; worker killed"
+                                    ),
+                                )
+                            else:
+                                ready.append((index, attempt))
+                        inflight.clear()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
         return out
+
+    @staticmethod
+    def _respawn(
+        pool: ProcessPoolExecutor, max_workers: int, kill: bool = False
+    ) -> ProcessPoolExecutor:
+        """Replace a broken (or deliberately killed) pool with a fresh one."""
+        if kill:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+        return ProcessPoolExecutor(max_workers=max_workers)
 
     def _publish_metrics(
         self, report: BatchReport, stats_before: CacheStats
@@ -469,13 +905,28 @@ class BatchEngine:
             ).inc(pool.jobs_executed)
         if pool.fallbacks:
             registry.counter("repro_pool_fallbacks_total").inc(pool.fallbacks)
+        if pool.retries:
+            registry.counter("repro_pool_retries_total").inc(pool.retries)
+        if pool.timeouts:
+            registry.counter("repro_pool_timeouts_total").inc(pool.timeouts)
+        if pool.degraded:
+            registry.counter("repro_pool_degraded_total").inc(pool.degraded)
+        degraded_results = len(report.degraded)
+        if degraded_results:
+            registry.counter("repro_jobs_degraded_total").inc(degraded_results)
         if pool.mode == "pool":
             registry.gauge("repro_pool_utilization").set(pool.utilization)
         registry.histogram("repro_batch_seconds").observe(report.seconds)
 
 
 def _decode_result(
-    name: str, method: str, key: str, payload: str, cache_hit: bool
+    name: str,
+    method: str,
+    key: str,
+    payload: str,
+    cache_hit: bool,
+    attempts: int = 1,
+    timed_out: bool = False,
 ) -> JobResult:
     data = json.loads(payload)
     decomposition = (
@@ -502,4 +953,9 @@ def _decode_result(
         timings=timings_from_dict(data["timings"]),
         payload=payload,
         error=data.get("error"),
+        attempts=attempts,
+        timed_out=timed_out,
+        degradations=[
+            Degradation.from_dict(d) for d in data.get("degradations") or ()
+        ],
     )

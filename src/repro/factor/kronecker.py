@@ -12,6 +12,7 @@ gives up and returns the input unfactored (best-effort, never wrong).
 
 from __future__ import annotations
 
+import math
 from itertools import combinations
 
 from repro.poly import Polynomial, exact_divide
@@ -100,10 +101,7 @@ def factor_squarefree_kronecker(poly: Polynomial) -> list[Polynomial]:
     current = work
     subset_size = 1
     while 2 * subset_size <= len(remaining):
-        total_subsets = 1
-        for i in range(subset_size):
-            total_subsets *= len(remaining) - i
-        if total_subsets > _SUBSET_BUDGET:
+        if math.comb(len(remaining), subset_size) > _SUBSET_BUDGET:
             break
         progressed = False
         for subset in combinations(range(len(remaining)), subset_size):

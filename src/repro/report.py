@@ -104,10 +104,17 @@ def batch_text_report(report: "BatchReport") -> str:
             f"(max {pool.max_queue_wait_seconds:.3f} s), "
             f"{pool.fallbacks} fallback(s)"
         )
+        if pool.retries or pool.timeouts or pool.degraded:
+            lines.append(
+                f"faults: {pool.retries} retried, {pool.timeouts} timed out, "
+                f"{pool.degraded} degraded rerun(s)"
+            )
+    if pool.fallback_reason:
+        lines.append(f"pool fallback reason: {pool.fallback_reason}")
     lines += [
         "",
         f"{'job':16s} {'method':12s} {'cache':6s} "
-        f"{'MULT':>5s} {'ADD':>5s} {'synth s':>8s}",
+        f"{'MULT':>5s} {'ADD':>5s} {'synth s':>8s} {'tries':>5s} flags",
     ]
     for result in report.results:
         if result.ok:
@@ -117,11 +124,25 @@ def batch_text_report(report: "BatchReport") -> str:
                 f"{result.seconds:8.3f}"
             )
         else:
-            cells = f"ERROR: {result.error}"
+            cells = f"{'ERROR':>5s} {'':>5s} {'':>8s}"
+        flags = ",".join(
+            flag
+            for flag, present in (
+                ("timeout", result.timed_out),
+                ("degraded", result.degraded),
+                ("error", not result.ok),
+            )
+            if present
+        )
         lines.append(
             f"{result.name:16s} {result.method:12s} "
-            f"{'hit' if result.cache_hit else 'miss':6s} {cells}"
+            f"{'hit' if result.cache_hit else 'miss':6s} {cells} "
+            f"{result.attempts:5d} {flags}"
         )
+        if not result.ok:
+            lines.append(f"  error: {result.error}")
+        for degradation in result.degradations:
+            lines.append(f"  degraded: {degradation}")
     phases = report.phase_seconds()
     if phases:
         lines.append("")

@@ -122,6 +122,11 @@ def to_canonical(poly: Polynomial, signature: BitVectorSignature) -> CanonicalFo
     numbers of the second kind, followed by the modulus reduction of
     Chen's theorem.
     """
+    # Lazy import: rings is a dependency of core, so the budget module is
+    # reached at call time to keep the import graph acyclic.
+    from repro.core.budget import current_deadline
+
+    deadline = current_deadline()
     variables = signature.variables
     missing = set(poly.used_vars()) - set(variables)
     if missing:
@@ -135,12 +140,15 @@ def to_canonical(poly: Polynomial, signature: BitVectorSignature) -> CanonicalFo
     accumulator: dict[tuple[int, ...], int] = {}
     for exps, coeff in aligned.terms.items():
         # x^e_i expands over Y_0..Y_e_i; take the cartesian product across
-        # variables of the per-variable Stirling expansions.
+        # variables of the per-variable Stirling expansions.  This product
+        # is the flow's combinatorial worst case (exponential in wide
+        # signatures), hence the cooperative budget check per combination.
         per_var: list[list[tuple[int, int]]] = []
         for e in exps:
             entries = [(k, stirling_second(e, k)) for k in range(e + 1)]
             per_var.append([(k, s) for k, s in entries if s])
         for combo in product(*per_var):
+            deadline.tick(site="canonical/expand")
             k_tuple = tuple(k for k, _ in combo)
             weight = coeff
             for _, s in combo:

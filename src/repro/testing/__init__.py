@@ -1,0 +1,26 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic, env-gated fault
+injection harness used by the fault-tolerance tests and the CI
+fault-injection smoke job (see ``docs/ROBUSTNESS.md``).
+"""
+
+from .faults import (
+    ENV_VAR,
+    FaultSpec,
+    InjectedFault,
+    current_attempt,
+    fault_point,
+    parse_faults,
+    use_attempt,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultSpec",
+    "InjectedFault",
+    "current_attempt",
+    "fault_point",
+    "parse_faults",
+    "use_attempt",
+]

@@ -1,0 +1,197 @@
+"""Deterministic, env-gated fault injection at named sites.
+
+The fault-tolerance layer (budgets, retries, pool respawn; see
+``docs/ROBUSTNESS.md``) is only trustworthy if every recovery path is
+exercised in CI.  Real faults are flaky; this harness makes them
+deterministic: production code calls :func:`fault_point` at named sites,
+and the :data:`ENV_VAR` environment variable — inherited by pool
+workers, so injection reaches child processes — selects which sites
+misbehave and how.
+
+Spec grammar (semicolon-separated)::
+
+    action@site[:key=value[,key=value...]]
+
+    REPRO_FAULTS="hang@job:batch-07;crash@job:batch-13:code=3"
+    REPRO_FAULTS="raise@phase:search:message=boom"
+    REPRO_FAULTS="delay@phase:cce:seconds=0.2,attempts=2"
+
+``site`` is an :func:`fnmatch.fnmatch` pattern (``*`` matches any site),
+and may itself contain ``:`` — trailing ``key=value`` segments are
+parameters, everything before them is the site.
+
+Actions:
+
+``delay``
+    ``time.sleep(seconds)`` (default 0.05) and continue.
+``hang``
+    ``time.sleep(seconds)`` with a default of 3600 s — long enough that
+    only a hard per-job pool timeout gets the job back.
+``raise``
+    raise :class:`InjectedFault` (``message=`` overrides the text).
+``crash``
+    ``os._exit(code)`` (default 3) — kills the worker process without
+    cleanup, exactly like a segfault in native code would.
+
+Determinism comes from **attempt gating** rather than probabilities:
+a spec fires while the ambient attempt number (:func:`current_attempt`,
+set by the engine via :func:`use_attempt`) is below its ``attempts``
+parameter (default 1).  So a default ``crash`` spec fires on attempt 0
+and *not* on the retry — "worker crash, retry succeeds" is reproducible
+run after run.
+
+When :data:`ENV_VAR` is unset, :func:`fault_point` is a single dict
+lookup — cheap enough for production call sites.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import Iterator
+
+#: Environment variable holding the active fault specs.
+ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise`` fault throws (retryable by policy)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: an action bound to a site pattern."""
+
+    action: str  # "delay" | "hang" | "raise" | "crash"
+    site: str    # fnmatch pattern, e.g. "phase:search" or "job:batch-*"
+    params: tuple[tuple[str, str], ...] = ()
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    @property
+    def attempts(self) -> int:
+        """Fire while the ambient attempt number is below this (default 1)."""
+        return int(self.get("attempts", "1") or 1)
+
+    def __str__(self) -> str:
+        extra = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.action}@{self.site}" + (f":{extra}" if extra else "")
+
+
+_VALID_ACTIONS = frozenset({"delay", "hang", "raise", "crash"})
+
+
+def parse_faults(raw: str) -> tuple[FaultSpec, ...]:
+    """Parse a semicolon-separated spec string (see module docstring)."""
+    specs: list[FaultSpec] = []
+    for chunk in raw.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        action, sep, rest = chunk.partition("@")
+        action = action.strip()
+        if not sep or not rest or action not in _VALID_ACTIONS:
+            raise ValueError(
+                f"bad fault spec {chunk!r}: expected "
+                f"'action@site[:key=value,...]' with action in "
+                f"{sorted(_VALID_ACTIONS)}"
+            )
+        # The site may contain ':'.  Trailing segments made entirely of
+        # key=value pairs are parameters; everything before is the site.
+        segments = rest.split(":")
+        param_segments: list[str] = []
+        while segments and all("=" in p for p in segments[-1].split(",")):
+            if len(segments) == 1:
+                break  # never consume the whole site
+            param_segments.append(segments.pop())
+        site = ":".join(segments)
+        if not site:
+            raise ValueError(f"bad fault spec {chunk!r}: empty site")
+        params: list[tuple[str, str]] = []
+        for segment in reversed(param_segments):  # restore textual order
+            for pair in segment.split(","):
+                key, _, value = pair.partition("=")
+                params.append((key.strip(), value.strip()))
+        specs.append(FaultSpec(action=action, site=site, params=tuple(params)))
+    return tuple(specs)
+
+
+# Parse results are cached on the raw string, so tests that flip the env
+# var mid-process (monkeypatch.setenv) see the change immediately while
+# steady-state calls never re-parse.
+_cached_raw: str | None = None
+_cached_specs: tuple[FaultSpec, ...] = ()
+
+
+def active_faults() -> tuple[FaultSpec, ...]:
+    """The specs currently selected by :data:`ENV_VAR` (cached parse)."""
+    global _cached_raw, _cached_specs
+    raw = os.environ.get(ENV_VAR, "")
+    if raw != _cached_raw:
+        _cached_specs = parse_faults(raw)
+        _cached_raw = raw
+    return _cached_specs
+
+
+# ----------------------------------------------------------------------
+# Attempt gating
+# ----------------------------------------------------------------------
+
+_attempt: ContextVar[int] = ContextVar("repro_fault_attempt", default=0)
+
+
+def current_attempt() -> int:
+    """The ambient attempt number (0 on the first try)."""
+    return _attempt.get()
+
+
+@contextmanager
+def use_attempt(attempt: int) -> Iterator[None]:
+    """Install ``attempt`` as the ambient attempt number.
+
+    The batch engine wraps each job execution in this so retried work
+    sees a higher attempt number and attempt-gated faults stop firing.
+    """
+    token = _attempt.set(attempt)
+    try:
+        yield
+    finally:
+        _attempt.reset(token)
+
+
+# ----------------------------------------------------------------------
+# The injection point
+# ----------------------------------------------------------------------
+
+def fault_point(site: str) -> None:
+    """Fire any active fault matching ``site`` (no-op when none are set)."""
+    if not os.environ.get(ENV_VAR):
+        return
+    attempt = _attempt.get()
+    for spec in active_faults():
+        if attempt >= spec.attempts:
+            continue
+        if not fnmatch(site, spec.site):
+            continue
+        _fire(spec, site)
+
+
+def _fire(spec: FaultSpec, site: str) -> None:
+    if spec.action == "delay":
+        time.sleep(float(spec.get("seconds", "0.05") or 0.05))
+    elif spec.action == "hang":
+        time.sleep(float(spec.get("seconds", "3600") or 3600))
+    elif spec.action == "raise":
+        raise InjectedFault(
+            spec.get("message") or f"injected fault at {site}"
+        )
+    elif spec.action == "crash":
+        os._exit(int(spec.get("code", "3") or 3))

@@ -1,0 +1,176 @@
+"""Tests for cooperative budgets, deadlines, and graceful degradation."""
+
+import time
+
+import pytest
+
+from repro.core import synthesize
+from repro.core.budget import (
+    CHECK_STRIDE,
+    NULL_DEADLINE,
+    Budget,
+    BudgetExceeded,
+    Deadline,
+    Degradation,
+    current_deadline,
+    deadline_for,
+    use_deadline,
+)
+from repro.suite import get_system
+from repro.verify import check_systems
+
+
+class TestBudget:
+    def test_default_is_unlimited(self):
+        assert Budget().unlimited
+        assert not Budget(max_steps=10).unlimited
+        assert not Budget(job_seconds=1.0).unlimited
+
+    def test_round_trip(self):
+        budget = Budget(job_seconds=1.5, phase_seconds=0.5, max_steps=1000)
+        assert Budget.from_dict(budget.as_dict()) == budget
+        assert Budget.from_dict(Budget().as_dict()) == Budget()
+
+    def test_from_dict_rejects_other_kinds(self):
+        with pytest.raises(ValueError):
+            Budget.from_dict({"kind": "retry-policy"})
+
+
+class TestDegradation:
+    def test_round_trip_and_str(self):
+        d = Degradation("cce", "skipped", "phase budget 0.5s exceeded")
+        assert Degradation.from_dict(d.as_dict()) == d
+        assert "cce" in str(d) and "skipped" in str(d)
+
+
+class TestDeadline:
+    def test_step_fuse_raises_deterministically(self):
+        deadline = Deadline(Budget(max_steps=10))
+        deadline.tick(10, site="loop")
+        with pytest.raises(BudgetExceeded) as excinfo:
+            deadline.tick(1, site="loop")
+        assert excinfo.value.limit == "steps"
+        assert excinfo.value.site == "loop"
+
+    def test_wall_clock_checked_on_stride(self):
+        deadline = Deadline(Budget(job_seconds=0.0))
+        time.sleep(0.01)
+        # Fewer than CHECK_STRIDE ticks never consult the clock.
+        for _ in range(CHECK_STRIDE - 1):
+            deadline.tick()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            for _ in range(CHECK_STRIDE):
+                deadline.tick()
+        assert excinfo.value.limit == "job"
+
+    def test_phase_budget(self):
+        deadline = Deadline(Budget(phase_seconds=0.0))
+        deadline.start_phase("cce")
+        time.sleep(0.01)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            deadline.check(site="cce/group")
+        assert excinfo.value.limit == "phase"
+        assert "cce" in str(excinfo.value)
+        # Ending the phase clears its deadline.
+        deadline.end_phase()
+        deadline.check()
+
+    def test_expired_never_raises(self):
+        deadline = Deadline(Budget(job_seconds=0.0))
+        time.sleep(0.01)
+        assert deadline.expired()
+
+    def test_disarm_stops_enforcement(self):
+        deadline = Deadline(Budget(max_steps=1, job_seconds=0.0))
+        deadline.disarm()
+        deadline.tick(100)
+        deadline.check()
+        assert not deadline.expired()
+
+    def test_remaining(self):
+        deadline = Deadline(Budget(job_seconds=100.0))
+        remaining = deadline.remaining()
+        assert remaining is not None and 0 < remaining <= 100.0
+        assert Deadline(Budget(max_steps=5)).remaining() is None
+
+
+class TestAmbientDeadline:
+    def test_defaults_to_null(self):
+        assert current_deadline() is NULL_DEADLINE
+        assert not NULL_DEADLINE.enabled
+        NULL_DEADLINE.tick(10_000)
+        NULL_DEADLINE.check()
+        assert not NULL_DEADLINE.expired()
+
+    def test_use_deadline_installs_and_restores(self):
+        deadline = Deadline(Budget(max_steps=100))
+        with use_deadline(deadline):
+            assert current_deadline() is deadline
+        assert current_deadline() is NULL_DEADLINE
+
+    def test_deadline_for(self):
+        assert deadline_for(None) is NULL_DEADLINE
+        assert deadline_for(Budget()) is NULL_DEADLINE
+        assert isinstance(deadline_for(Budget(max_steps=1)), Deadline)
+
+
+class TestGracefulDegradation:
+    """Budgeted synthesize always returns a valid decomposition."""
+
+    def _assert_valid(self, system, result):
+        assert result.decomposition is not None
+        assert result.op_count is not None
+        report = check_systems(
+            result.decomposition.to_polynomials(),
+            list(system.polys),
+            system.signature,
+        )
+        assert report
+
+    def test_unbudgeted_run_has_no_degradations(self):
+        system = get_system("Quad")
+        result = synthesize(list(system.polys), system.signature)
+        assert result.degradations == []
+        assert not result.degraded
+
+    def test_generous_budget_matches_unbudgeted(self):
+        system = get_system("Quad")
+        free = synthesize(list(system.polys), system.signature)
+        budgeted = synthesize(
+            list(system.polys), system.signature,
+            budget=Budget(job_seconds=3600.0),
+        )
+        assert budgeted.degradations == []
+        assert budgeted.op_count == free.op_count
+        assert str(budgeted.decomposition.outputs) == str(free.decomposition.outputs)
+
+    def test_step_fuse_degrades_but_stays_valid(self):
+        system = get_system("Quad")
+        result = synthesize(
+            list(system.polys), system.signature, budget=Budget(max_steps=5)
+        )
+        assert result.degraded
+        assert any("fallback" in d.action for d in result.degradations)
+        self._assert_valid(system, result)
+
+    def test_expired_budget_takes_cheap_path_immediately(self):
+        system = get_system("Quad")
+        start = time.perf_counter()
+        result = synthesize(
+            list(system.polys), system.signature,
+            budget=Budget(job_seconds=0.0),
+        )
+        elapsed = time.perf_counter() - start
+        assert result.degraded
+        assert any(d.action == "expired-at-start" for d in result.degradations)
+        self._assert_valid(system, result)
+        # The whole flow is skipped: this must be far cheaper than synthesis.
+        assert elapsed < 5.0
+
+    def test_degradations_appear_in_summary(self):
+        system = get_system("Quad")
+        result = synthesize(
+            list(system.polys), system.signature,
+            budget=Budget(job_seconds=0.0),
+        )
+        assert "degradations:" in result.summary()

@@ -1,20 +1,6 @@
 """Tests for ASAP levels and critical-path extraction."""
 
-import importlib
-import sys
-
-import pytest
-
 from repro.dfg import DataFlowGraph, NodeKind, asap_levels, critical_path
-
-
-class TestDeprecatedShim:
-    def test_import_warns_but_still_exports(self):
-        sys.modules.pop("repro.dfg.schedule", None)
-        with pytest.warns(DeprecationWarning, match="repro.dfg.scheduling"):
-            shim = importlib.import_module("repro.dfg.schedule")
-        assert shim.asap_levels is asap_levels
-        assert shim.critical_path is critical_path
 
 
 def chain_graph(length=4):

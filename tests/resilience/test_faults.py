@@ -1,0 +1,129 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import time
+
+import pytest
+
+from repro.testing import (
+    ENV_VAR,
+    FaultSpec,
+    InjectedFault,
+    current_attempt,
+    fault_point,
+    parse_faults,
+    use_attempt,
+)
+
+
+class TestParsing:
+    def test_simple_spec(self):
+        (spec,) = parse_faults("hang@job:batch-07")
+        assert spec.action == "hang"
+        assert spec.site == "job:batch-07"
+        assert spec.params == ()
+
+    def test_params_split_off_the_site(self):
+        (spec,) = parse_faults("delay@phase:cce:seconds=0.2,attempts=2")
+        assert spec.site == "phase:cce"
+        assert spec.get("seconds") == "0.2"
+        assert spec.attempts == 2
+
+    def test_site_may_contain_colons(self):
+        (spec,) = parse_faults("raise@job:SG 4X2:message=boom")
+        assert spec.site == "job:SG 4X2"
+        assert spec.get("message") == "boom"
+
+    def test_multiple_specs(self):
+        specs = parse_faults("crash@job:a;hang@job:b;  ;raise@*")
+        assert [s.action for s in specs] == ["crash", "hang", "raise"]
+        assert specs[2].site == "*"
+
+    def test_round_trips_through_str(self):
+        for raw in ("crash@job:x:code=9", "delay@*:seconds=0.1,attempts=3"):
+            (spec,) = parse_faults(raw)
+            assert parse_faults(str(spec)) == (spec,)
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError):
+            parse_faults("explode@job:x")
+
+    def test_rejects_missing_site(self):
+        with pytest.raises(ValueError):
+            parse_faults("hang@")
+        with pytest.raises(ValueError):
+            parse_faults("hang")
+
+    def test_default_attempts_is_one(self):
+        (spec,) = parse_faults("crash@job:x")
+        assert spec.attempts == 1
+
+    def test_key_value_only_segment_is_kept_as_site(self):
+        # A site that itself looks like key=value must not be consumed.
+        (spec,) = parse_faults("raise@a=b")
+        assert spec.site == "a=b"
+        assert spec.params == ()
+
+
+class TestFaultPoint:
+    def test_noop_when_env_unset(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        fault_point("job:anything")  # must not raise
+
+    def test_raise_action(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "raise@phase:search:message=boom")
+        with pytest.raises(InjectedFault, match="boom"):
+            fault_point("phase:search")
+        fault_point("phase:cce")  # other sites unaffected
+
+    def test_fnmatch_patterns(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "raise@job:batch-*")
+        with pytest.raises(InjectedFault):
+            fault_point("job:batch-13")
+        fault_point("job:other")
+
+    def test_delay_action_sleeps(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "delay@job:slow:seconds=0.05")
+        start = time.perf_counter()
+        fault_point("job:slow")
+        assert time.perf_counter() - start >= 0.05
+
+    def test_attempt_gating(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "raise@job:flaky")
+        assert current_attempt() == 0
+        with pytest.raises(InjectedFault):
+            fault_point("job:flaky")
+        with use_attempt(1):
+            assert current_attempt() == 1
+            fault_point("job:flaky")  # gated off on the retry
+        with pytest.raises(InjectedFault):
+            fault_point("job:flaky")  # attempt restored to 0
+
+    def test_attempts_param_keeps_firing(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "raise@job:always:attempts=3")
+        for attempt in range(3):
+            with use_attempt(attempt), pytest.raises(InjectedFault):
+                fault_point("job:always")
+        with use_attempt(3):
+            fault_point("job:always")
+
+    def test_cache_follows_env_changes(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "raise@job:x")
+        with pytest.raises(InjectedFault):
+            fault_point("job:x")
+        monkeypatch.setenv(ENV_VAR, "raise@job:y")
+        fault_point("job:x")
+        with pytest.raises(InjectedFault):
+            fault_point("job:y")
+
+    def test_default_message_names_the_site(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "raise@job:named")
+        with pytest.raises(InjectedFault, match="job:named"):
+            fault_point("job:named")
+
+
+class TestSpecAccessors:
+    def test_get_returns_default_for_missing_key(self):
+        spec = FaultSpec("delay", "job:x", (("seconds", "1"),))
+        assert spec.get("seconds") == "1"
+        assert spec.get("missing") is None
+        assert spec.get("missing", "7") == "7"
