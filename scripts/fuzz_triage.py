@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Replay and triage one fuzz-corpus reproducer file.
+
+Given a JSON entry written by ``repro fuzz --corpus-dir`` (or committed
+under ``tests/corpus/``), this prints everything a human needs to debug
+it: the archived system (original and shrunk), each lineup method's
+decomposition and estimated cost, the equivalence verdict against the
+specification, and — when the entry carries an ``expect`` verdict —
+whether the entry still holds.
+
+Exit status: 0 when the replay matches the entry's expectation
+(``fail`` entries still fail, ``pass`` entries stay clean), 1 otherwise.
+
+Usage::
+
+    python scripts/fuzz_triage.py tests/corpus/603857089b12.json
+    python scripts/fuzz_triage.py repro.json --original --methods direct,horner
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.cost import estimate_decomposition  # noqa: E402
+from repro.errors import Unsupported  # noqa: E402
+from repro.fuzz import (  # noqa: E402
+    FuzzConfig,
+    entry_case,
+    load_corpus_entry,
+    method_labels,
+    specification,
+    verify_entry,
+)
+from repro.fuzz.driver import run_method  # noqa: E402
+from repro.verify import check_decompositions  # noqa: E402
+
+
+def _show_system(label: str, system) -> None:
+    print(f"{label}:")
+    print(f"  signature: {system.signature}")
+    for i, poly in enumerate(system.polys):
+        print(f"  out[{i}] = {poly}")
+
+
+def triage(path: str, use_shrunk: bool, methods: tuple[str, ...] | None) -> int:
+    entry = load_corpus_entry(path)
+    print(f"corpus entry {entry['id']} "
+          f"[{entry['shape']}] (seed {entry['seed']}#{entry['index']}), "
+          f"expect={entry['expect']}")
+    for finding in entry.get("findings", []):
+        print(f"  archived: [{finding['kind']}] {finding['method']}: "
+              f"{finding['detail']}")
+    print()
+
+    case = entry_case(entry, shrunk=use_shrunk)
+    _show_system("shrunk reproducer" if use_shrunk and entry.get("shrunk")
+                 else "original system", case.system)
+    print()
+
+    config = FuzzConfig(seed=int(entry.get("seed", 0)), methods=methods)
+    spec = specification(case.system)
+    signature = case.system.signature
+    for label in method_labels(config):
+        try:
+            decomposition = run_method(label, case.system, config)
+        except Unsupported as exc:
+            print(f"{label}: SKIP (unsupported: {exc.reason})")
+            continue
+        except Exception as exc:  # noqa: BLE001 - triage shows crashes
+            print(f"{label}: CRASH {type(exc).__name__}: {exc}")
+            continue
+        report = check_decompositions(decomposition, spec, signature)
+        cost = estimate_decomposition(decomposition, signature)
+        verdict = "OK" if report else f"MISMATCH ({report})"
+        print(f"{label}: {verdict}")
+        print(f"  cost: {cost}")
+        for line in decomposition.summary().splitlines():
+            print(f"  {line}")
+        print()
+
+    problems = verify_entry(load_corpus_entry(path), config)
+    if problems:
+        print("entry does NOT hold its verdict:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"entry holds its verdict ({entry['expect']})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("entry", help="corpus JSON file to replay")
+    parser.add_argument(
+        "--original", action="store_true",
+        help="replay the full original system instead of the shrunk one",
+    )
+    parser.add_argument(
+        "--methods",
+        help="comma-separated lineup subset (default: every method)",
+    )
+    args = parser.parse_args(argv)
+    methods = (
+        tuple(m.strip() for m in args.methods.split(",") if m.strip())
+        if args.methods
+        else None
+    )
+    return triage(args.entry, use_shrunk=not args.original, methods=methods)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,11 @@ Commands:
     Run the integrated flow under the span tracer and write the
     hierarchical trace (Chrome trace-event JSON, optionally JSONL and
     Prometheus metrics) — see ``docs/OBSERVABILITY.md``.
+``fuzz``
+    Differential fuzzing: generate adversarial systems, run every
+    registered method plus the flow's strategy matrix, verify each
+    result against the exact canonical-form oracle, shrink failures to
+    minimal reproducers — see ``docs/VERIFY.md``.
 
 ``synthesize`` and ``batch`` additionally accept ``--trace-out FILE``
 (write a Chrome trace of the run) and ``--stats`` (print the metrics
@@ -239,6 +244,40 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import FuzzConfig, run_fuzz
+
+    shapes = (
+        tuple(s.strip() for s in args.shapes.split(",") if s.strip())
+        if args.shapes
+        else None
+    )
+    methods = (
+        tuple(m.strip() for m in args.methods.split(",") if m.strip())
+        if args.methods
+        else None
+    )
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget=args.time_budget,
+        methods=methods,
+        shapes=shapes,
+        check_cost=not args.no_cost_check,
+        shrink=args.shrink,
+        corpus_dir=args.corpus_dir,
+        run_config=run_config_from_args(args),
+    )
+    scope, tracer = _trace_scope(args)
+    with scope:
+        report = run_fuzz(config)
+    print(report.summary())
+    # Wall-clock goes to stderr: the stdout summary stays deterministic.
+    print(f"elapsed: {report.elapsed:.1f}s", file=sys.stderr)
+    _emit_trace_artifacts(args, tracer)
+    return 1 if report.findings else 0
+
+
 def _cmd_canon(args: argparse.Namespace) -> int:
     poly = parse_polynomial(args.polynomial)
     variables = poly.used_vars() or ("x",)
@@ -416,6 +455,44 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_config_options(p)
     add_observability_options(p)
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "fuzz", help="differential fuzzing of every registered method"
+    )
+    p.add_argument("--seed", type=int, default=0, help="master sweep seed")
+    p.add_argument(
+        "--iterations", type=int, default=100, help="number of generated cases"
+    )
+    p.add_argument(
+        "--time-budget",
+        type=float,
+        help="wall-clock budget (seconds) for the whole sweep; the sweep "
+        "stops between cases and reports itself truncated",
+    )
+    p.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug failing systems down to minimal reproducers",
+    )
+    p.add_argument(
+        "--corpus-dir",
+        help="write reproducer JSON files for failing cases here",
+    )
+    p.add_argument(
+        "--shapes", help="comma-separated generator shapes (default: all)"
+    )
+    p.add_argument(
+        "--methods",
+        help="comma-separated registry methods to fuzz (default: all)",
+    )
+    p.add_argument(
+        "--no-cost-check",
+        action="store_true",
+        help="skip the area-monotonicity cross-check",
+    )
+    add_run_config_options(p)
+    add_observability_options(p)
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser(
         "trace", help="run the flow under the span tracer and export the trace"

@@ -223,14 +223,23 @@ def _score(
     estimate and remains available for ablations.
     """
     decomposition = assemble_decomposition(chosen, registry, options)
+    return _score_assembled(decomposition, options, signature), decomposition
+
+
+def _score_assembled(
+    decomposition: Decomposition,
+    options: SynthesisOptions,
+    signature: BitVectorSignature | None,
+) -> float:
+    """Objective value of an already-assembled decomposition."""
     ops = _weighted(decomposition.op_count(), options)
     if options.objective == "area" and signature is not None:
         from repro.cost import estimate_decomposition
 
         area = estimate_decomposition(decomposition, signature).area
         # Tie-break equal-area combinations with the operator surrogate.
-        return area + ops * 1e-6, decomposition
-    return float(ops), decomposition
+        return area + ops * 1e-6
+    return float(ops)
 
 
 def _standalone_weight(poly: Polynomial, registry: BlockRegistry) -> int:
@@ -686,8 +695,29 @@ def _synthesize_flow(
             f"{scored_counter} combination(s) scored",
             chosen=[lists[i][j].tag for i, j in enumerate(best_indices)],
         )
-        _, decomposition = score_indices(best_indices)
+        winner_cost, decomposition = score_indices(best_indices)
         chosen = [lists[i][j] for i, j in enumerate(best_indices)]
+
+        # Never-worse-than-direct guard.  Every assembled combination is
+        # rendered through ``best_expression``, which Horner-factors rows
+        # whenever the *op count* improves — but on non-uniform widths the
+        # width-aware area model can disagree (factoring can push a
+        # constant multiply onto a wide operand).  The all-original seed
+        # is therefore not the direct SOP, and the search can return a
+        # decomposition costlier than the naive baseline.  Scoring the
+        # flat direct form under the same objective restores the
+        # guarantee that the flow is a superset of ``direct``.
+        direct_dec = Decomposition(method="poly_synth")
+        for poly in system:
+            direct_dec.outputs.append(expr_from_polynomial(poly))
+        if _score_assembled(direct_dec, options, signature) < winner_cost:
+            decomposition = direct_dec
+            trace.record(
+                "search",
+                "direct SOP beat every assembled combination; kept direct",
+            )
+            clock.count(direct_fallback=1)
+
         initial = direct_cost(system, options)
         final = decomposition.op_count()
         clock.count(

@@ -1,0 +1,23 @@
+"""Typed error taxonomy shared across the synthesis methods.
+
+Synthesis methods must never return a *wrong* decomposition.  When a
+class of inputs is legitimately out of a method's scope, the method
+raises :class:`Unsupported` instead of silently producing garbage — the
+differential fuzzing harness (:mod:`repro.fuzz`) treats it as an
+explicit skip while any other exception counts as a crash finding.
+"""
+
+from __future__ import annotations
+
+
+class Unsupported(ValueError):
+    """An input a synthesis method deliberately does not handle.
+
+    Carries the method name and a reason so fuzz reports and triage
+    output can say *why* the case was skipped.
+    """
+
+    def __init__(self, method: str, reason: str) -> None:
+        super().__init__(f"{method}: unsupported input: {reason}")
+        self.method = method
+        self.reason = reason

@@ -1,0 +1,68 @@
+"""Differential fuzzing & counterexample minimization (``repro fuzz``).
+
+The active bug hunter for the repository's central invariant: every
+synthesis method — and the integrated flow under every strategy — must
+compute exactly the function its input system specifies.  Pieces:
+
+* :mod:`repro.fuzz.generator` — seeded adversarial system generation;
+* :mod:`repro.fuzz.driver` — the differential sweep over the whole
+  method registry, verified by the canonical-form oracle;
+* :mod:`repro.fuzz.shrink` — delta-debugging minimization of failures;
+* :mod:`repro.fuzz.corpus` — reproducer files and the regression-corpus
+  replay contract.
+
+See ``docs/VERIFY.md`` for the workflow (found → shrunk → fixed →
+locked) and the CLI surface.
+"""
+
+from .corpus import (
+    corpus_entry,
+    entry_case,
+    iter_corpus,
+    load_corpus_entry,
+    replay_entry,
+    verify_entry,
+    write_corpus_entry,
+)
+from .driver import (
+    DEFAULT_STRATEGIES,
+    CaseResult,
+    Finding,
+    FuzzConfig,
+    FuzzReport,
+    Strategy,
+    check_case,
+    method_labels,
+    run_fuzz,
+    run_method,
+    specification,
+)
+from .generator import SHAPES, FuzzCase, generate_case, generate_cases
+from .shrink import ShrinkResult, shrink_system
+
+__all__ = [
+    "CaseResult",
+    "DEFAULT_STRATEGIES",
+    "Finding",
+    "FuzzCase",
+    "FuzzConfig",
+    "FuzzReport",
+    "SHAPES",
+    "ShrinkResult",
+    "Strategy",
+    "check_case",
+    "corpus_entry",
+    "entry_case",
+    "generate_case",
+    "generate_cases",
+    "iter_corpus",
+    "load_corpus_entry",
+    "method_labels",
+    "replay_entry",
+    "run_fuzz",
+    "run_method",
+    "shrink_system",
+    "specification",
+    "verify_entry",
+    "write_corpus_entry",
+]

@@ -1,0 +1,169 @@
+"""The regression corpus: every bug the fuzzer finds becomes a test.
+
+A corpus entry is one JSON file holding the failing system (and its
+shrunk reproducer when the shrinker ran), the findings that flagged it,
+and an ``expect`` verdict:
+
+* ``"pass"`` — the bug has been fixed; replay must produce **zero**
+  findings (the tier-1 regression contract — see
+  ``tests/fuzz/test_corpus.py``);
+* ``"unsupported"`` — the input class is out of scope; replay must see
+  the methods named in ``findings`` skip with the typed
+  :class:`repro.errors.Unsupported` rather than fail or return garbage.
+
+Fresh entries written by the driver carry ``expect: "fail"`` (the bug is
+live); committing one to ``tests/corpus/`` means flipping it to
+``"pass"`` after the fix — the workflow is *found → shrunk → fixed →
+locked*.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.serialize import system_from_dict, system_to_dict
+from repro.system import PolySystem
+
+from .driver import CaseResult, Finding, FuzzConfig, check_case
+from .generator import FuzzCase
+
+CORPUS_KIND = "fuzz-corpus"
+
+
+def corpus_entry(
+    case: FuzzCase,
+    findings: Sequence[Finding],
+    shrunk: PolySystem | None = None,
+    expect: str = "fail",
+) -> dict[str, Any]:
+    """Build the JSON-able payload for one corpus file."""
+    return {
+        "kind": CORPUS_KIND,
+        "id": case.case_id,
+        "shape": case.shape,
+        "seed": case.seed,
+        "index": case.index,
+        "expect": expect,
+        "system": system_to_dict(case.system),
+        "shrunk": system_to_dict(shrunk) if shrunk is not None else None,
+        "findings": [f.as_dict() for f in findings],
+    }
+
+
+def write_corpus_entry(
+    directory: str | Path,
+    case: FuzzCase,
+    findings: Sequence[Finding],
+    shrunk: PolySystem | None = None,
+    expect: str = "fail",
+) -> Path:
+    """Write one reproducer file (named by case id) and return its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{case.case_id}.json"
+    path.write_text(
+        json.dumps(
+            corpus_entry(case, findings, shrunk, expect),
+            indent=2, sort_keys=True,
+        )
+        + "\n"
+    )
+    return path
+
+
+def load_corpus_entry(path: str | Path) -> dict[str, Any]:
+    """Load and validate one corpus file."""
+    data = json.loads(Path(path).read_text())
+    if data.get("kind") != CORPUS_KIND:
+        raise ValueError(f"{path}: not a fuzz-corpus payload: {data.get('kind')!r}")
+    return data
+
+
+def iter_corpus(directory: str | Path) -> Iterator[Path]:
+    """All corpus files under a directory, sorted for determinism."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    yield from sorted(directory.glob("*.json"))
+
+
+def entry_case(entry: dict[str, Any], shrunk: bool = True) -> FuzzCase:
+    """Rebuild the :class:`FuzzCase` an entry archived.
+
+    Prefers the shrunk reproducer when present (it is the minimal
+    witness); ``shrunk=False`` forces the original system.
+    """
+    payload = entry.get("shrunk") if shrunk else None
+    system = system_from_dict(payload if payload else entry["system"])
+    return FuzzCase(
+        system=system,
+        shape=str(entry.get("shape", "corpus")),
+        seed=int(entry.get("seed", 0)),
+        index=int(entry.get("index", 0)),
+    )
+
+
+def replay_entry(
+    entry: dict[str, Any],
+    config: FuzzConfig | None = None,
+    shrunk: bool = True,
+) -> CaseResult:
+    """Re-run the full differential lineup over an archived system."""
+    config = config if config is not None else FuzzConfig()
+    return check_case(entry_case(entry, shrunk=shrunk), config)
+
+
+def verify_entry(
+    entry: dict[str, Any],
+    config: FuzzConfig | None = None,
+) -> list[str]:
+    """Check an entry against its ``expect`` verdict; returns violations.
+
+    An empty list means the entry holds.  Both the original and the
+    shrunk system are replayed — a fix that only handles the minimal
+    reproducer is no fix.
+    """
+    expect = str(entry.get("expect", "fail"))
+    problems: list[str] = []
+    variants: Iterable[tuple[str, bool]] = (
+        [("shrunk", True), ("original", False)]
+        if entry.get("shrunk")
+        else [("original", False)]
+    )
+    for label, use_shrunk in variants:
+        result = replay_entry(entry, config, shrunk=use_shrunk)
+        if expect == "pass":
+            if result.findings:
+                problems.extend(
+                    f"{label}: expected pass but found: {finding}"
+                    for finding in result.findings
+                )
+        elif expect == "unsupported":
+            flagged = {
+                str(f.get("method"))
+                for f in entry.get("findings", [])
+                if isinstance(f, dict)
+            }
+            skipped = {s.split(":", 1)[0] for s in result.skipped}
+            missing = flagged - skipped
+            if missing:
+                problems.append(
+                    f"{label}: expected Unsupported skip from "
+                    f"{sorted(missing)}, got skips {sorted(skipped)}"
+                )
+            if result.findings:
+                problems.extend(
+                    f"{label}: expected clean skip but found: {finding}"
+                    for finding in result.findings
+                )
+        elif expect == "fail":
+            if not result.findings:
+                problems.append(
+                    f"{label}: expected the archived failure to reproduce, "
+                    f"but the lineup passed"
+                )
+        else:
+            problems.append(f"unknown expect verdict {expect!r}")
+    return problems

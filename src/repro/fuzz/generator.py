@@ -1,0 +1,271 @@
+"""Seeded structured case generation for the differential fuzzer.
+
+Extends :mod:`repro.suite.random_systems` with the *adversarial* shapes
+the paper's transformations are most likely to get wrong:
+
+* ``wraparound`` — coefficients hugging ``2^m`` (and ``2^(m-1)``), where
+  modular reduction and canonical coefficient bounds interact;
+* ``vanishing-multiple`` — polynomials perturbed by multiples of the
+  vanishing ideal of the signature, so integer-distinct inputs compute
+  identical functions (the canonical-form transformations must agree);
+* ``single-variable`` — degenerate univariate and constant systems,
+  including repeated outputs and the zero-adjacent corner;
+* ``mixed-width`` — non-uniform input widths and an output width that
+  matches none of them;
+* ``gcd-ladder`` — coefficient GCD ladders (``g``, ``2g``, ``4g``, ...)
+  across terms and polynomials, tuned to stress CCE, Cube_Ex, and
+  algebraic division;
+* plus the suite's ``unstructured``, ``planted-kernel``, and
+  ``shifted-copy`` shapes.
+
+Everything is driven by :class:`random.Random` instances derived from
+``(master seed, case index)`` — a given seed always produces the same
+case stream, so every fuzz finding is replayable from its seed alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.poly import Polynomial
+from repro.rings import BitVectorSignature
+from repro.rings.vanishing import vanishing_generators
+from repro.suite.random_systems import (
+    planted_kernel_system,
+    random_polynomial,
+    random_system,
+    shifted_copy_system,
+)
+from repro.system import PolySystem
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated system plus the provenance needed to regenerate it."""
+
+    system: PolySystem
+    shape: str
+    seed: int
+    index: int
+
+    @property
+    def case_id(self) -> str:
+        """Content hash of the system (stable across runs and processes)."""
+        from repro.serialize import dumps
+
+        return hashlib.sha256(dumps(self.system).encode()).hexdigest()[:12]
+
+    def __str__(self) -> str:
+        return f"case {self.case_id} [{self.shape}] (seed {self.seed}#{self.index})"
+
+
+def _case_rng(seed: int, index: int) -> random.Random:
+    """A per-case RNG decorrelated across indices but fully determined."""
+    return random.Random(f"repro-fuzz:{seed}:{index}")
+
+
+# ----------------------------------------------------------------------
+# Adversarial shapes
+# ----------------------------------------------------------------------
+
+def wraparound_system(rng: random.Random) -> PolySystem:
+    """Coefficients at and around ``2^m`` — the modular wrap boundary."""
+    width = rng.choice((4, 6, 8, 16))
+    modulus = 1 << width
+    variables = ("x", "y")[: rng.choice((1, 2))]
+    edge = (
+        modulus - 1, modulus, modulus + 1,
+        modulus // 2, modulus // 2 - 1, -(modulus - 1), -modulus,
+    )
+    polys = []
+    for _ in range(rng.randint(1, 3)):
+        terms: dict[tuple[int, ...], int] = {}
+        for _ in range(rng.randint(1, 4)):
+            exps = tuple(rng.randint(0, 3) for _ in variables)
+            coeff = rng.choice(edge)
+            terms[exps] = terms.get(exps, 0) + coeff
+        poly = Polynomial(variables, {e: c for e, c in terms.items() if c})
+        if poly.is_zero:
+            poly = poly + (modulus - 1)
+        polys.append(poly)
+    return PolySystem(
+        name="fuzz-wraparound",
+        polys=tuple(polys),
+        signature=BitVectorSignature.uniform(variables, width),
+        description="coefficients near the 2^m wrap boundary",
+    )
+
+
+def vanishing_multiple_system(rng: random.Random) -> PolySystem:
+    """Bases perturbed by vanishing-ideal multiples (same function, new poly).
+
+    Over small widths the vanishing generators have low degree, so the
+    perturbed polynomials stay tractable while being integer-distinct
+    from their bases.
+    """
+    width = rng.choice((2, 3))
+    variables = ("x", "y")
+    signature = BitVectorSignature.uniform(variables, width)
+    generators = list(vanishing_generators(signature, max_total_degree=width + 2))
+    polys = []
+    for _ in range(rng.randint(1, 2)):
+        base = random_polynomial(rng, variables, max_terms=3, max_degree=2, max_coeff=8)
+        if generators and rng.random() < 0.8:
+            vanishing = rng.choice(generators)
+            multiplier = rng.randint(1, 3)
+            base = base + vanishing.with_vars(variables).scale(multiplier)
+        polys.append(base)
+    return PolySystem(
+        name="fuzz-vanishing",
+        polys=tuple(polys),
+        signature=signature,
+        description="bases plus vanishing-ideal multiples",
+    )
+
+
+def single_variable_system(rng: random.Random) -> PolySystem:
+    """Degenerate univariate systems: constants, monomial ladders, repeats."""
+    width = rng.choice((4, 8, 16))
+    variables = ("x",)
+    kind = rng.choice(("constant", "monomial-ladder", "dense", "repeated"))
+    if kind == "constant":
+        polys = [Polynomial.constant(rng.randint(0, (1 << width) - 1), variables)
+                 for _ in range(rng.randint(1, 2))]
+    elif kind == "monomial-ladder":
+        coeff = rng.randint(1, 9)
+        polys = [
+            Polynomial(variables, {(k,): coeff * (1 << k)})
+            for k in range(1, rng.randint(2, 5))
+        ]
+    elif kind == "dense":
+        degree = rng.randint(1, 5)
+        polys = [Polynomial(
+            variables,
+            {(k,): rng.randint(-9, 9) or 1 for k in range(degree + 1)},
+        )]
+    else:  # repeated outputs — sharing detection must not merge wrongly
+        base = random_polynomial(rng, variables, max_terms=3, max_degree=3)
+        polys = [base, base, base + 1]
+    return PolySystem(
+        name="fuzz-univariate",
+        polys=tuple(polys),
+        signature=BitVectorSignature.uniform(variables, width),
+        description=f"degenerate single-variable system ({kind})",
+    )
+
+
+def mixed_width_system(rng: random.Random) -> PolySystem:
+    """Inputs of different widths; output width matching none of them."""
+    variables = ("x", "y", "z")[: rng.choice((2, 3))]
+    widths = tuple(rng.choice((2, 4, 8, 12)) for _ in variables)
+    output_width = rng.choice((6, 10, 16))
+    signature = BitVectorSignature(
+        tuple(zip(variables, widths)), output_width
+    )
+    polys = tuple(
+        random_polynomial(rng, variables, max_terms=4, max_degree=3, max_coeff=12)
+        for _ in range(rng.randint(1, 3))
+    )
+    return PolySystem(
+        name="fuzz-mixed-width",
+        polys=polys,
+        signature=signature,
+        description="non-uniform input widths, mismatched output width",
+    )
+
+
+def gcd_ladder_system(rng: random.Random) -> PolySystem:
+    """Coefficient GCD ladders across terms and polynomials.
+
+    Each polynomial is ``sum_i g * 2^i * m_i`` for a shared base ``g`` —
+    the shape CCE's coefficient grouping, cube extraction, and algebraic
+    division all chase, with every rung sharing a non-trivial GCD with
+    its neighbours.
+    """
+    width = rng.choice((8, 16))
+    variables = ("x", "y")
+    g = rng.choice((3, 5, 6, 7, 12))
+    polys = []
+    for p in range(rng.randint(2, 4)):
+        terms: dict[tuple[int, ...], int] = {}
+        rungs = rng.randint(2, 4)
+        for i in range(rungs):
+            exps = (rng.randint(0, 2), rng.randint(0, 2))
+            coeff = g * (1 << i) * rng.choice((1, -1))
+            terms[exps] = terms.get(exps, 0) + coeff
+        poly = Polynomial(variables, {e: c for e, c in terms.items() if c})
+        if poly.is_zero:
+            poly = poly + g
+        polys.append(poly * (1 << p) if rng.random() < 0.5 else poly)
+    return PolySystem(
+        name="fuzz-gcd-ladder",
+        polys=tuple(polys),
+        signature=BitVectorSignature.uniform(variables, width),
+        description=f"coefficient GCD ladders over g={g}",
+    )
+
+
+# ----------------------------------------------------------------------
+# The shape table and the case stream
+# ----------------------------------------------------------------------
+
+def _unstructured(rng: random.Random) -> PolySystem:
+    variables = ("x", "y", "z")[: rng.choice((1, 2, 3))]
+    return random_system(
+        rng.randrange(1 << 30),
+        num_polys=rng.randint(1, 3),
+        variables=variables,
+        width=rng.choice((4, 8, 16)),
+        max_terms=4,
+        max_degree=3,
+        max_coeff=16,
+    )
+
+
+def _planted(rng: random.Random) -> PolySystem:
+    system, _ = planted_kernel_system(
+        rng.randrange(1 << 30), num_polys=rng.randint(2, 3)
+    )
+    return system
+
+
+def _shifted(rng: random.Random) -> PolySystem:
+    return shifted_copy_system(rng.randrange(1 << 30), num_polys=rng.randint(2, 3))
+
+
+#: Shape name -> generator.  Order fixes the round-robin schedule.
+SHAPES: dict[str, Callable[[random.Random], PolySystem]] = {
+    "unstructured": _unstructured,
+    "wraparound": wraparound_system,
+    "vanishing-multiple": vanishing_multiple_system,
+    "single-variable": single_variable_system,
+    "mixed-width": mixed_width_system,
+    "gcd-ladder": gcd_ladder_system,
+    "planted-kernel": _planted,
+    "shifted-copy": _shifted,
+}
+
+
+def generate_case(seed: int, index: int,
+                  shapes: Sequence[str] | None = None) -> FuzzCase:
+    """The ``index``-th case of the stream for ``seed`` (pure function)."""
+    names = tuple(shapes) if shapes else tuple(SHAPES)
+    for name in names:
+        if name not in SHAPES:
+            raise KeyError(
+                f"unknown fuzz shape {name!r}; known: {', '.join(SHAPES)}"
+            )
+    shape = names[index % len(names)]
+    rng = _case_rng(seed, index)
+    system = SHAPES[shape](rng)
+    return FuzzCase(system=system, shape=shape, seed=seed, index=index)
+
+
+def generate_cases(seed: int, iterations: int,
+                   shapes: Sequence[str] | None = None) -> Iterator[FuzzCase]:
+    """Round-robin over the shapes, deterministically seeded per case."""
+    for index in range(iterations):
+        yield generate_case(seed, index, shapes)

@@ -1,0 +1,245 @@
+"""Delta-debugging counterexample minimization for failing systems.
+
+Given a :class:`~repro.system.PolySystem` and a predicate ("does this
+candidate still fail?"), :func:`shrink_system` greedily applies
+failure-preserving reductions until a fixed point:
+
+1. **drop polynomials** — one at a time (a minimal reproducer is usually
+   a single polynomial);
+2. **drop variables** — substitute 0 for a variable and remove it from
+   the signature;
+3. **drop terms** — delete monomials from each polynomial;
+4. **tighten coefficients** — replace each coefficient with smaller
+   candidates (``±1``, halves) of the same sign;
+5. **lower exponents** — decrement a term's degree in one variable.
+
+Every accepted reduction re-establishes the predicate, so the final
+system provably still fails.  The search is bounded by
+``max_evaluations`` predicate calls (each one typically re-runs the full
+differential lineup, so the bound is the shrinker's real budget) and is
+fully deterministic: reductions are tried in a fixed order, no
+randomness anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.poly import Polynomial
+from repro.rings import BitVectorSignature
+from repro.system import PolySystem
+
+Predicate = Callable[[PolySystem], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized system plus how much work minimization took."""
+
+    system: PolySystem
+    evaluations: int
+    accepted: int       # reductions that kept the failure
+    exhausted: bool     # True when the evaluation budget ran out
+
+    @property
+    def size(self) -> int:
+        return sum(len(p.terms) for p in self.system.polys)
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.used >= self.limit
+
+
+def _rebuild(system: PolySystem, polys: Sequence[Polynomial],
+             signature: BitVectorSignature | None = None) -> PolySystem:
+    return PolySystem(
+        name=system.name,
+        polys=tuple(polys),
+        signature=signature if signature is not None else system.signature,
+        description=system.description,
+    )
+
+
+def _drop_polynomials(system: PolySystem, check: Predicate,
+                      budget: _Budget) -> PolySystem:
+    index = 0
+    while index < len(system.polys) and len(system.polys) > 1:
+        if budget.exhausted:
+            break
+        candidate = _rebuild(
+            system,
+            system.polys[:index] + system.polys[index + 1:],
+        )
+        if check(candidate):
+            system = candidate  # keep index: the next poly slid into place
+        else:
+            index += 1
+    return system
+
+
+def _drop_variables(system: PolySystem, check: Predicate,
+                    budget: _Budget) -> PolySystem:
+    for var in list(system.variables):
+        if budget.exhausted or len(system.variables) <= 1:
+            break
+        remaining = tuple(v for v in system.variables if v != var)
+        signature = BitVectorSignature(
+            tuple(
+                (name, width)
+                for name, width in system.signature.input_widths
+                if name != var
+            ),
+            system.signature.output_width,
+        )
+        polys = [p.subs({var: 0}).with_vars(remaining) for p in system.polys]
+        candidate = _rebuild(system, polys, signature)
+        if check(candidate):
+            system = candidate
+    return system
+
+
+def _drop_terms(system: PolySystem, check: Predicate,
+                budget: _Budget) -> PolySystem:
+    for poly_index in range(len(system.polys)):
+        if budget.exhausted:
+            break
+        poly = system.polys[poly_index]
+        for exps in sorted(poly.terms):
+            if budget.exhausted or len(poly.terms) <= 1:
+                break
+            terms = {e: c for e, c in poly.terms.items() if e != exps}
+            polys = list(system.polys)
+            polys[poly_index] = Polynomial(poly.vars, terms)
+            candidate = _rebuild(system, polys)
+            if check(candidate):
+                system = candidate
+                poly = system.polys[poly_index]
+    return system
+
+
+def _tighten_coefficients(system: PolySystem, check: Predicate,
+                          budget: _Budget) -> PolySystem:
+    for poly_index in range(len(system.polys)):
+        poly = system.polys[poly_index]
+        for exps in sorted(poly.terms):
+            coeff = system.polys[poly_index].terms.get(exps)
+            if coeff is None:
+                continue
+            sign = 1 if coeff > 0 else -1
+            for smaller in (sign, coeff // 2, sign * (abs(coeff) // 2)):
+                if budget.exhausted:
+                    return system
+                if smaller == 0 or smaller == coeff:
+                    continue
+                current = system.polys[poly_index]
+                terms = dict(current.terms)
+                terms[exps] = smaller
+                polys = list(system.polys)
+                polys[poly_index] = Polynomial(current.vars, terms)
+                candidate = _rebuild(system, polys)
+                if check(candidate):
+                    system = candidate
+                    break
+    return system
+
+
+def _lower_exponents(system: PolySystem, check: Predicate,
+                     budget: _Budget) -> PolySystem:
+    for poly_index in range(len(system.polys)):
+        poly = system.polys[poly_index]
+        for exps in sorted(poly.terms):
+            for var_index in range(len(exps)):
+                if budget.exhausted:
+                    return system
+                if exps[var_index] == 0:
+                    continue
+                current = system.polys[poly_index]
+                coeff = current.terms.get(exps)
+                if coeff is None:
+                    break  # this term was already merged away
+                lowered = list(exps)
+                lowered[var_index] -= 1
+                new_key = tuple(lowered)
+                terms = {e: c for e, c in current.terms.items() if e != exps}
+                terms[new_key] = terms.get(new_key, 0) + coeff
+                if not terms[new_key]:
+                    del terms[new_key]
+                if not terms:
+                    continue
+                polys = list(system.polys)
+                polys[poly_index] = Polynomial(current.vars, terms)
+                candidate = _rebuild(system, polys)
+                if check(candidate):
+                    system = candidate
+    return system
+
+
+_PASSES = (
+    _drop_polynomials,
+    _drop_variables,
+    _drop_terms,
+    _tighten_coefficients,
+    _lower_exponents,
+)
+
+
+def shrink_system(
+    system: PolySystem,
+    predicate: Predicate,
+    max_evaluations: int = 300,
+) -> ShrinkResult:
+    """Minimize ``system`` while ``predicate`` stays True.
+
+    ``predicate(system)`` must be True on entry (the caller hands us a
+    failing system); raises ``ValueError`` otherwise, because "shrink a
+    passing case" is always a caller bug.
+    """
+    budget = _Budget(max_evaluations)
+    accepted = 0
+    seen: dict[str, bool] = {}
+
+    def check(candidate: PolySystem) -> bool:
+        nonlocal accepted
+        if not candidate.polys or all(p.is_zero for p in candidate.polys):
+            return False
+        key = _content_key(candidate)
+        if key in seen:
+            return seen[key]
+        if budget.exhausted:
+            return False
+        budget.used += 1
+        verdict = bool(predicate(candidate))
+        seen[key] = verdict
+        if verdict:
+            accepted += 1
+        return verdict
+
+    if not predicate(system):
+        raise ValueError("shrink_system: the input system does not fail")
+
+    current = system
+    while not budget.exhausted:
+        before = _content_key(current)
+        for shrink_pass in _PASSES:
+            current = shrink_pass(current, check, budget)
+        if _content_key(current) == before:
+            break  # fixed point: no pass found a smaller failing system
+    return ShrinkResult(
+        system=_rebuild(current, current.polys),
+        evaluations=budget.used,
+        accepted=accepted,
+        exhausted=budget.exhausted,
+    )
+
+
+def _content_key(system: PolySystem) -> str:
+    from repro.serialize import dumps
+
+    return dumps(system)

@@ -32,6 +32,13 @@ Actions:
 ``crash``
     ``os._exit(code)`` (default 3) — kills the worker process without
     cleanup, exactly like a segfault in native code would.
+``miscompile``
+    a *query-only* action: :func:`fault_point` ignores it, but code that
+    can deliberately corrupt its own output (the differential fuzz
+    driver, :mod:`repro.fuzz.driver`) asks :func:`fault_flagged` whether
+    a matching spec is active and, if so, injects a wrong-but-plausible
+    result.  This is how CI proves the fuzzer actually catches
+    miscompiles end to end.
 
 Determinism comes from **attempt gating** rather than probabilities:
 a spec fires while the ambient attempt number (:func:`current_attempt`,
@@ -86,7 +93,7 @@ class FaultSpec:
         return f"{self.action}@{self.site}" + (f":{extra}" if extra else "")
 
 
-_VALID_ACTIONS = frozenset({"delay", "hang", "raise", "crash"})
+_VALID_ACTIONS = frozenset({"delay", "hang", "raise", "crash", "miscompile"})
 
 
 def parse_faults(raw: str) -> tuple[FaultSpec, ...]:
@@ -177,11 +184,32 @@ def fault_point(site: str) -> None:
         return
     attempt = _attempt.get()
     for spec in active_faults():
+        if spec.action == "miscompile":
+            continue  # query-only; see fault_flagged
         if attempt >= spec.attempts:
             continue
         if not fnmatch(site, spec.site):
             continue
         _fire(spec, site)
+
+
+def fault_flagged(site: str, action: str = "miscompile") -> bool:
+    """Is a query-only fault of ``action`` active for ``site``?
+
+    Unlike :func:`fault_point` this never raises, sleeps, or exits — the
+    caller decides what the fault means (e.g. the fuzz driver corrupting
+    a decomposition on a ``miscompile`` spec).  Attempt gating applies
+    as usual.
+    """
+    if not os.environ.get(ENV_VAR):
+        return False
+    attempt = _attempt.get()
+    return any(
+        spec.action == action
+        and attempt < spec.attempts
+        and fnmatch(site, spec.site)
+        for spec in active_faults()
+    )
 
 
 def _fire(spec: FaultSpec, site: str) -> None:

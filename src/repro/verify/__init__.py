@@ -9,6 +9,7 @@ equivalent iff their canonical forms coincide.
 """
 
 from .equivalence import (
+    DEFAULT_WITNESS_SEED,
     EquivalenceReport,
     check_decompositions,
     check_polynomials,
@@ -17,6 +18,7 @@ from .equivalence import (
 )
 
 __all__ = [
+    "DEFAULT_WITNESS_SEED",
     "EquivalenceReport",
     "check_decompositions",
     "check_polynomials",

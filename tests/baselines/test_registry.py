@@ -7,7 +7,7 @@ usable from the batch engine, and listed by the CLI.
 
 import pytest
 
-from repro import BatchEngine, BatchJob, compare_methods
+from repro import BatchEngine, BatchJob, RunConfig, compare_methods
 from repro.__main__ import main
 from repro.baselines import (
     available_methods,
@@ -87,7 +87,7 @@ class TestCompareMethodsIntegration:
 
 class TestEngineIntegration:
     def test_registered_method_runs_in_engine(self, scratch_method):
-        report = BatchEngine(workers=1).run(
+        report = BatchEngine(RunConfig(workers=1)).run(
             [BatchJob(system=get_system("Table 14.1"), method=scratch_method)]
         )
         [result] = report.results

@@ -3,7 +3,7 @@
 import pytest
 
 import repro.engine.engine as engine_module
-from repro import BatchEngine, BatchJob
+from repro import BatchEngine, BatchJob, RunConfig
 from repro.core import SynthesisOptions
 from repro.serialize import dumps
 from repro.suite import get_system
@@ -17,7 +17,7 @@ def jobs_for(names=SMALL_SYSTEMS):
 
 class TestCaching:
     def test_second_run_is_all_hits(self):
-        engine = BatchEngine(workers=1)
+        engine = BatchEngine(RunConfig(workers=1))
         cold = engine.run(jobs_for(["Table 14.1"]))
         assert cold.cache_hits == 0 and cold.cache_misses == 1
         warm = engine.run(jobs_for(["Table 14.1"]))
@@ -26,7 +26,7 @@ class TestCaching:
         assert warm.results[0].payload == cold.results[0].payload
 
     def test_warm_run_does_zero_synthesis_work(self, monkeypatch):
-        engine = BatchEngine(workers=1)
+        engine = BatchEngine(RunConfig(workers=1))
         engine.run(jobs_for(["Table 14.1"]))
 
         def explode(*args, **kwargs):
@@ -38,7 +38,7 @@ class TestCaching:
         assert warm.results[0].ok
 
     def test_options_change_misses(self):
-        engine = BatchEngine(workers=1)
+        engine = BatchEngine(RunConfig(workers=1))
         system = get_system("Table 14.1")
         engine.run([BatchJob(system=system)])
         report = engine.run(
@@ -47,16 +47,16 @@ class TestCaching:
         assert report.cache_misses == 1
 
     def test_disk_cache_survives_engine_restart(self, tmp_path):
-        first = BatchEngine(workers=1, cache_dir=tmp_path)
+        first = BatchEngine(RunConfig(workers=1, cache_dir=tmp_path))
         cold = first.run(jobs_for(["Table 14.1"]))
-        second = BatchEngine(workers=1, cache_dir=tmp_path)
+        second = BatchEngine(RunConfig(workers=1, cache_dir=tmp_path))
         warm = second.run(jobs_for(["Table 14.1"]))
         assert warm.hit_rate == 1.0
         assert warm.results[0].payload == cold.results[0].payload
         assert second.cache.stats.disk_hits == 1
 
     def test_errors_are_not_cached(self):
-        engine = BatchEngine(workers=1)
+        engine = BatchEngine(RunConfig(workers=1))
         bad = [BatchJob(system=get_system("Table 14.1"), method="nope")]
         first = engine.run(bad)
         assert not first.results[0].ok
@@ -66,8 +66,8 @@ class TestCaching:
 
 class TestParallel:
     def test_parallel_equals_serial_byte_identical(self):
-        serial = BatchEngine(workers=1).run(jobs_for())
-        parallel = BatchEngine(workers=2).run(jobs_for())
+        serial = BatchEngine(RunConfig(workers=1)).run(jobs_for())
+        parallel = BatchEngine(RunConfig(workers=2)).run(jobs_for())
         assert len(serial.results) == len(parallel.results) == len(SMALL_SYSTEMS)
         for a, b in zip(serial.results, parallel.results):
             assert a.name == b.name  # deterministic input ordering
@@ -79,7 +79,7 @@ class TestParallel:
             raise OSError("no forks today")
 
         monkeypatch.setattr(BatchEngine, "_execute_pool", broken_pool)
-        report = BatchEngine(workers=4).run(jobs_for(["Table 14.1", "Table 14.2"]))
+        report = BatchEngine(RunConfig(workers=4)).run(jobs_for(["Table 14.1", "Table 14.2"]))
         assert all(r.ok for r in report.results)
 
     def test_workers_one_never_pools(self, monkeypatch):
@@ -87,13 +87,13 @@ class TestParallel:
             raise AssertionError("pool used with workers=1")
 
         monkeypatch.setattr(BatchEngine, "_execute_pool", explode)
-        report = BatchEngine(workers=1).run(jobs_for(["Table 14.1"]))
+        report = BatchEngine(RunConfig(workers=1)).run(jobs_for(["Table 14.1"]))
         assert report.results[0].ok
 
 
 class TestReport:
     def test_results_in_input_order_with_metrics(self):
-        report = BatchEngine(workers=1).run(jobs_for())
+        report = BatchEngine(RunConfig(workers=1)).run(jobs_for())
         assert [r.name for r in report.results] == list(SMALL_SYSTEMS)
         for result in report.results:
             assert result.ok
@@ -105,7 +105,7 @@ class TestReport:
             assert result.timings.counter("combinations") > 0
 
     def test_phase_seconds_aggregates(self):
-        report = BatchEngine(workers=1).run(jobs_for())
+        report = BatchEngine(RunConfig(workers=1)).run(jobs_for())
         phases = report.phase_seconds()
         assert phases["search"] > 0
         assert sum(phases.values()) == pytest.approx(
@@ -113,7 +113,7 @@ class TestReport:
         )
 
     def test_summary_table_mentions_cache_and_phases(self):
-        engine = BatchEngine(workers=1)
+        engine = BatchEngine(RunConfig(workers=1))
         engine.run(jobs_for(["Table 14.1"]))
         report = engine.run(jobs_for(["Table 14.1"]))
         table = report.summary_table()
@@ -122,14 +122,14 @@ class TestReport:
         assert "Table 14.1" in table
 
     def test_accepts_bare_systems(self):
-        report = BatchEngine(workers=1).run([get_system("Table 14.1")])
+        report = BatchEngine(RunConfig(workers=1)).run([get_system("Table 14.1")])
         assert report.results[0].name == "Table 14.1"
         assert report.results[0].method == "proposed"
 
 
 class TestMethods:
     def test_registry_methods_run_through_engine(self):
-        engine = BatchEngine(workers=1)
+        engine = BatchEngine(RunConfig(workers=1))
         report = engine.run(
             [BatchJob(system=get_system("Table 14.1"), method="horner")]
         )
@@ -138,10 +138,10 @@ class TestMethods:
         result.decomposition.validate(list(get_system("Table 14.1").polys))
 
     def test_run_suite_names(self):
-        engine = BatchEngine(workers=1)
+        engine = BatchEngine(RunConfig(workers=1))
         report = engine.run_suite(["Table 14.1", "Table 14.2"])
         assert [r.name for r in report.results] == ["Table 14.1", "Table 14.2"]
 
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
-            BatchEngine(workers=0)
+            BatchEngine(RunConfig(workers=0))

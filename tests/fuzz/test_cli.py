@@ -1,0 +1,72 @@
+"""End-to-end CLI contract of ``repro fuzz`` (subprocess level)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+
+
+def run_fuzz_cli(*extra, env_extra=None, cwd=None):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env.pop("REPRO_FAULTS", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "fuzz", *extra],
+        capture_output=True, text=True, env=env, cwd=cwd,
+    )
+
+
+FAST = (
+    "--iterations", "4",
+    "--shapes", "single-variable,unstructured",
+    "--methods", "direct,horner",
+)
+
+
+class TestCli:
+    def test_clean_sweep_exits_zero_and_is_deterministic(self):
+        first = run_fuzz_cli("--seed", "3", *FAST)
+        second = run_fuzz_cli("--seed", "3", *FAST)
+        assert first.returncode == 0, first.stderr
+        # stdout is byte-identical across runs; wall-clock goes to stderr.
+        assert first.stdout == second.stdout
+        assert "digest" in first.stdout
+        assert "elapsed:" in first.stderr
+        assert "elapsed:" not in first.stdout
+
+    def test_different_seed_different_digest(self):
+        a = run_fuzz_cli("--seed", "3", *FAST)
+        b = run_fuzz_cli("--seed", "4", *FAST)
+        assert a.stdout != b.stdout
+
+    def test_injected_miscompile_fails_and_archives(self, tmp_path):
+        result = run_fuzz_cli(
+            "--seed", "5", "--iterations", "1",
+            "--shapes", "unstructured", "--methods", "direct,horner",
+            "--shrink", "--corpus-dir", str(tmp_path),
+            env_extra={"REPRO_FAULTS": "miscompile@fuzz:horner"},
+        )
+        assert result.returncode == 1
+        assert "[differential] horner" in result.stdout
+        assert "witness" in result.stdout
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 1
+        entry = json.loads(files[0].read_text())
+        assert entry["expect"] == "fail"
+        assert entry["findings"][0]["method"] == "horner"
+
+    def test_time_budget_reports_truncation(self):
+        result = run_fuzz_cli(
+            "--seed", "1", "--iterations", "500", "--time-budget", "0",
+            "--methods", "direct",
+        )
+        assert result.returncode == 0
+        assert "time budget hit" in result.stdout
+
+    def test_unknown_shape_is_a_usage_error(self):
+        result = run_fuzz_cli("--shapes", "bogus", "--iterations", "1")
+        assert result.returncode != 0

@@ -1,0 +1,102 @@
+"""Delta-debugging shrinker: minimization, budgets, determinism."""
+
+import pytest
+
+from repro.fuzz import shrink_system
+from repro.poly import parse_polynomial as P
+from repro.rings import BitVectorSignature
+from repro.system import PolySystem
+
+
+def make_system(*polys, width=8):
+    polys = tuple(P(p, variables=("x", "y")) for p in polys)
+    return PolySystem(
+        name="shrink-test",
+        polys=polys,
+        signature=BitVectorSignature.uniform(("x", "y"), width),
+    )
+
+
+def has_big_xy_coeff(system):
+    """The synthetic "bug": some x*y term with |coefficient| >= 7."""
+    return any(
+        abs(c) >= 7
+        for p in system.polys
+        for e, c in p.terms.items()
+        if e == (1, 1)
+    )
+
+
+class TestMinimization:
+    def test_shrinks_to_the_single_guilty_term(self):
+        system = make_system(
+            "3*x^2 + 2*y + 5",
+            "14*x*y + 9*x + y^2 + 1",
+            "x + y",
+        )
+        result = shrink_system(system, has_big_xy_coeff)
+        assert has_big_xy_coeff(result.system)
+        # One polynomial, one term, coefficient tightened to the floor.
+        assert len(result.system.polys) == 1
+        (poly,) = result.system.polys
+        assert list(poly.terms) == [(1, 1)]
+        assert abs(poly.terms[(1, 1)]) == 7
+        assert result.accepted > 0 and not result.exhausted
+
+    def test_variable_dropping(self):
+        def uses_y(system):
+            return any("y" in p.used_vars() for p in system.polys)
+
+        system = make_system("x + 3*y", "x^2 + 1")
+        result = shrink_system(system, uses_y)
+        assert uses_y(result.system)
+        # x is droppable (substituted to 0) but y must survive.
+        assert result.system.variables == ("y",)
+
+    def test_result_always_fails(self):
+        system = make_system("8*x*y + 3", "y^3 + 2*x")
+        result = shrink_system(system, has_big_xy_coeff)
+        assert has_big_xy_coeff(result.system)
+
+
+class TestContract:
+    def test_passing_input_rejected(self):
+        system = make_system("x + y")
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_system(system, has_big_xy_coeff)
+
+    def test_budget_bounds_predicate_calls(self):
+        calls = 0
+
+        def counting(system):
+            nonlocal calls
+            calls += 1
+            return has_big_xy_coeff(system)
+
+        system = make_system(
+            "14*x*y + 9*x + y^2 + 1", "3*x^2 + 2*y + 5", "x + y"
+        )
+        result = shrink_system(system, counting, max_evaluations=5)
+        # +1 for the entry sanity check; memoized repeats are free.
+        assert calls <= 6
+        assert result.evaluations <= 5
+        assert result.exhausted
+        assert has_big_xy_coeff(result.system)
+
+    def test_deterministic(self):
+        from repro.serialize import dumps
+
+        system = make_system("14*x*y + 9*x + y^2 + 1", "3*x^2 + 2*y + 5")
+        a = shrink_system(system, has_big_xy_coeff)
+        b = shrink_system(system, has_big_xy_coeff)
+        assert dumps(a.system) == dumps(b.system)
+        assert a.evaluations == b.evaluations
+
+    def test_never_returns_empty_or_zero_system(self):
+        def anything(system):
+            return True
+
+        system = make_system("x", "y")
+        result = shrink_system(system, anything)
+        assert result.system.polys
+        assert not all(p.is_zero for p in result.system.polys)

@@ -5,7 +5,7 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro import BatchEngine, BatchJob
+from repro import BatchEngine, BatchJob, RunConfig
 from repro.__main__ import main
 from repro.obs import (
     Tracer,
@@ -28,7 +28,7 @@ def jobs_for(names=SYSTEMS):
 def traced_run(workers: int):
     tracer = Tracer()
     with use_tracer(tracer):
-        report = BatchEngine(workers=workers).run(jobs_for())
+        report = BatchEngine(RunConfig(workers=workers)).run(jobs_for())
     return tracer, report
 
 
@@ -67,7 +67,7 @@ class TestStitching:
 
     def test_cache_hits_marked_not_stitched(self):
         tracer = Tracer()
-        engine = BatchEngine(workers=1)
+        engine = BatchEngine(RunConfig(workers=1))
         with use_tracer(tracer):
             engine.run(jobs_for())
             engine.run(jobs_for())
@@ -77,10 +77,10 @@ class TestStitching:
         assert not any(c.name.startswith("job:") for c in warm.children)
 
     def test_traced_results_match_untraced(self):
-        untraced = BatchEngine(workers=1).run(jobs_for())
+        untraced = BatchEngine(RunConfig(workers=1)).run(jobs_for())
         tracer = Tracer()
         with use_tracer(tracer):
-            traced = BatchEngine(workers=1).run(jobs_for())
+            traced = BatchEngine(RunConfig(workers=1)).run(jobs_for())
         for a, b in zip(untraced.results, traced.results):
             # Byte-identical modulo timing measurements, like serial vs pool.
             assert a.canonical_result() == b.canonical_result()

@@ -1,0 +1,121 @@
+"""Differential property test: heuristic GCD agrees with pure PRS.
+
+:func:`repro.poly.gcd.poly_gcd` has two cooperating engines — the fast
+GCDHEU evaluation/lift path and the always-correct primitive PRS
+recursion.  The heuristic's answers are division-verified, but a subtly
+*larger-than-true* common divisor would pass that check only if it
+divides both inputs, and a *smaller* one would silently weaken every
+downstream factorization.  So: generate seeded random pairs (with and
+without planted common factors) and assert the public entry point
+returns exactly what the PRS-only configuration returns, including sign
+normalization and the zero/constant corner cases.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.poly.gcd as gcd_module
+from repro.poly import Polynomial
+from repro.poly.division import exact_divide
+from repro.poly.gcd import poly_gcd
+
+VARS = ("x", "y")
+
+
+def _random_poly(rng: random.Random, max_terms=4, max_exp=3, max_coeff=12,
+                 allow_zero=False) -> Polynomial:
+    terms: dict[tuple[int, ...], int] = {}
+    for _ in range(rng.randint(0 if allow_zero else 1, max_terms)):
+        exps = tuple(rng.randint(0, max_exp) for _ in VARS)
+        coeff = rng.randint(1, max_coeff) * rng.choice((1, -1))
+        terms[exps] = terms.get(exps, 0) + coeff
+    poly = Polynomial(VARS, {e: c for e, c in terms.items() if c})
+    if poly.is_zero and not allow_zero:
+        poly = poly + rng.randint(1, max_coeff)
+    return poly
+
+
+def _prs_only(a: Polynomial, b: Polynomial, monkeypatch) -> Polynomial:
+    """poly_gcd with the heuristic disabled — the pure PRS reference."""
+    with monkeypatch.context() as patch:
+        patch.setattr(gcd_module, "_gcd_heuristic", lambda x, y: None)
+        return poly_gcd(a, b)
+
+
+def _pairs(seed: int, count: int):
+    """Seeded pairs: half with a planted common factor, half independent."""
+    rng = random.Random(seed)
+    for index in range(count):
+        if index % 2:
+            g = _random_poly(rng, max_terms=2, max_exp=2, max_coeff=6)
+            a = g * _random_poly(rng, max_terms=3, max_exp=2)
+            b = g * _random_poly(rng, max_terms=3, max_exp=2)
+        else:
+            a = _random_poly(rng)
+            b = _random_poly(rng)
+        yield a, b
+
+
+class TestHeuristicPrsAgreement:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_differential_agreement(self, seed, monkeypatch):
+        for a, b in _pairs(seed, 20):
+            fast = poly_gcd(a, b)
+            slow = _prs_only(a, b, monkeypatch)
+            assert fast == slow, f"gcd mismatch for a={a}, b={b}"
+            # The answer must actually divide both inputs.
+            assert exact_divide(a.with_vars(fast.vars), fast) is not None
+            assert exact_divide(b.with_vars(fast.vars), fast) is not None
+
+    def test_sign_normalization(self, monkeypatch):
+        rng = random.Random(99)
+        for _ in range(10):
+            a = _random_poly(rng)
+            b = _random_poly(rng)
+            g = poly_gcd(a, b)
+            assert g.leading_coeff("grevlex") > 0
+            # Sign flips of the inputs never change the normalized GCD.
+            assert poly_gcd(-a, b) == g
+            assert poly_gcd(a, -b) == g
+            assert poly_gcd(-a, -b) == g
+            assert _prs_only(-a, -b, monkeypatch) == g
+
+    def test_self_gcd_is_positive_associate(self, monkeypatch):
+        rng = random.Random(7)
+        for _ in range(5):
+            p = _random_poly(rng)
+            expected = p if p.leading_coeff("grevlex") > 0 else -p
+            assert poly_gcd(p, p) == expected
+            assert _prs_only(p, p, monkeypatch) == expected
+
+
+class TestEdgeCases:
+    ZERO = Polynomial.zero(VARS)
+
+    @pytest.mark.parametrize("other_terms", [{(0, 0): 6}, {(1, 0): 4, (0, 1): -2}])
+    def test_zero_against_anything(self, other_terms, monkeypatch):
+        other = Polynomial(VARS, other_terms)
+        expected = other if other.leading_coeff("grevlex") > 0 else -other
+        assert poly_gcd(self.ZERO, other) == expected
+        assert poly_gcd(other, self.ZERO) == expected
+        assert _prs_only(self.ZERO, other, monkeypatch) == expected
+
+    def test_zero_zero(self):
+        assert poly_gcd(self.ZERO, self.ZERO).is_zero
+
+    def test_constants(self, monkeypatch):
+        a = Polynomial.constant(12, VARS)
+        b = Polynomial.constant(-18, VARS)
+        fast = poly_gcd(a, b)
+        assert fast == Polynomial.constant(6, VARS)
+        assert _prs_only(a, b, monkeypatch) == fast
+
+    def test_constant_against_polynomial(self, monkeypatch):
+        constant = Polynomial.constant(4, VARS)
+        poly = Polynomial(VARS, {(1, 0): 6, (0, 0): 10})  # content 2
+        fast = poly_gcd(constant, poly)
+        assert fast == Polynomial.constant(2, VARS)
+        assert _prs_only(constant, poly, monkeypatch) == fast
