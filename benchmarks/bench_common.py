@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 import time
 from dataclasses import asdict
 
-from repro import compare_methods, method_outcome
+from repro import RunConfig, compare_methods, method_outcome
 from repro.core import SynthesisOptions
 from repro.engine import BatchEngine, BatchJob
+from repro.obs import env_trace_settings
 from repro.suite import get_system
 
 _REPORTS: list[tuple[str, list[str]]] = []
@@ -49,8 +51,10 @@ _OPTIONS: dict[str, SynthesisOptions] = {
 }
 
 ENGINE = BatchEngine(
-    workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
-    cache_dir=os.environ.get("REPRO_BENCH_CACHE_DIR"),
+    RunConfig(
+        workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE_DIR"),
+    )
 )
 
 
@@ -94,6 +98,7 @@ def compare_system(name: str) -> dict:
             "wall_seconds": round(wall, 6),
             "synth_seconds": round(result.seconds, 6),
             "cache_hit": result.cache_hit,
+            "options": asdict(options),
             "methods": {
                 method: {
                     "mul": outcome.op_count.mul,
@@ -108,19 +113,48 @@ def compare_system(name: str) -> dict:
 
 
 # ----------------------------------------------------------------------
-# The machine-readable perf-trajectory baseline (BENCH_PR2.json)
+# The machine-readable perf-trajectory baseline (BENCH_PR*.json)
 # ----------------------------------------------------------------------
 
 _PERF: dict[str, dict] = {}
 
+#: Label stamped into the snapshot; bump alongside the checked-in file name.
+BASELINE_LABEL = "PR6"
+
+
+def _git_sha() -> str | None:
+    """The repository HEAD this snapshot was measured at, if discoverable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
 
 def perf_snapshot() -> dict:
-    """Everything a future PR compares itself against, as one JSON-able dict."""
+    """Everything a future PR compares itself against, as one JSON-able dict.
+
+    Besides the per-benchmark numbers, the snapshot records the exact
+    measurement conditions: the engine's active :class:`RunConfig`, the
+    git commit, and whether ambient tracing was on (an obs-enabled run
+    measures instrumented code and must not be compared against a
+    zero-cost-path baseline).
+    """
     return {
         "kind": "bench-baseline",
-        "baseline": "PR2",
+        "baseline": BASELINE_LABEL,
         "workers": ENGINE.workers,
         "cache": asdict(ENGINE.cache.stats),
+        "config": ENGINE.config.as_dict(),
+        "git_sha": _git_sha(),
+        "obs_enabled": env_trace_settings()[0],
         "benchmarks": {name: _PERF[name] for name in sorted(_PERF)},
     }
 

@@ -18,68 +18,44 @@ Layers (bottom up):
   area/delay model;
 * :mod:`repro.suite` / :mod:`repro.baselines` — benchmark systems and
   comparison methods;
-* :mod:`repro.api` — one-call entry points.
+* :mod:`repro.api` — the one supported entry point; this package merely
+  re-exports its surface.
 """
 
-from repro.api import (
+from repro.api import (  # noqa: F401 — the facade's whole surface
     DEFAULT_METHODS,
+    BatchEngine,
+    BatchJob,
+    BatchReport,
+    BitVectorSignature,
+    Budget,
+    Decomposition,
+    Degradation,
+    JobResult,
     MethodOutcome,
+    OpCount,
+    Polynomial,
+    PolySystem,
+    RetryPolicy,
+    RunConfig,
+    SynthesisOptions,
+    SynthesisResult,
+    Timings,
+    Tracer,
     TradeoffPoint,
+    available_methods,
     compare_methods,
     explore_tradeoffs,
     improvement,
     method_outcome,
+    parse_polynomial,
+    parse_system,
+    register_method,
+    synthesize,
     synthesize_system,
 )
-from repro.baselines import available_methods, register_method
-from repro.config import RetryPolicy, RunConfig
-from repro.core import (
-    Budget,
-    Degradation,
-    SynthesisOptions,
-    SynthesisResult,
-    Timings,
-    synthesize,
-)
-from repro.engine import BatchEngine, BatchJob, BatchReport, JobResult
-from repro.obs import Tracer
-from repro.expr import Decomposition, OpCount
-from repro.poly import Polynomial, parse_polynomial, parse_system
-from repro.rings import BitVectorSignature
-from repro.system import PolySystem
+from repro.api import __all__ as _api_all
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "BatchEngine",
-    "BatchJob",
-    "BatchReport",
-    "BitVectorSignature",
-    "Budget",
-    "DEFAULT_METHODS",
-    "Decomposition",
-    "Degradation",
-    "JobResult",
-    "MethodOutcome",
-    "OpCount",
-    "PolySystem",
-    "Polynomial",
-    "RetryPolicy",
-    "RunConfig",
-    "SynthesisOptions",
-    "SynthesisResult",
-    "Timings",
-    "Tracer",
-    "TradeoffPoint",
-    "available_methods",
-    "compare_methods",
-    "explore_tradeoffs",
-    "improvement",
-    "method_outcome",
-    "parse_polynomial",
-    "parse_system",
-    "register_method",
-    "synthesize",
-    "synthesize_system",
-    "__version__",
-]
+__all__ = [*_api_all, "__version__"]

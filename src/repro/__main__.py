@@ -39,7 +39,10 @@ name traces any command and writes the Chrome trace there on exit.
 
 Every synthesis-running subcommand shares the resource-governance flags
 (``--job-seconds``, ``--phase-seconds``, ``--max-steps``,
-``--job-timeout``, ``--max-retries``) which assemble into one
+``--job-timeout``, ``--max-retries``) plus ``--config FILE`` — a JSON
+:meth:`repro.config.RunConfig.as_dict` payload that seeds the whole
+config, with explicit flags overriding individual fields.  The flags are
+declared once on shared argparse parent parsers and assemble into one
 :class:`repro.config.RunConfig` — see ``docs/ROBUSTNESS.md``.
 """
 
@@ -76,31 +79,49 @@ def _system_from_args(args: argparse.Namespace) -> PolySystem:
 
 
 def run_config_from_args(args: argparse.Namespace) -> RunConfig:
-    """Build the :class:`RunConfig` the shared CLI flags describe."""
-    budget = None
-    if (
-        getattr(args, "job_seconds", None) is not None
-        or getattr(args, "phase_seconds", None) is not None
-        or getattr(args, "max_steps", None) is not None
-    ):
-        budget = Budget(
-            job_seconds=getattr(args, "job_seconds", None),
-            phase_seconds=getattr(args, "phase_seconds", None),
-            max_steps=getattr(args, "max_steps", None),
+    """Build the :class:`RunConfig` the shared CLI flags describe.
+
+    ``--config FILE`` seeds the config from a JSON
+    :meth:`RunConfig.as_dict` payload; every explicit flag then overrides
+    the matching field on top of it.
+    """
+    import json
+    from dataclasses import replace as dc_replace
+
+    cfg = RunConfig()
+    path = getattr(args, "config", None)
+    if path:
+        with open(path) as handle:
+            cfg = RunConfig.from_dict(json.load(handle))
+
+    job_seconds = getattr(args, "job_seconds", None)
+    phase_seconds = getattr(args, "phase_seconds", None)
+    max_steps = getattr(args, "max_steps", None)
+    if job_seconds is not None or phase_seconds is not None or max_steps is not None:
+        base = cfg.budget or Budget()
+        cfg = cfg.replace(
+            budget=Budget(
+                job_seconds=job_seconds if job_seconds is not None else base.job_seconds,
+                phase_seconds=(
+                    phase_seconds if phase_seconds is not None else base.phase_seconds
+                ),
+                max_steps=max_steps if max_steps is not None else base.max_steps,
+            )
         )
-    max_retries = getattr(args, "max_retries", None)
-    retry = RetryPolicy(
-        max_retries=(
-            max_retries if max_retries is not None else RetryPolicy.max_retries
-        ),
-        job_timeout_seconds=getattr(args, "job_timeout", None),
-    )
-    return RunConfig(
-        budget=budget,
-        retry=retry,
-        workers=getattr(args, "workers", None) or 1,
-        cache_dir=getattr(args, "cache_dir", None),
-    )
+
+    retry_overrides: dict = {}
+    if getattr(args, "max_retries", None) is not None:
+        retry_overrides["max_retries"] = args.max_retries
+    if getattr(args, "job_timeout", None) is not None:
+        retry_overrides["job_timeout_seconds"] = args.job_timeout
+    if retry_overrides:
+        cfg = cfg.replace(retry=dc_replace(cfg.retry, **retry_overrides))
+
+    if getattr(args, "workers", None) is not None:
+        cfg = cfg.replace(workers=args.workers)
+    if getattr(args, "cache_dir", None) is not None:
+        cfg = cfg.replace(cache_dir=args.cache_dir)
+    return cfg
 
 
 def _trace_scope(args: argparse.Namespace):
@@ -330,6 +351,70 @@ def _cmd_systems(args: argparse.Namespace) -> int:
     return 0
 
 
+def _system_parent() -> argparse.ArgumentParser:
+    """Shared input-selection arguments (``parents=`` building block)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("polynomials", nargs="*", help="polynomial expressions")
+    parent.add_argument("--system", help="name of a built-in benchmark system")
+    parent.add_argument("--width", type=int, default=16, help="bit-vector width")
+    return parent
+
+
+def _governance_parent() -> argparse.ArgumentParser:
+    """Shared RunConfig flags, declared once for every synthesis command."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("resource governance (RunConfig)")
+    group.add_argument(
+        "--config",
+        metavar="FILE",
+        help="seed the RunConfig from a JSON file (a RunConfig.as_dict "
+        "payload); the flags below override its fields individually",
+    )
+    group.add_argument(
+        "--job-seconds",
+        type=float,
+        help="cooperative wall-clock budget per synthesis job (graceful "
+        "degradation on overrun)",
+    )
+    group.add_argument(
+        "--phase-seconds",
+        type=float,
+        help="cooperative wall-clock budget per synthesis phase",
+    )
+    group.add_argument(
+        "--max-steps",
+        type=int,
+        help="deterministic step-count fuse across the flow's hot loops",
+    )
+    group.add_argument(
+        "--job-timeout",
+        type=float,
+        help="hard per-job timeout for pooled batch jobs (worker killed, "
+        "job rerun degraded)",
+    )
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        help="retry attempts for crashed or failing batch jobs (default: 2)",
+    )
+    return parent
+
+
+def _observability_parent() -> argparse.ArgumentParser:
+    """Shared tracing/metrics flags (``parents=`` building block)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace-out",
+        help="write a Chrome trace-event JSON of the run to this file",
+    )
+    parent.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the metrics registry (Prometheus text format)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -337,62 +422,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_system_options(p: argparse.ArgumentParser) -> None:
-        p.add_argument("polynomials", nargs="*", help="polynomial expressions")
-        p.add_argument("--system", help="name of a built-in benchmark system")
-        p.add_argument("--width", type=int, default=16, help="bit-vector width")
+    system = _system_parent()
+    governance = _governance_parent()
+    observability = _observability_parent()
 
-    def add_run_config_options(p: argparse.ArgumentParser) -> None:
-        group = p.add_argument_group("resource governance (RunConfig)")
-        group.add_argument(
-            "--job-seconds",
-            type=float,
-            help="cooperative wall-clock budget per synthesis job (graceful "
-            "degradation on overrun)",
-        )
-        group.add_argument(
-            "--phase-seconds",
-            type=float,
-            help="cooperative wall-clock budget per synthesis phase",
-        )
-        group.add_argument(
-            "--max-steps",
-            type=int,
-            help="deterministic step-count fuse across the flow's hot loops",
-        )
-        group.add_argument(
-            "--job-timeout",
-            type=float,
-            help="hard per-job timeout for pooled batch jobs (worker killed, "
-            "job rerun degraded)",
-        )
-        group.add_argument(
-            "--max-retries",
-            type=int,
-            help="retry attempts for crashed or failing batch jobs "
-            "(default: 2)",
-        )
-
-    def add_observability_options(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--trace-out",
-            help="write a Chrome trace-event JSON of the run to this file",
-        )
-        p.add_argument(
-            "--stats",
-            action="store_true",
-            help="print the metrics registry (Prometheus text format)",
-        )
-
-    p = sub.add_parser("synthesize", help="run the integrated flow")
-    add_system_options(p)
-    add_run_config_options(p)
-    add_observability_options(p)
+    p = sub.add_parser(
+        "synthesize",
+        parents=[system, governance, observability],
+        help="run the integrated flow",
+    )
     p.set_defaults(func=_cmd_synthesize)
 
-    p = sub.add_parser("compare", help="compare all methods")
-    add_system_options(p)
-    add_run_config_options(p)
+    p = sub.add_parser(
+        "compare", parents=[system, governance], help="compare all methods"
+    )
     p.add_argument("--markdown", action="store_true", help="emit a Markdown table")
     p.add_argument(
         "--methods",
@@ -410,9 +453,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("polynomial")
     p.set_defaults(func=_cmd_factor)
 
-    p = sub.add_parser("verilog", help="synthesize and emit Verilog")
-    add_system_options(p)
-    add_run_config_options(p)
+    p = sub.add_parser(
+        "verilog", parents=[system, governance], help="synthesize and emit Verilog"
+    )
     p.add_argument("--module", default="datapath", help="Verilog module name")
     p.add_argument(
         "--testbench", action="store_true", help="also emit a self-checking testbench"
@@ -431,7 +474,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("methods", help="list registered synthesis methods")
     p.set_defaults(func=_cmd_methods)
 
-    p = sub.add_parser("batch", help="batch-synthesize systems via the engine")
+    p = sub.add_parser(
+        "batch",
+        parents=[governance, observability],
+        help="batch-synthesize systems via the engine",
+    )
     p.add_argument(
         "--systems",
         help="comma-separated benchmark system names "
@@ -441,7 +488,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", default="proposed", help="registered method to run"
     )
     p.add_argument(
-        "--workers", type=int, default=1, help="process pool size (1 = in-process)"
+        "--workers",
+        type=int,
+        help="process pool size (default: 1 = in-process)",
     )
     p.add_argument(
         "--cache-dir", help="directory for the on-disk result cache (optional)"
@@ -452,12 +501,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run the batch N times (N>1 demonstrates warm-cache hit rates)",
     )
-    add_run_config_options(p)
-    add_observability_options(p)
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
-        "fuzz", help="differential fuzzing of every registered method"
+        "fuzz",
+        parents=[governance, observability],
+        help="differential fuzzing of every registered method",
     )
     p.add_argument("--seed", type=int, default=0, help="master sweep seed")
     p.add_argument(
@@ -490,15 +539,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the area-monotonicity cross-check",
     )
-    add_run_config_options(p)
-    add_observability_options(p)
     p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser(
-        "trace", help="run the flow under the span tracer and export the trace"
+        "trace",
+        parents=[system, governance],
+        help="run the flow under the span tracer and export the trace",
     )
-    add_system_options(p)
-    add_run_config_options(p)
     p.add_argument(
         "--out", default="trace.json", help="Chrome trace-event JSON output file"
     )

@@ -6,12 +6,14 @@
 >>> print(result.op_count)
 8 MULT, 1 ADD
 
-Everything a typical caller needs is importable from here (and from the
-top-level :mod:`repro` package): the one-shot helpers below plus the
-re-exported :class:`~repro.config.RunConfig`,
+This module *is* the supported API: everything a caller needs — the
+one-shot helpers below, :class:`~repro.config.RunConfig`,
 :class:`~repro.engine.BatchEngine` / :class:`~repro.engine.BatchReport`,
-and :class:`~repro.obs.Tracer`.  Deeper modules remain importable but
-are implementation surface, not the supported API.
+:class:`~repro.obs.Tracer`, the parsers, and the system/signature types
+— is importable from here, and the top-level :mod:`repro` package simply
+re-exports this surface.  Deeper modules remain importable but are
+implementation surface, not the supported API; ``__all__`` here is the
+compatibility contract.
 """
 
 from __future__ import annotations
@@ -19,9 +21,16 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 
-from repro.baselines import available_methods, get_method
+from repro.baselines import available_methods, get_method, register_method
 from repro.config import RetryPolicy, RunConfig, as_run_config
-from repro.core import Budget, SynthesisOptions, SynthesisResult, synthesize
+from repro.core import (
+    Budget,
+    Degradation,
+    SynthesisOptions,
+    SynthesisResult,
+    Timings,
+    synthesize,
+)
 from repro.cost import (
     DEFAULT_MODEL,
     HardwareReport,
@@ -31,26 +40,40 @@ from repro.cost import (
 from repro.engine import BatchEngine, BatchJob, BatchReport, JobResult
 from repro.expr import Decomposition, OpCount
 from repro.obs import Tracer
+from repro.poly import Polynomial, parse_polynomial, parse_system
+from repro.rings import BitVectorSignature
 from repro.system import PolySystem
 
 __all__ = [
     "BatchEngine",
     "BatchJob",
     "BatchReport",
+    "BitVectorSignature",
     "Budget",
     "DEFAULT_METHODS",
+    "Decomposition",
+    "Degradation",
     "JobResult",
     "MethodOutcome",
+    "OpCount",
+    "PolySystem",
+    "Polynomial",
     "RetryPolicy",
     "RunConfig",
     "SynthesisOptions",
     "SynthesisResult",
+    "Timings",
     "Tracer",
     "TradeoffPoint",
+    "available_methods",
     "compare_methods",
     "explore_tradeoffs",
     "improvement",
     "method_outcome",
+    "parse_polynomial",
+    "parse_system",
+    "register_method",
+    "synthesize",
     "synthesize_system",
 ]
 
@@ -72,29 +95,15 @@ DEFAULT_METHODS: tuple[str, ...] = ("direct", "horner", "factor+cse", "proposed"
 def synthesize_system(
     system: PolySystem,
     config: RunConfig | SynthesisOptions | None = None,
-    *,
-    options: SynthesisOptions | None = None,
 ) -> SynthesisResult:
     """Run the paper's integrated flow (Algorithm 7) on a PolySystem.
 
     ``config`` is a :class:`~repro.config.RunConfig` — options plus an
     optional :class:`~repro.core.Budget`; a bare
-    :class:`~repro.core.SynthesisOptions` is accepted positionally for
-    compatibility and wrapped.  The ``options=`` keyword is deprecated.
+    :class:`~repro.core.SynthesisOptions` is accepted positionally and
+    wrapped.  The deprecated ``options=`` keyword completed its
+    one-release cycle and was removed; passing it is a ``TypeError``.
     """
-    if options is not None:
-        if config is not None:
-            raise TypeError(
-                "synthesize_system() takes either a config or the deprecated "
-                "options= keyword, not both"
-            )
-        warnings.warn(
-            "synthesize_system(options=...) is deprecated; pass the options "
-            "positionally or inside a RunConfig",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        config = options
     cfg = as_run_config(config)
     return synthesize(
         list(system.polys), system.signature, cfg.options, budget=cfg.budget

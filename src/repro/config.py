@@ -16,9 +16,12 @@ and the CLI.  Instead there is exactly one frozen, serializable object:
 
 Everything that runs synthesis accepts it: ``synthesize_system(system,
 cfg)``, ``BatchEngine(cfg)``, and every CLI subcommand (via the shared
-``--job-seconds``/``--max-retries``/... flags).  The old scattered
-keyword arguments keep working for one release behind
-``DeprecationWarning`` shims (see :func:`as_run_config`).
+``--job-seconds``/``--max-retries``/... flags and ``--config file.json``).
+The pre-PR-4 scattered keyword arguments finished their one-release
+deprecation window and were removed; :func:`as_run_config` still coerces
+``None``, a bare :class:`~repro.core.SynthesisOptions`, or an
+``as_dict`` payload, and :meth:`RunConfig.replace` derives tweaked
+copies.
 
 The object is a *policy*, not runtime state: it round-trips through
 :meth:`RunConfig.as_dict`/:meth:`RunConfig.from_dict` so the batch
@@ -32,6 +35,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import asdict, dataclass, field, fields
+from dataclasses import replace as dc_replace
 from typing import Any
 
 from repro.core import SynthesisOptions
@@ -105,6 +109,18 @@ class RunConfig:
     workers: int = 1
     cache_size: int = 256
     cache_dir: str | None = None
+
+    def replace(self, **overrides: Any) -> "RunConfig":
+        """A copy with the given fields swapped out (the config is frozen).
+
+        >>> RunConfig(workers=4).replace(cache_size=64).workers
+        4
+        """
+        names = {f.name for f in fields(self)}
+        unknown = sorted(set(overrides) - names)
+        if unknown:
+            raise TypeError(f"RunConfig has no field(s) {unknown}")
+        return dc_replace(self, **overrides)
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-safe representation (the worker-payload round-trip unit)."""

@@ -44,6 +44,7 @@ from .synth import (
     SynthesisResult,
     assemble_decomposition,
     best_expression,
+    clear_synthesis_caches,
     direct_cost,
     refactored_expression,
     synthesize,
@@ -69,6 +70,7 @@ __all__ = [
     "candidate_gcds",
     "canonical_representations",
     "cce_representation",
+    "clear_synthesis_caches",
     "common_coefficient_extraction",
     "cube_extraction",
     "current_deadline",

@@ -18,7 +18,7 @@ from repro.obs import current_tracer
 from repro.poly import Polynomial, divmod_poly
 
 from .blocks import BlockRegistry
-from .budget import current_deadline
+from .budget import CHECK_STRIDE, current_deadline
 
 
 def divide_by_block(
@@ -34,6 +34,15 @@ def divide_by_block(
     quotient at all.  The identity ``result[block := divisor] == poly``
     holds exactly.
     """
+    if divisor_ground.vars != poly.vars:
+        # Align the operands once up front: the recursion below divides
+        # the quotient (already over these variables) by the same divisor
+        # repeatedly, and per-level re-unification was a dominant cost of
+        # the division phase.
+        if set(divisor_ground.used_vars()) <= set(poly.vars):
+            divisor_ground = divisor_ground.with_vars(poly.vars)
+        else:
+            poly, divisor_ground = Polynomial.unify(poly, divisor_ground)
     quotient, remainder = divmod_poly(poly, divisor_ground)
     if quotient.is_zero:
         return None
@@ -60,10 +69,16 @@ def division_candidates(
     candidates: list[tuple[int, Polynomial]] = []
     poly_vars = set(ground_poly.used_vars())
     deadline = current_deadline()
+    ticking = deadline.enabled
+    pending = 0
     with current_tracer().span("algdiv/divide") as span:
         divisors = 0
         for name, divisor in registry.linear_blocks():
-            deadline.tick(site="algdiv/divide")
+            if ticking:
+                pending += 1
+                if pending >= CHECK_STRIDE:
+                    deadline.tick(pending, site="algdiv/divide")
+                    pending = 0
             if name in ground_poly.vars and ground_poly.degree(name) > 0:
                 continue
             if not set(divisor.used_vars()) <= poly_vars:
@@ -77,6 +92,8 @@ def division_candidates(
             # Rank: strongly prefer representations with fewer terms (more of
             # the polynomial folded into the block structure).
             candidates.append((len(rewritten), rewritten))
+        if ticking and pending:
+            deadline.tick(pending, site="algdiv/divide")
         span.count(divisors=divisors, candidates=len(candidates))
     candidates.sort(key=lambda item: item[0])
     return [poly for _, poly in candidates[:max_candidates]]
@@ -102,15 +119,30 @@ def refine_block_definitions(registry: BlockRegistry) -> int:
 
 def _refine_block_definitions(registry: BlockRegistry, divide_out_all) -> int:
     deadline = current_deadline()
+    ticking = deadline.enabled
+    pending = 0
     rewritten = 0
     for name in list(registry.defs):
         ground = registry.ground[name]
         if ground.is_linear:
             continue
         best: Polynomial | None = None
+        ground_used = set(ground.used_vars())
+        ground_degree = ground.total_degree()
         for divisor_name, divisor in registry.linear_blocks():
-            deadline.tick(site="algdiv/refine")
+            if ticking:
+                pending += 1
+                if pending >= CHECK_STRIDE:
+                    deadline.tick(pending, site="algdiv/refine")
+                    pending = 0
             if divisor_name == name:
+                continue
+            # Exact divisibility over Z needs every divisor variable to
+            # appear in the dividend (a product cannot erase a variable)
+            # and cannot raise the total degree — reject without dividing.
+            if divisor.total_degree() > ground_degree:
+                continue
+            if not set(divisor.used_vars()) <= ground_used:
                 continue
             reduced, multiplicity = divide_out_all(ground, divisor)
             if multiplicity == 0:
@@ -123,4 +155,6 @@ def _refine_block_definitions(registry: BlockRegistry, divide_out_all) -> int:
         if best is not None and len(best) < len(registry.defs[name]):
             registry.rewrite_definition(name, best)
             rewritten += 1
+    if ticking and pending:
+        deadline.tick(pending, site="algdiv/refine")
     return rewritten

@@ -207,7 +207,13 @@ class Deadline:
     # -- cooperative checks ----------------------------------------------
 
     def tick(self, n: int = 1, site: str = "") -> None:
-        """Consume ``n`` steps; check the wall clock every few calls."""
+        """Consume ``n`` steps; check the wall clock every few steps.
+
+        Hot loops may batch: calling ``tick(64)`` once consumes the same
+        steps — and consults the wall clock on the same cadence — as 64
+        ``tick()`` calls, because the stride countdown is denominated in
+        steps, not calls.
+        """
         if not self._armed:
             return
         self.steps += n
@@ -219,7 +225,7 @@ class Deadline:
                 site=site,
                 limit="steps",
             )
-        self._countdown -= 1
+        self._countdown -= n
         if self._countdown <= 0:
             self._countdown = CHECK_STRIDE
             self.check(site)

@@ -21,7 +21,7 @@ from repro.obs import current_tracer
 from repro.poly import Polynomial
 
 from .blocks import BlockRegistry
-from .budget import current_deadline
+from .budget import CHECK_STRIDE, current_deadline
 
 
 def exposed_linear_kernels(poly: Polynomial) -> list[Polynomial]:
@@ -48,12 +48,19 @@ def cube_extraction(
     found.
     """
     deadline = current_deadline()
+    ticking = deadline.enabled
+    pending = 0
     names: list[str] = []
     seen: set[Polynomial] = set()
 
     def harvest(poly: Polynomial) -> None:
+        nonlocal pending
         for kernel in exposed_linear_kernels(poly):
-            deadline.tick(site="cube_extract/harvest")
+            if ticking:
+                pending += 1
+                if pending >= CHECK_STRIDE:
+                    deadline.tick(pending, site="cube_extract/harvest")
+                    pending = 0
             ground = registry.expand(kernel).trim()
             if not ground.is_linear or ground.is_constant or ground.is_zero:
                 continue
@@ -72,6 +79,8 @@ def cube_extraction(
                 harvest(expanded)
         for block_name in list(registry.defs):
             harvest(registry.ground[block_name])
+        if ticking and pending:
+            deadline.tick(pending, site="cube_extract/harvest")
         span.count(kernels=len(names))
     return names
 

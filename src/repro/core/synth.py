@@ -134,13 +134,49 @@ def _retag_vars(expr: Expr, block_names: set[str]) -> Expr:
     return expr
 
 
+#: Content-keyed memo for :func:`best_expression`.  The combination
+#: search assembles each scored combination from largely identical rows
+#: (block definitions repeat verbatim, output rows repeat across descent
+#: trials), so the same row never pays for Horner refactoring twice.
+#: Keyed by the *trimmed* (variable order, term set) identity: the
+#: expression depends on the relative order of used variables (operand
+#: ordering) but not on padding or term-dict order — sum-of-products
+#: rendering sorts terms, and Horner splits are content-driven.
+#: Expressions are immutable, making sharing safe.  Bounded by
+#: wholesale clearing.
+_BEST_EXPR_CACHE: dict[tuple, Expr] = {}
+_BEST_EXPR_CACHE_MAX = 16384
+
+
+def clear_synthesis_caches() -> None:
+    """Drop all content-keyed memos of the synthesis flow.
+
+    Tests use this to compare cold runs against memoized runs; results
+    must be identical either way (the caches are keyed by mathematical
+    content and hold immutable values).
+    """
+    from repro.cse.kernels import clear_kernel_cache
+
+    _BEST_EXPR_CACHE.clear()
+    clear_kernel_cache()
+
+
 def best_expression(poly: Polynomial) -> Expr:
     """The cheaper of the direct SOP and the greedy Horner form."""
+    trimmed = poly.trim()
+    key = (trimmed.vars, frozenset(trimmed.terms.items()))
+    hit = _BEST_EXPR_CACHE.get(key)
+    if hit is not None:
+        return hit
     direct = expr_from_polynomial(poly)
     horner = horner_greedy(poly)
+    best = direct
     if _op_weight(expr_op_count(horner)) < _op_weight(expr_op_count(direct)):
-        return horner
-    return direct
+        best = horner
+    if len(_BEST_EXPR_CACHE) >= _BEST_EXPR_CACHE_MAX:
+        _BEST_EXPR_CACHE.clear()
+    _BEST_EXPR_CACHE[key] = best
+    return best
 
 
 def refactored_expression(poly: Polynomial, block_names: set[str]) -> Expr:
@@ -644,15 +680,25 @@ def _synthesize_flow(
 
     # Phase 6: combination search (Fig. 14.1c).
     cache: dict[tuple[int, ...], tuple[float, Decomposition]] = {}
+    content_cache: dict[tuple, tuple[float, Decomposition]] = {}
     scored_counter = 0
 
     def score_indices(indices: tuple[int, ...]) -> tuple[float, Decomposition]:
         nonlocal scored_counter
-        if indices not in cache:
+        hit = cache.get(indices)
+        if hit is None:
             chosen = [lists[i][j] for i, j in enumerate(indices)]
-            cache[indices] = _score(chosen, registry, options, signature)
-            scored_counter += 1
-        return cache[indices]
+            # Second-level, content-hash key: distinct index tuples can
+            # select mathematically identical rows (representation lists
+            # share members across polynomials in shifted-copy systems).
+            key = tuple(rep.poly for rep in chosen)
+            hit = content_cache.get(key)
+            if hit is None:
+                hit = _score(chosen, registry, options, signature)
+                content_cache[key] = hit
+                scored_counter += 1
+            cache[indices] = hit
+        return hit
 
     with _phase(timings, tracer, "search", deadline) as clock:
         sizes = [len(reps) for reps in lists]
@@ -662,18 +708,46 @@ def _synthesize_flow(
             if total > options.exhaustive_limit:
                 break
 
+        # Surrogate weights for branch-and-bound pruning: the standalone
+        # (pre-CSE) weighted cost of each representation, closure
+        # included.  Final CSE can only *remove* shared work, so a
+        # combination whose surrogate total is several times the best
+        # scored combination's surrogate is dominated — the shared-term
+        # pool it offers is a subset of what cheaper members already
+        # provide — and scoring it (a full CSE run) is wasted budget.
+        # The prune is deterministic and independent of the memo caches,
+        # so memoized and cold searches visit identical combinations.
+        weights = [
+            [_standalone_weight(rep.poly, registry) for rep in reps]
+            for reps in lists
+        ]
+
         try:
             if total <= options.exhaustive_limit:
                 best_indices = None
                 best_cost = None
+                best_surrogate = None
                 for indices in product(*(range(s) for s in sizes)):
+                    surrogate = sum(
+                        row[j] for row, j in zip(weights, indices)
+                    )
+                    if (
+                        best_surrogate is not None
+                        and surrogate > _PRUNE_FACTOR * best_surrogate
+                    ):
+                        continue
                     cost, _ = score_indices(indices)
                     if best_cost is None or cost < best_cost:
                         best_cost = cost
                         best_indices = indices
+                        best_surrogate = surrogate
+                    elif surrogate < best_surrogate:
+                        # Track the cheapest surrogate among scored
+                        # combinations so the bound only tightens.
+                        best_surrogate = surrogate
             else:
                 best_indices, best_cost = _seeded_descent(
-                    lists, sizes, registry, options, score_indices
+                    lists, sizes, weights, options, score_indices
                 )
         except BudgetExceeded as exc:
             # Out of budget mid-search: settle for the best combination
@@ -746,9 +820,18 @@ def _synthesize_flow(
     )
 
 
+#: Branch-and-bound prune margin for the combination search: skip scoring
+#: a combination whose standalone-weight surrogate exceeds this multiple
+#: of the best scored combination's surrogate.  The surrogate is an upper
+#: envelope (final CSE only removes work), so the factor is deliberately
+#: generous — the prune should only drop combinations that are dominated
+#: beyond any plausible sharing gain.
+_PRUNE_FACTOR = 3.0
+
+
 def _search_seeds(
     lists: list[list[Representation]],
-    registry: BlockRegistry,
+    weights: list[list[int]],
 ) -> list[tuple[int, ...]]:
     """Starting points for the descent search.
 
@@ -766,9 +849,9 @@ def _search_seeds(
     seeds: list[tuple[int, ...]] = []
     for family in families:
         indices = []
-        for reps in lists:
+        for i, reps in enumerate(lists):
             members = [
-                (j, _standalone_weight(rep.poly, registry))
+                (j, weights[i][j])
                 for j, rep in enumerate(reps)
                 if rep.tag.startswith(family) or (family != "original" and family in rep.tag)
             ]
@@ -778,11 +861,8 @@ def _search_seeds(
                 indices.append(0)  # original is always first
         seeds.append(tuple(indices))
     cheapest = tuple(
-        min(
-            range(len(reps)),
-            key=lambda j: _standalone_weight(reps[j].poly, registry),
-        )
-        for reps in lists
+        min(range(len(reps)), key=lambda j: weights[i][j])
+        for i, reps in enumerate(lists)
     )
     seeds.append(cheapest)
     return list(dict.fromkeys(seeds))
@@ -791,14 +871,20 @@ def _search_seeds(
 def _seeded_descent(
     lists: list[list[Representation]],
     sizes: list[int],
-    registry: BlockRegistry,
+    weights: list[list[int]],
     options: SynthesisOptions,
     score_indices,
 ) -> tuple[tuple[int, ...], float]:
-    """Score the family seeds, then coordinate-descend from the best one."""
+    """Score the family seeds, then coordinate-descend from the best one.
+
+    Single-coordinate moves whose surrogate weight regresses the current
+    combination beyond the branch-and-bound margin are pruned without
+    scoring (see :data:`_PRUNE_FACTOR`) — the saved budget goes to moves
+    that can plausibly win.
+    """
     best_indices: tuple[int, ...] | None = None
     best_cost: float | None = None
-    for seed in _search_seeds(lists, registry):
+    for seed in _search_seeds(lists, weights):
         cost, _ = score_indices(seed)
         if best_cost is None or cost < best_cost:
             best_cost = cost
@@ -807,11 +893,20 @@ def _seeded_descent(
     # Coordinate descent, budgeted for large systems.
     budget = options.descent_budget
     scored = 0
+    best_surrogate = sum(
+        row[j] for row, j in zip(weights, best_indices)
+    )
+    bound = _PRUNE_FACTOR * best_surrogate
     for _ in range(options.descent_sweeps):
         improved = False
         for i in range(len(lists)):
             for j in range(sizes[i]):
                 if j == best_indices[i]:
+                    continue
+                trial_surrogate = (
+                    best_surrogate - weights[i][best_indices[i]] + weights[i][j]
+                )
+                if trial_surrogate > bound:
                     continue
                 trial = best_indices[:i] + (j,) + best_indices[i + 1:]
                 cost, _ = score_indices(trial)
@@ -819,6 +914,8 @@ def _seeded_descent(
                 if cost < best_cost:
                     best_cost = cost
                     best_indices = trial
+                    best_surrogate = trial_surrogate
+                    bound = _PRUNE_FACTOR * best_surrogate
                     improved = True
                 if scored >= budget:
                     return best_indices, best_cost

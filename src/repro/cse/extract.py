@@ -46,6 +46,13 @@ def _current_deadline():
     return current_deadline()
 
 
+def _deadline_stride():
+    """(ambient deadline, CHECK_STRIDE) — lazy for the same cycle reason."""
+    from repro.core.budget import CHECK_STRIDE, current_deadline
+
+    return current_deadline(), CHECK_STRIDE
+
+
 @dataclass
 class CseResult:
     """Rewritten system plus the building blocks CSE introduced."""
@@ -101,6 +108,13 @@ class _CubeCandidate:
 class _Extractor:
     """One CSE run over a system of polynomials."""
 
+    #: How many block-variable columns are reserved at a time.  Extending
+    #: the variable tuple re-pads every polynomial's exponent tuples, and
+    #: a changed tuple also misses the kernel memo's aligned cache — so
+    #: slots are claimed from a pre-reserved chunk and the expensive
+    #: re-pad happens once per chunk instead of once per extraction.
+    _SLOT_CHUNK = 16
+
     def __init__(
         self,
         polys: Sequence[Polynomial],
@@ -122,18 +136,30 @@ class _Extractor:
         self.enable_kernels = enable_kernels
         self.enable_cubes = enable_cubes
         self.enable_rectangles = enable_rectangles
+        self._next_slot = len(self.vars)
 
     # -- candidate generation ------------------------------------------
 
-    def _kernel_rows(self) -> list[tuple[int, Exponents, Polynomial]]:
+    def _kernel_rows(self) -> list[tuple[int, Exponents, Polynomial, frozenset]]:
+        """(poly index, co-kernel, kernel, kernel term-set) rows.
+
+        The frozenset of ``(exponents, coeff)`` items rides along so the
+        candidate-intersection and occurrence-matching steps run as
+        C-speed set operations instead of per-term dict probing.
+        """
         rows = []
         for index, poly in enumerate(self.polys):
             for entry in all_kernels(poly):
-                rows.append((index, entry.cokernel, entry.kernel))
+                rows.append((
+                    index,
+                    entry.cokernel,
+                    entry.kernel,
+                    frozenset(entry.kernel.terms.items()),
+                ))
         return rows
 
     def _kernel_candidates(
-        self, rows: list[tuple[int, Exponents, Polynomial]]
+        self, rows: list[tuple[int, Exponents, Polynomial, frozenset]]
     ) -> list[_KernelCandidate]:
         pool: dict[frozenset, Polynomial] = {}
 
@@ -147,26 +173,56 @@ class _Extractor:
         # Deduplicate kernels (shifted-copy systems repeat them massively)
         # before the quadratic pairwise-intersection step.
         unique: dict[frozenset, Polynomial] = {}
-        for _, _, kernel in rows:
-            unique.setdefault(frozenset(kernel.terms.items()), kernel)
-        kernels = list(unique.values())
-        for kernel in kernels:
+        for _, _, kernel, fs in rows:
+            unique.setdefault(fs, kernel)
+        for kernel in unique.values():
             add(kernel)
-        deadline = _current_deadline()
-        for left, right in combinations(range(len(kernels)), 2):
-            deadline.tick(site="cse/kernel_pairs")
-            a, b = kernels[left], kernels[right]
-            shared = {
-                e: c for e, c in a.terms.items() if b.terms.get(e) == c
-            }
-            if len(shared) >= 2:
-                add(Polynomial(self.vars, shared))
-            # Also try the sign-flipped overlap (x - y vs y - x).
-            flipped = {
-                e: c for e, c in a.terms.items() if b.terms.get(e) == -c
-            }
-            if len(flipped) >= 2:
-                add(Polynomial(self.vars, flipped))
+        term_sets = list(unique)
+        negated = [frozenset((e, -c) for e, c in fs) for fs in term_sets]
+        deadline, stride = _deadline_stride()
+        ticking = deadline.enabled
+        pending = 0
+        variables = self.vars
+        # Inverted index over term items: a useful overlap needs >= 2
+        # shared terms, and under 1% of all kernel pairs have even one —
+        # counting co-occurrences through posting lists visits only the
+        # pairs that share something, instead of the full quadratic sweep.
+        posting: dict = {}
+        for i, fs in enumerate(term_sets):
+            for item in fs:
+                posting.setdefault(item, []).append(i)
+        for i, fs_a in enumerate(term_sets):
+            counts: dict[int, int] = {}
+            flip_counts: dict[int, int] = {}
+            work = 0
+            for item in fs_a:
+                for j in posting.get(item, ()):
+                    if j > i:
+                        counts[j] = counts.get(j, 0) + 1
+                        work += 1
+                exps, coeff = item
+                for j in posting.get((exps, -coeff), ()):
+                    if j > i:
+                        flip_counts[j] = flip_counts.get(j, 0) + 1
+                        work += 1
+            if ticking:
+                pending += work + 1
+                if pending >= stride:
+                    deadline.tick(pending, site="cse/kernel_pairs")
+                    pending = 0
+            # Ascending partner order keeps candidate-pool insertion (and
+            # thus greedy tie-breaking) identical to the full pairwise
+            # sweep this replaces, independent of frozenset hash order.
+            for j in sorted(counts):
+                if counts[j] >= 2:
+                    add(Polynomial._raw(variables, dict(fs_a & term_sets[j])))
+                if flip_counts.get(j, 0) >= 2:
+                    add(Polynomial._raw(variables, dict(fs_a & negated[j])))
+            for j in sorted(flip_counts):
+                if j not in counts and flip_counts[j] >= 2:
+                    add(Polynomial._raw(variables, dict(fs_a & negated[j])))
+        if ticking and pending:
+            deadline.tick(pending, site="cse/kernel_pairs")
         # k-way intersections via prime rectangles of the kernel-cube
         # matrix (pairwise overlap misses bodies shared by 3+ rows only
         # partially; the KCM's rectangles capture them exactly).
@@ -176,7 +232,7 @@ class _Extractor:
         return [_KernelCandidate(body) for body in pool.values()]
 
     def _rectangle_bodies(
-        self, rows: list[tuple[int, Exponents, Polynomial]]
+        self, rows: list[tuple[int, Exponents, Polynomial, frozenset]]
     ) -> list[Polynomial]:
         from .kcm import KcmRow, KernelCubeMatrix, best_rectangles
 
@@ -184,7 +240,7 @@ class _Extractor:
         columns: list[tuple[Exponents, int]] = []
         column_index: dict[tuple[Exponents, int], int] = {}
         incidence: list[set[int]] = []
-        for index, cokernel, kernel in rows:
+        for index, cokernel, kernel, _ in rows:
             kcm_rows.append(KcmRow(index, cokernel))
             present: set[int] = set()
             for exps, coeff in kernel.terms.items():
@@ -247,10 +303,16 @@ class _Extractor:
                     monomials.add(exps)
                 if abs(coeff) != 1 and mono_literal_count(exps) >= 1:
                     coeff_terms.add((abs(coeff), exps))
-        deadline = _current_deadline()
+        deadline, stride = _deadline_stride()
+        ticking = deadline.enabled
+        pending = 0
         sparse_monos = [self._sparse(e) for e in sorted(monomials)]
         for a, b in combinations(sparse_monos, 2):
-            deadline.tick(site="cse/cube_pairs")
+            if ticking:
+                pending += 1
+                if pending >= stride:
+                    deadline.tick(pending, site="cse/cube_pairs")
+                    pending = 0
             shared = self._shared_cube(a, b, 2)
             if shared is not None:
                 pool.add(_CubeCandidate(1, shared))
@@ -262,31 +324,38 @@ class _Extractor:
                 continue
             sparse_group = [self._sparse(e) for e in sorted(group)]
             for a, b in combinations(sparse_group, 2):
-                deadline.tick(site="cse/coeff_cube_pairs")
+                if ticking:
+                    pending += 1
+                    if pending >= stride:
+                        deadline.tick(pending, site="cse/coeff_cube_pairs")
+                        pending = 0
                 shared = self._shared_cube(a, b, 1)
                 if shared is not None:
                     pool.add(_CubeCandidate(coeff, shared))
-        return list(pool)
+        if ticking and pending:
+            deadline.tick(pending, site="cse/cube_pairs")
+        # Deterministic, padding-invariant order: set iteration would vary
+        # with the (reserve-chunk dependent) arity of the exponent tuples,
+        # making greedy tie-breaks depend on memory layout.
+        return sorted(pool, key=lambda c: (c.coeff, self._sparse(c.exps)))
 
     # -- kernel candidate matching / application ------------------------
 
     def _kernel_matches(
         self,
         candidate: _KernelCandidate,
-        rows: list[tuple[int, Exponents, Polynomial]],
+        rows: list[tuple[int, Exponents, Polynomial, frozenset]],
     ) -> list[tuple[int, Exponents, int]]:
         """All (poly index, co-kernel, sign) occurrences of the candidate."""
         matches = []
         seen: set[tuple[int, Exponents, int]] = set()
-        body = candidate.body.terms
-        body_size = len(body)
-        for index, cokernel, kernel in rows:
-            terms = kernel.terms
-            if len(terms) < body_size:
-                continue
-            if all(terms.get(e) == c for e, c in body.items()):
+        body_items = candidate.body.terms.items()
+        body_set = frozenset(body_items)
+        negated = frozenset((e, -c) for e, c in body_items)
+        for index, cokernel, _, term_set in rows:
+            if body_set <= term_set:
                 key = (index, cokernel, 1)
-            elif all(terms.get(e) == -c for e, c in body.items()):
+            elif negated <= term_set:
                 key = (index, cokernel, -1)
             else:
                 continue
@@ -319,25 +388,21 @@ class _Extractor:
                 planned.append((index, cokernel, sign, covered))
         if len(planned) < 2:
             return 0
-        name = self._fresh_name()
-        new_vars = self.vars + (name,)
-        new_polys: list[Polynomial] = []
-        for index, poly in enumerate(self.polys):
-            padded = {e + (0,): c for e, c in poly.terms.items()}
-            new_polys.append(Polynomial(new_vars, padded))
+        name, slot, pad = self._claim_slot()
+        new_polys = list(self.polys)
         for index, cokernel, sign, covered in planned:
             terms = dict(new_polys[index].terms)
             for target in covered:
-                del terms[target + (0,)]
-            block_exps = cokernel + (1,)
+                del terms[target + pad]
+            full = cokernel + pad
+            block_exps = full[:slot] + (1,) + full[slot + 1:]
             total = terms.get(block_exps, 0) + sign
             if total:
                 terms[block_exps] = total
             else:
                 terms.pop(block_exps, None)
-            new_polys[index] = Polynomial(new_vars, terms)
+            new_polys[index] = Polynomial._raw(self.vars, terms)
         self.blocks[name] = candidate.body
-        self.vars = new_vars
         self.polys = new_polys
         return len(planned)
 
@@ -420,34 +485,76 @@ class _Extractor:
     ) -> int:
         if len(occurrences) < 2:
             return 0
-        name = self._fresh_name()
         block_poly = Polynomial(self.vars, {candidate.exps: candidate.coeff})
-        new_vars = self.vars + (name,)
+        name, slot, pad = self._claim_slot()
         by_poly: dict[int, list[tuple[Exponents, int]]] = {}
         for index, exps, power in occurrences:
             by_poly.setdefault(index, []).append((exps, power))
-        new_polys: list[Polynomial] = []
-        for index, poly in enumerate(self.polys):
-            terms = {e + (0,): c for e, c in poly.terms.items()}
-            for exps, power in by_poly.get(index, ()):
-                old_key = exps + (0,)
-                coeff = terms.pop(old_key)
-                new_exps = tuple(
+        new_polys = list(self.polys)
+        for index, pairs in by_poly.items():
+            terms = dict(new_polys[index].terms)
+            for exps, power in pairs:
+                coeff = terms.pop(exps + pad)
+                base = tuple(
                     e - power * c for e, c in zip(exps, candidate.exps)
-                ) + (power,)
+                ) + pad
+                new_exps = base[:slot] + (power,) + base[slot + 1:]
                 new_coeff = coeff // candidate.coeff if candidate.coeff != 1 else coeff
-                terms[new_exps] = terms.get(new_exps, 0) + new_coeff
-            new_polys.append(Polynomial(new_vars, terms))
+                total = terms.get(new_exps, 0) + new_coeff
+                if total:
+                    terms[new_exps] = total
+                else:
+                    terms.pop(new_exps, None)
+            new_polys[index] = Polynomial._raw(self.vars, terms)
         self.blocks[name] = block_poly
-        self.vars = new_vars
         self.polys = new_polys
         return len(occurrences)
 
     # -- bookkeeping -----------------------------------------------------
 
-    def _fresh_name(self) -> str:
+    def _claim_slot(self) -> tuple[str, int, Exponents]:
+        """Claim one block-variable column; returns (name, index, key pad).
+
+        When the reserve is exhausted, ``_SLOT_CHUNK`` spare columns are
+        appended at once (with their future names pre-assigned, since
+        claims are sequential) and every polynomial is re-padded — that is
+        the only point where variable tuples change, so polynomials keep
+        content-stable identities across most rounds and the kernel
+        memo's aligned cache stays hot.  The returned ``pad`` is what a
+        caller must append to exponent keys computed *before* the claim
+        (empty unless this claim grew the tuple).
+        """
+        grew = 0
+        if self._next_slot >= len(self.vars):
+            spare = tuple(
+                f"{self.prefix}{self.counter + k + 1}"
+                for k in range(self._SLOT_CHUNK)
+            )
+            chunk_pad = (0,) * self._SLOT_CHUNK
+            self.vars = self.vars + spare
+            self.polys = [
+                Polynomial._raw(
+                    self.vars, {e + chunk_pad: c for e, c in p.terms.items()}
+                )
+                for p in self.polys
+            ]
+            grew = self._SLOT_CHUNK
+        slot = self._next_slot
+        self._next_slot += 1
         self.counter += 1
-        return f"{self.prefix}{self.counter}"
+        return self.vars[slot], slot, (0,) * grew
+
+    def _compact(self) -> None:
+        """Drop reserved-but-unclaimed trailing columns (all zero)."""
+        if self._next_slot >= len(self.vars):
+            return
+        keep = self._next_slot
+        vars_t = self.vars[:keep]
+        self.polys = [
+            Polynomial._raw(vars_t, {e[:keep]: c for e, c in p.terms.items()})
+            for p in self.polys
+        ]
+        self.vars = vars_t
 
     # -- the greedy loop --------------------------------------------------
 
@@ -490,6 +597,7 @@ class _Extractor:
             if not applied:
                 break
             self.rounds += 1
+        self._compact()
         return CseResult(self.polys, dict(self.blocks), self.rounds)
 
 

@@ -23,7 +23,7 @@ intersection misses).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.poly import Polynomial
@@ -51,10 +51,23 @@ class KernelCubeMatrix:
     columns: list[Cube]
     # For each row, the set of column indices present in its kernel.
     incidence: list[set[int]]
+    # Lazily-built transpose (column -> rows containing it); rectangle
+    # growth probes row coverage hundreds of times per matrix.
+    _postings: list[set[int]] | None = field(default=None, repr=False)
 
     @property
     def shape(self) -> tuple[int, int]:
         return len(self.rows), len(self.columns)
+
+    def _column_postings(self) -> list[set[int]]:
+        postings = self._postings
+        if postings is None:
+            postings = [set() for _ in self.columns]
+            for r, present in enumerate(self.incidence):
+                for c in present:
+                    postings[c].add(r)
+            self._postings = postings
+        return postings
 
     def column_sum(self, column_indices: Sequence[int]) -> Polynomial:
         """The polynomial formed by a set of columns (the sub-expression)."""
@@ -65,11 +78,17 @@ class KernelCubeMatrix:
         return Polynomial(self.variables, terms)
 
     def rows_covering(self, column_indices: set[int]) -> list[int]:
-        """Rows whose kernels contain every given column."""
-        return [
-            r for r, present in enumerate(self.incidence)
-            if column_indices <= present
-        ]
+        """Rows whose kernels contain every given column (ascending)."""
+        if not column_indices:
+            return list(range(len(self.rows)))
+        postings = self._column_postings()
+        it = iter(column_indices)
+        acc = set(postings[next(it)])
+        for c in it:
+            acc &= postings[c]
+            if not acc:
+                break
+        return sorted(acc)
 
     def columns_common(self, row_indices: Sequence[int]) -> set[int]:
         """Columns present in every given row."""

@@ -104,9 +104,74 @@ def iter_kernels(poly: Polynomial) -> Iterator[KernelEntry]:
         pass
 
 
+#: Content-keyed memo of kernel enumerations.  Keys are the *trimmed*
+#: polynomial's (variable names, term set), so the same mathematical
+#: polynomial hits regardless of how many unused block variables pad its
+#: tuple — the CSE extractor re-pads every polynomial each round, and the
+#: combination search re-runs CSE over largely identical rows, so hit
+#: rates are high.  Bounded by wholesale clearing (the entries are cheap
+#: to rebuild and an LRU would put bookkeeping on the hot path).
+_KERNEL_CACHE: dict[tuple, tuple[KernelEntry, ...]] = {}
+_KERNEL_CACHE_MAX = 8192
+
+#: Second-level memo of already-rehydrated results, keyed by the *exact*
+#: (variable tuple, term set) pair, so repeat calls on the same aligned
+#: polynomial skip both trimming and rehydration entirely.
+_ALIGNED_CACHE: dict[tuple, list[KernelEntry]] = {}
+
+
+def clear_kernel_cache() -> None:
+    """Drop the kernel memo (tests use this to measure cold runs)."""
+    _KERNEL_CACHE.clear()
+    _ALIGNED_CACHE.clear()
+
+
 def all_kernels(poly: Polynomial) -> list[KernelEntry]:
-    """List of every kernel/co-kernel pair (see :func:`iter_kernels`)."""
-    return list(iter_kernels(poly))
+    """List of every kernel/co-kernel pair (see :func:`iter_kernels`).
+
+    Memoized by polynomial content: enumeration is the combination
+    search's hottest sub-step, and the search re-visits the same
+    representation polynomials (modulo variable padding) across many
+    scored combinations.  Cached entries are rehydrated onto the
+    caller's variable tuple; the kernels themselves are immutable.
+    """
+    aligned_key = (poly.vars, frozenset(poly.terms.items()))
+    hit = _ALIGNED_CACHE.get(aligned_key)
+    if hit is not None:
+        return hit
+    trimmed = poly.trim()
+    key = (trimmed.vars, frozenset(trimmed.terms.items()))
+    cached = _KERNEL_CACHE.get(key)
+    if cached is None:
+        if len(_KERNEL_CACHE) >= _KERNEL_CACHE_MAX:
+            _KERNEL_CACHE.clear()
+        cached = tuple(iter_kernels(trimmed))
+        _KERNEL_CACHE[key] = cached
+    if trimmed.vars == poly.vars:
+        out = list(cached)
+    else:
+        # Re-express the trimmed enumeration over the caller's variables.
+        index_of = {v: i for i, v in enumerate(poly.vars)}
+        positions = [index_of[v] for v in trimmed.vars]
+        nvars = len(poly.vars)
+        out = []
+        for entry in cached:
+            cokernel = [0] * nvars
+            for pos, e in zip(positions, entry.cokernel):
+                cokernel[pos] = e
+            terms = {}
+            for exps, coeff in entry.kernel.terms.items():
+                full = [0] * nvars
+                for pos, e in zip(positions, exps):
+                    full[pos] = e
+                terms[tuple(full)] = coeff
+            out.append(
+                KernelEntry(tuple(cokernel), Polynomial._raw(poly.vars, terms))
+            )
+    if len(_ALIGNED_CACHE) >= _KERNEL_CACHE_MAX:
+        _ALIGNED_CACHE.clear()
+    _ALIGNED_CACHE[aligned_key] = out
+    return out
 
 
 def is_cube_free(poly: Polynomial) -> bool:

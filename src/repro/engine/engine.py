@@ -38,7 +38,6 @@ import json
 import logging
 import os
 import time
-import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
 from contextlib import nullcontext
@@ -382,46 +381,19 @@ class BatchEngine:
         engine = BatchEngine(RunConfig(workers=4, budget=Budget(job_seconds=30)))
 
     The pre-PR-4 keyword arguments (``workers=``, ``cache_size=``,
-    ``cache_dir=``) and the bare positional worker count still work for
-    one release and emit a :class:`DeprecationWarning`.
+    ``cache_dir=``) and the bare positional worker count completed their
+    one-release deprecation cycle and are gone; passing them is now a
+    :class:`TypeError`.  Use :meth:`RunConfig.replace` to derive a
+    tweaked config instead.
     """
 
     def __init__(
         self,
-        config: RunConfig | int | None = None,
+        config: RunConfig | None = None,
         *,
-        workers: int | None = None,
-        cache_size: int | None = None,
-        cache_dir: str | None = None,
         salt: str = CACHE_SALT,
     ) -> None:
-        if isinstance(config, int):
-            warnings.warn(
-                "BatchEngine(workers) as a positional int is deprecated; "
-                "pass RunConfig(workers=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = RunConfig(workers=config)
-        legacy = {
-            key: value
-            for key, value in (
-                ("workers", workers),
-                ("cache_size", cache_size),
-                ("cache_dir", cache_dir),
-            )
-            if value is not None
-        }
-        if legacy:
-            warnings.warn(
-                f"BatchEngine keyword argument(s) {sorted(legacy)} are "
-                f"deprecated; pass them inside a RunConfig instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         cfg = as_run_config(config)
-        if legacy:
-            cfg = replace(cfg, **legacy)
         if cfg.workers < 1:
             raise ValueError("workers must be >= 1")
         self.config = cfg

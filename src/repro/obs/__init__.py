@@ -45,6 +45,7 @@ from .tracer import (
     env_trace_settings,
     format_span_tree,
     set_tracer,
+    span_allocation_count,
     use_tracer,
 )
 from .validate import chrome_trace_depth, event_names, validate_chrome_trace
@@ -71,6 +72,7 @@ __all__ = [
     "observe_timings",
     "prometheus_text",
     "set_tracer",
+    "span_allocation_count",
     "spans_to_jsonl",
     "use_tracer",
     "validate_chrome_trace",

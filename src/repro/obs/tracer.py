@@ -45,6 +45,17 @@ from typing import Any, Iterator
 # Spans
 # ----------------------------------------------------------------------
 
+#: Process-wide count of :class:`Span` objects allocated by live tracers.
+#: Tests compare this across an instrumented region to prove the disabled
+#: path (``NULL_TRACER``) allocates no span objects at all.
+_span_allocations = 0
+
+
+def span_allocation_count() -> int:
+    """How many real spans tracers have allocated in this process so far."""
+    return _span_allocations
+
+
 @dataclass
 class Span:
     """One timed region of work; a node of the trace tree.
@@ -287,11 +298,13 @@ class Tracer:
         return stack
 
     def _enter(self, name: str, attrs: dict[str, Any]) -> Span | _NullSpan:
+        global _span_allocations
         with self._lock:
             if self._recorded >= self.max_spans:
                 self.dropped += 1
                 return NULL_SPAN
             self._recorded += 1
+        _span_allocations += 1
         span = Span(name=name, start=self._now(), attrs=dict(attrs))
         stack = self._stack()
         if stack:

@@ -16,10 +16,12 @@ Three flavours are provided, each serving a different consumer:
 
 from __future__ import annotations
 
+import heapq
 from typing import Tuple
 
 from .monomial import mono_div, mono_divides
-from .orderings import OrderKey, order_key
+from .orderings import OrderKey, grevlex_key, order_key
+from .packed import PackedContext
 from .polynomial import Polynomial
 
 
@@ -37,6 +39,8 @@ def divmod_poly(
     """
     if divisor.is_zero:
         raise ZeroDivisionError("polynomial division by zero")
+    if order == "grevlex" or order is grevlex_key:
+        return _divmod_grevlex_packed(dividend, divisor)
     key = order_key(order) if isinstance(order, str) else order
     dividend, divisor = Polynomial.unify(dividend, divisor)
     lead_exps, lead_coeff = divisor.leading_term(key)
@@ -69,6 +73,96 @@ def divmod_poly(
     return (
         Polynomial._raw(dividend.vars, {e: c for e, c in quotient.items() if c}),
         Polynomial._raw(dividend.vars, remainder),
+    )
+
+
+def _divmod_grevlex_packed(
+    dividend: Polynomial, divisor: Polynomial
+) -> Tuple[Polynomial, Polynomial]:
+    """Grevlex division on packed-integer monomials with a lazy max-heap.
+
+    Mathematically identical to the generic loop above, but every
+    monomial is one integer (see :mod:`repro.poly.packed`): the next
+    leading term comes off a heap instead of a full ``max()`` scan, the
+    divisibility test is two int ops, and the inner cancellation loop is
+    integer addition instead of tuple zipping.
+    """
+    dividend, divisor = Polynomial.unify(dividend, divisor)
+    if not dividend.terms:
+        zero = Polynomial.zero(dividend.vars)
+        return zero, zero
+    # Zero-quotient early-out: the first reduction step always fires on an
+    # *original* term (reduction-created terms only exist after one), so if
+    # no input term is divisible by the divisor's leading term the whole
+    # dividend is remainder.  The candidate-division phases probe many
+    # divisors that fail exactly this way.
+    lead_exps, lead_coeff = divisor.leading_term(grevlex_key)
+    nonzero = [(i, v) for i, v in enumerate(lead_exps) if v]
+    if len(nonzero) == 1:
+        # Linear-divisor common case: the leading monomial is one variable,
+        # so the divisibility probe is a single index compare per term.
+        i0, v0 = nonzero[0]
+        for e, c in dividend.terms.items():
+            if e[i0] >= v0 and c % lead_coeff == 0:
+                break
+        else:
+            return Polynomial.zero(dividend.vars), dividend
+    else:
+        for e, c in dividend.terms.items():
+            if c % lead_coeff == 0 and mono_divides(lead_exps, e):
+                break
+        else:
+            return Polynomial.zero(dividend.vars), dividend
+    ctx = PackedContext.get(
+        len(dividend.vars),
+        max(dividend.total_degree(), divisor.total_degree()),
+    )
+    lead = ctx.pack(lead_exps)
+    # The leading term cancels exactly by construction; only the rest of
+    # the divisor needs the explicit subtraction loop.
+    rest = [
+        (ctx.pack(e), c) for e, c in divisor.terms.items() if e != lead_exps
+    ]
+
+    work = ctx.pack_terms(dividend.terms.items())
+    heap = list(work)
+    heapq.heapify(heap)
+    divides = ctx.divides
+    capshift = ctx.capshift
+    quotient: dict[int, int] = {}
+    remainder: dict[int, int] = {}
+
+    while work:
+        w = heap[0]
+        if w not in work:
+            heapq.heappop(heap)
+            continue
+        w_coeff = work.pop(w)
+        heapq.heappop(heap)
+        if divides(lead, w) and w_coeff % lead_coeff == 0:
+            q = w - lead + capshift
+            q_coeff = w_coeff // lead_coeff
+            quotient[q] = quotient.get(q, 0) + q_coeff
+            for d, d_coeff in rest:
+                target = q + d - capshift
+                old = work.get(target)
+                if old is None:
+                    work[target] = -q_coeff * d_coeff
+                    heapq.heappush(heap, target)
+                else:
+                    value = old - q_coeff * d_coeff
+                    if value:
+                        work[target] = value
+                    else:
+                        del work[target]
+        else:
+            remainder[w] = w_coeff
+    unpack = ctx.unpack
+    return (
+        Polynomial._raw(
+            dividend.vars, {unpack(p): c for p, c in quotient.items() if c}
+        ),
+        Polynomial._raw(dividend.vars, {unpack(p): c for p, c in remainder.items()}),
     )
 
 

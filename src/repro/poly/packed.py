@@ -1,0 +1,130 @@
+"""Packed-monomial fast path: one machine integer per monomial.
+
+The division algorithm's inner loop is dominated by tuple traffic —
+``mono_mul`` allocates a fresh exponent tuple per divisor term per
+reduction step, and picking the next leading term re-derives a grevlex
+key over the whole work set.  Packing a monomial into a single integer
+turns all three hot operations into plain int arithmetic:
+
+* **multiply** — integer addition (exponent fields add independently),
+* **divisibility** — the classic guard-bit trick: with a spare high bit
+  per field, ``((a | G) - b) & G == G`` iff every field of ``b`` is at
+  most the corresponding field of ``a`` (a too-large field borrows its
+  guard bit away, and the guard bits stop borrows from rippling across
+  fields),
+* **grevlex comparison** — the fields are laid out so that the packed
+  integers themselves order *inversely* to grevlex, which is exactly
+  what a ``heapq`` min-heap wants for popping the leading term.
+
+Layout (most significant first)::
+
+    [ cap - total_degree | e_{n-1} | e_{n-2} | ... | e_0 ]
+
+each field ``width`` bits wide.  Comparing two packed values compares
+``(cap - deg, e_{n-1}, ..., e_0)`` lexicographically; the *smaller*
+packed value is the grevlex-*larger* monomial (higher degree first,
+then smaller trailing exponents — the grevlex tie-break).  Because the
+degree field participates, packing is injective and packed values are
+valid dict keys.
+
+The encoding is only valid while every exponent (and the total degree)
+stays below ``2**(width - 1)``; :class:`PackedContext` is sized from the
+operands' total degrees, which bounds every intermediate monomial of a
+graded-order division.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from .monomial import Exponents
+
+
+class PackedContext:
+    """Packing parameters for a fixed variable count and degree bound."""
+
+    __slots__ = ("nvars", "width", "cap", "guards", "lowmask", "capshift")
+
+    _cache: dict[tuple[int, int], "PackedContext"] = {}
+
+    @classmethod
+    def get(cls, nvars: int, max_degree: int) -> "PackedContext":
+        """Shared context for ``(nvars, max_degree)``.
+
+        Division calls cluster heavily on a few shapes (same system, same
+        divisor pool), and building the guard mask is linear in the
+        variable count — worth a dict probe.  Contexts are immutable in
+        practice, so sharing is safe.
+        """
+        key = (nvars, max_degree)
+        ctx = cls._cache.get(key)
+        if ctx is None:
+            if len(cls._cache) > 1024:
+                cls._cache.clear()
+            ctx = cls._cache[key] = cls(nvars, max_degree)
+        return ctx
+
+    def __init__(self, nvars: int, max_degree: int) -> None:
+        if max_degree < 1:
+            max_degree = 1
+        self.nvars = nvars
+        # One spare (guard) bit of headroom per field: values < 2**(width-1).
+        self.width = max_degree.bit_length() + 1
+        self.cap = max_degree
+        width = self.width
+        guard_bit = 1 << (width - 1)
+        guards = 0
+        for i in range(nvars):
+            guards |= guard_bit << (i * width)
+        self.guards = guards
+        self.lowmask = (1 << (nvars * width)) - 1
+        # Degree field sits above the exponent fields; multiplying two
+        # packed monomials adds their ``cap - deg`` fields, so one extra
+        # ``cap`` must be subtracted back out (see :meth:`mul`).
+        self.capshift = self.cap << (nvars * width)
+
+    # -- conversions -----------------------------------------------------
+
+    def pack(self, exps: Exponents) -> int:
+        """Pack an exponent tuple (grevlex-inverse ordered integer)."""
+        width = self.width
+        total = 0
+        acc = self.cap
+        for e in reversed(exps):
+            total += e
+            acc = (acc << width) | e
+        # Wait until all exponents are shifted in, then fix the top field.
+        return acc - (total << (self.nvars * width))
+
+    def unpack(self, packed: int) -> Exponents:
+        """Inverse of :meth:`pack`."""
+        width = self.width
+        mask = (1 << width) - 1
+        return tuple(
+            (packed >> (i * width)) & mask for i in range(self.nvars)
+        )
+
+    def pack_terms(self, terms: Iterable[Tuple[Exponents, int]]) -> dict[int, int]:
+        """Pack a term mapping's keys (coefficients pass through)."""
+        return {self.pack(exps): coeff for exps, coeff in terms}
+
+    # -- arithmetic ------------------------------------------------------
+
+    def mul(self, a: int, b: int) -> int:
+        """Packed product ``a * b`` (fields add; degree field re-based)."""
+        return a + b - self.capshift
+
+    def div(self, a: int, b: int) -> int:
+        """Packed quotient ``a / b``; only valid when ``b`` divides ``a``."""
+        return a - b + self.capshift
+
+    def divides(self, b: int, a: int) -> bool:
+        """True when monomial ``b`` divides monomial ``a`` field-wise."""
+        guards = self.guards
+        return (
+            ((a & self.lowmask) | guards) - (b & self.lowmask)
+        ) & guards == guards
+
+    def fits(self, *degrees: int) -> bool:
+        """Can monomials of these total degrees be packed losslessly?"""
+        return all(d <= self.cap for d in degrees)

@@ -37,11 +37,27 @@ Terms = Dict[Exponents, Coeff]
 Scalar = int
 PolyLike = Union["Polynomial", int]
 
+#: Memoized sorted unions of variable tuples.  Binary operations between
+#: polynomials over different variable sets re-derive the same union
+#: constantly (every division in a candidate loop, for instance); the
+#: distinct (vars, vars) pairs in one flow number in the dozens.
+_VAR_UNIONS: dict[tuple[tuple, tuple], tuple] = {}
+
+
+def _var_union(a: tuple, b: tuple) -> tuple:
+    key = (a, b)
+    union = _VAR_UNIONS.get(key)
+    if union is None:
+        if len(_VAR_UNIONS) > 4096:
+            _VAR_UNIONS.clear()
+        union = _VAR_UNIONS[key] = tuple(sorted(set(a) | set(b)))
+    return union
+
 
 class Polynomial:
     """An immutable sparse multivariate polynomial over the integers."""
 
-    __slots__ = ("_vars", "_terms", "_hash")
+    __slots__ = ("_vars", "_terms", "_hash", "_used", "_tdeg", "_wv")
 
     def __init__(self, variables: Iterable[str], terms: Mapping[Exponents, Coeff]):
         """Build a polynomial from a term mapping.
@@ -69,6 +85,9 @@ class Polynomial:
         self._vars = vars_tuple
         self._terms = clean
         self._hash: int | None = None
+        self._used: Tuple[str, ...] | None = None
+        self._tdeg: int | None = None
+        self._wv: dict | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -87,6 +106,9 @@ class Polynomial:
         self._vars = variables
         self._terms = terms
         self._hash = None
+        self._used = None
+        self._tdeg = None
+        self._wv = None
         return self
 
     @classmethod
@@ -183,9 +205,12 @@ class Polynomial:
 
     def total_degree(self) -> int:
         """Maximum total degree over all terms; -1 for the zero polynomial."""
-        if not self._terms:
-            return -1
-        return max(mono_degree(e) for e in self._terms)
+        if self._tdeg is None:
+            if not self._terms:
+                self._tdeg = -1
+            else:
+                self._tdeg = max(map(sum, self._terms))
+        return self._tdeg
 
     def degree(self, var: str) -> int:
         """Degree in one variable; -1 for the zero polynomial."""
@@ -196,12 +221,14 @@ class Polynomial:
 
     def used_vars(self) -> Tuple[str, ...]:
         """Variables with a non-zero exponent somewhere, in declaration order."""
-        used = [False] * len(self._vars)
-        for exps in self._terms:
-            for i, e in enumerate(exps):
-                if e:
-                    used[i] = True
-        return tuple(v for v, u in zip(self._vars, used) if u)
+        if self._used is None:
+            used = [False] * len(self._vars)
+            for exps in self._terms:
+                for i, e in enumerate(exps):
+                    if e:
+                        used[i] = True
+            self._used = tuple(v for v, u in zip(self._vars, used) if u)
+        return self._used
 
     def max_coeff_magnitude(self) -> int:
         """Largest absolute coefficient (0 for the zero polynomial)."""
@@ -249,10 +276,24 @@ class Polynomial:
     def with_vars(self, variables: Iterable[str]) -> "Polynomial":
         """Re-express this polynomial over a superset of its used variables."""
         new_vars = tuple(variables)
+        if new_vars == self._vars:
+            return self
+        # Per-instance memo: the division and unification hot paths align
+        # the same divisor/operand onto the same variable tuple thousands
+        # of times (immutability makes sharing the result safe).
+        cache = self._wv
+        if cache is None:
+            cache = self._wv = {}
+        else:
+            hit = cache.get(new_vars)
+            if hit is not None:
+                return hit
+        index_of = {v: i for i, v in enumerate(new_vars)}
         positions = []
         for i, v in enumerate(self._vars):
-            if v in new_vars:
-                positions.append((i, new_vars.index(v)))
+            new_i = index_of.get(v)
+            if new_i is not None:
+                positions.append((i, new_i))
             else:
                 # Dropping a variable is only legal when it is unused.
                 if any(e[i] for e in self._terms):
@@ -265,14 +306,25 @@ class Polynomial:
                 out[new_i] = exps[old_i]
             key = tuple(out)
             new_terms[key] = new_terms.get(key, 0) + coeff
-        return Polynomial._raw(new_vars, new_terms)
+        result = Polynomial._raw(new_vars, new_terms)
+        cache[new_vars] = result
+        return result
 
     def trim(self) -> "Polynomial":
         """Drop variables that do not appear (preserving their relative order)."""
         used = self.used_vars()
         if used == self._vars:
             return self
-        return self.with_vars(used)
+        # Fast path: project each exponent tuple onto the used columns
+        # (no renaming can collide, so no coefficient merging is needed).
+        keep = [i for i, v in enumerate(self._vars) if v in set(used)]
+        new_terms = {
+            tuple(exps[i] for i in keep): coeff
+            for exps, coeff in self._terms.items()
+        }
+        trimmed = Polynomial._raw(used, new_terms)
+        trimmed._used = used
+        return trimmed
 
     @staticmethod
     def unify(a: "Polynomial", b: "Polynomial") -> Tuple["Polynomial", "Polynomial"]:
@@ -284,7 +336,7 @@ class Polynomial:
         """
         if a._vars == b._vars:
             return a, b
-        union = tuple(sorted(set(a._vars) | set(b._vars)))
+        union = _var_union(a._vars, b._vars)
         return a.with_vars(union), b.with_vars(union)
 
     @staticmethod

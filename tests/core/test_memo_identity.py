@@ -1,0 +1,87 @@
+"""Memoization must never change results, and disabled tracing must
+never allocate.
+
+The combination search memoizes per-representation sub-results by
+mathematical content (``_BEST_EXPR_CACHE``, the kernel cache) and prunes
+with a branch-and-bound surrogate bound.  Both are pure optimizations:
+a cold-cache run and a warm-cache run of the same system must produce
+the *identical* ``SynthesisResult`` — same decomposition, same chosen
+combination, same number of combinations scored.  These properties are
+checked across every fuzz generator shape.
+
+The zero-cost observability contract is checked the same way: running
+the whole flow under the default (disabled) tracer must allocate zero
+``Span`` objects, asserted via the tracer's allocation counter.
+"""
+
+import pytest
+
+from repro.core import synthesize
+from repro.core.synth import clear_synthesis_caches
+from repro.fuzz import SHAPES, generate_case
+from repro.obs import NULL_TRACER, Tracer, current_tracer, span_allocation_count, use_tracer
+
+
+def _run(system):
+    return synthesize(list(system.polys), system.signature)
+
+
+def _fingerprint(result):
+    """Everything observable about a result, hashable for comparison."""
+    return (
+        result.summary(),
+        result.op_count,
+        result.initial_op_count,
+        result.chosen,
+        result.combinations_scored,
+        tuple(
+            tuple(rep.poly for rep in reps) for reps in result.representation_lists
+        ),
+    )
+
+
+class TestCachedVsCold:
+    @pytest.mark.parametrize("shape", sorted(SHAPES))
+    def test_cold_and_warm_runs_identical(self, shape):
+        case = generate_case(seed=11, index=0, shapes=[shape])
+
+        clear_synthesis_caches()
+        cold = _fingerprint(_run(case.system))
+        # Same process, caches now warm from the first run.
+        warm = _fingerprint(_run(case.system))
+        # And a second cold run for symmetry (warm != stale).
+        clear_synthesis_caches()
+        cold_again = _fingerprint(_run(case.system))
+
+        assert cold == warm
+        assert cold == cold_again
+
+    def test_warm_cache_shared_across_different_systems(self):
+        # Interleaving other systems must not leak wrong sub-results
+        # between content-keyed cache entries.
+        a = generate_case(seed=3, index=0, shapes=["planted-kernel"]).system
+        b = generate_case(seed=3, index=1, shapes=["unstructured"]).system
+        clear_synthesis_caches()
+        cold_a = _fingerprint(_run(a))
+        cold_b = _fingerprint(_run(b))
+        warm_a = _fingerprint(_run(a))
+        warm_b = _fingerprint(_run(b))
+        assert cold_a == warm_a
+        assert cold_b == warm_b
+
+
+class TestZeroCostTracing:
+    def test_disabled_tracer_allocates_no_spans(self):
+        assert current_tracer() is NULL_TRACER or not current_tracer().enabled
+        case = generate_case(seed=7, index=0, shapes=["planted-kernel"])
+        before = span_allocation_count()
+        _run(case.system)
+        assert span_allocation_count() == before
+
+    def test_enabled_tracer_does_allocate(self):
+        # The counter itself must be live, or the test above proves nothing.
+        case = generate_case(seed=7, index=0, shapes=["planted-kernel"])
+        before = span_allocation_count()
+        with use_tracer(Tracer()):
+            _run(case.system)
+        assert span_allocation_count() > before

@@ -28,6 +28,13 @@ class TestStandaloneWeight:
         assert w > 0
 
 
+def _weights(lists, registry):
+    return [
+        [_standalone_weight(rep.poly, registry) for rep in reps]
+        for reps in lists
+    ]
+
+
 class TestSearchSeeds:
     def test_all_original_seed_present(self):
         registry = BlockRegistry(("x", "y"))
@@ -40,7 +47,7 @@ class TestSearchSeeds:
                 Representation(P("x - y"), "original"),
             ],
         ]
-        seeds = _search_seeds(lists, registry)
+        seeds = _search_seeds(lists, _weights(lists, registry))
         assert (0, 0) in seeds
 
     def test_family_seed_uniform(self):
@@ -55,13 +62,13 @@ class TestSearchSeeds:
                 Representation(P("x - y"), "cce(original)"),
             ],
         ]
-        seeds = _search_seeds(lists, registry)
+        seeds = _search_seeds(lists, _weights(lists, registry))
         assert (1, 1) in seeds  # the uniform cce seed
 
     def test_seeds_deduplicated(self):
         registry = BlockRegistry(("x",))
         lists = [[Representation(P("x"), "original")]]
-        seeds = _search_seeds(lists, registry)
+        seeds = _search_seeds(lists, _weights(lists, registry))
         assert len(seeds) == len(set(seeds))
 
 
@@ -80,5 +87,6 @@ class TestBudget:
         system = parse_system(["x^2 + 6*x*y + 9*y^2"])
         sig = BitVectorSignature.uniform(("x", "y"), 16)
         result = synthesize(system, sig, SynthesisOptions(exhaustive_limit=1000))
-        # one polynomial: the whole list is enumerated
-        assert result.combinations_scored == len(result.representation_lists[0])
+        # One polynomial: the whole list is enumerated, minus combinations
+        # the branch-and-bound surrogate prune rules out without scoring.
+        assert 0 < result.combinations_scored <= len(result.representation_lists[0])

@@ -123,3 +123,53 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_governance_flags_shared_across_subcommands(self):
+        # The shared parent parser gives every synthesis command the same
+        # governance flags, including --config.
+        from repro.__main__ import build_parser
+
+        parser = build_parser()
+        for command in ("synthesize", "compare", "verilog", "trace", "batch", "fuzz"):
+            args = parser.parse_args([command, "--job-seconds", "5", "--config", "c.json"])
+            assert args.job_seconds == 5.0
+            assert args.config == "c.json"
+
+
+class TestConfigFile:
+    def _write_config(self, tmp_path, **kwargs):
+        import json
+
+        from repro.config import RunConfig
+
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps(RunConfig(**kwargs).as_dict()))
+        return str(path)
+
+    def test_config_file_seeds_run_config(self, tmp_path):
+        from repro.__main__ import build_parser, run_config_from_args
+        from repro.core import Budget
+
+        path = self._write_config(
+            tmp_path, budget=Budget(job_seconds=42.0), workers=2
+        )
+        args = build_parser().parse_args(["synthesize", "x", "--config", path])
+        cfg = run_config_from_args(args)
+        assert cfg.budget == Budget(job_seconds=42.0)
+        assert cfg.workers == 2
+
+    def test_explicit_flags_override_config_file(self, tmp_path):
+        from repro.__main__ import build_parser, run_config_from_args
+
+        path = self._write_config(tmp_path, workers=2)
+        args = build_parser().parse_args(
+            ["batch", "--config", path, "--workers", "3", "--job-seconds", "9"]
+        )
+        cfg = run_config_from_args(args)
+        assert cfg.workers == 3
+        assert cfg.budget is not None and cfg.budget.job_seconds == 9.0
+
+    def test_synthesize_runs_with_config_file(self, tmp_path, capsys):
+        path = self._write_config(tmp_path)
+        assert main(["synthesize", "x^2 + 2*x*y + y^2", "--config", path]) == 0
+        assert "final cost" in capsys.readouterr().out

@@ -1,5 +1,6 @@
-"""RunConfig: serialization round-trips, coercions, deprecation shims,
-and cache byte-identity across budget changes."""
+"""RunConfig: serialization round-trips, coercions, removal of the old
+legacy keywords, replace(), and cache byte-identity across budget
+changes."""
 
 import pytest
 
@@ -84,33 +85,44 @@ class TestBackoff:
             assert 0.1 <= delay <= 0.1 * 1.5
 
 
-class TestDeprecationShims:
-    def test_positional_worker_count_warns(self):
-        with pytest.warns(DeprecationWarning, match="positional int"):
-            engine = BatchEngine(2)
-        assert engine.workers == 2
+class TestLegacyRemoval:
+    """The pre-PR-4 shims finished their one-release window: passing the
+    old scattered keywords is now a hard TypeError, not a warning."""
 
-    def test_legacy_keywords_warn_but_apply(self, tmp_path):
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            engine = BatchEngine(workers=2, cache_dir=tmp_path)
-        assert engine.workers == 2
-        assert engine.cache.disk is not None
+    def test_positional_worker_count_rejected(self):
+        with pytest.raises(TypeError):
+            BatchEngine(2)
 
-    def test_legacy_keywords_override_config(self):
-        with pytest.warns(DeprecationWarning):
-            engine = BatchEngine(RunConfig(workers=1), workers=3)
-        assert engine.workers == 3
+    def test_legacy_keywords_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            BatchEngine(workers=2, cache_dir=tmp_path)
 
-    def test_synthesize_system_options_keyword_warns(self):
-        system = get_system("Quad")
-        with pytest.warns(DeprecationWarning, match="options"):
-            result = synthesize_system(system, options=SynthesisOptions())
-        assert result.op_count is not None
+    def test_legacy_keywords_rejected_alongside_config(self):
+        with pytest.raises(TypeError):
+            BatchEngine(RunConfig(workers=1), workers=3)
 
-    def test_synthesize_system_rejects_both(self):
+    def test_synthesize_system_options_keyword_rejected(self):
         system = get_system("Quad")
         with pytest.raises(TypeError):
-            synthesize_system(system, RunConfig(), options=SynthesisOptions())
+            synthesize_system(system, options=SynthesisOptions())
+
+
+class TestReplace:
+    def test_replace_overrides_one_field(self):
+        cfg = RunConfig(workers=4).replace(cache_size=64)
+        assert cfg.workers == 4
+        assert cfg.cache_size == 64
+
+    def test_replace_returns_new_frozen_copy(self):
+        base = RunConfig()
+        derived = base.replace(workers=2)
+        assert base.workers == 1
+        assert derived.workers == 2
+        assert derived != base
+
+    def test_replace_rejects_unknown_fields(self):
+        with pytest.raises(TypeError, match="no field"):
+            RunConfig().replace(worker_count=2)
 
 
 class TestCacheIdentity:
