@@ -24,7 +24,7 @@ from dataclasses import asdict
 from repro import RunConfig, compare_methods, method_outcome
 from repro.core import SynthesisOptions
 from repro.engine import BatchEngine, BatchJob
-from repro.obs import env_trace_settings
+from repro.obs import env_events_settings, env_trace_settings
 from repro.suite import get_system
 
 _REPORTS: list[tuple[str, list[str]]] = []
@@ -118,8 +118,10 @@ def compare_system(name: str) -> dict:
 
 _PERF: dict[str, dict] = {}
 
-#: Label stamped into the snapshot; bump alongside the checked-in file name.
-BASELINE_LABEL = "PR6"
+#: Label stamped into the snapshot; bump alongside the checked-in file
+#: name.  ``REPRO_BENCH_LABEL`` overrides it for side-channel snapshots
+#: (e.g. the CI obs-overhead gate's "OBS" run).
+BASELINE_LABEL = os.environ.get("REPRO_BENCH_LABEL", "PR6")
 
 
 def _git_sha() -> str | None:
@@ -154,7 +156,7 @@ def perf_snapshot() -> dict:
         "cache": asdict(ENGINE.cache.stats),
         "config": ENGINE.config.as_dict(),
         "git_sha": _git_sha(),
-        "obs_enabled": env_trace_settings()[0],
+        "obs_enabled": env_trace_settings()[0] or env_events_settings()[0],
         "benchmarks": {name: _PERF[name] for name in sorted(_PERF)},
     }
 

@@ -191,6 +191,13 @@ def main(argv: list[str] | None = None) -> int:
         "current snapshot",
     )
     parser.add_argument(
+        "--expect-obs",
+        action="store_true",
+        help="require the current snapshot to be an observability-enabled "
+        "run (the obs-overhead gate: instrumented wall vs. a zero-cost "
+        "baseline, bounded by --max-regress)",
+    )
+    parser.add_argument(
         "--out", help="also write the delta rows as JSON to this file"
     )
     args = parser.parse_args(argv)
@@ -202,7 +209,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if current.get("obs_enabled"):
+    if args.expect_obs and not current.get("obs_enabled"):
+        print(
+            "error: --expect-obs requires an observability-enabled current "
+            "snapshot (run with REPRO_TRACE=1 / REPRO_EVENTS=1)",
+            file=sys.stderr,
+        )
+        return 2
+    if current.get("obs_enabled") and not args.expect_obs:
         print(
             "warning: the current snapshot was measured with tracing "
             "enabled; wall times include instrumentation overhead",

@@ -30,6 +30,7 @@ from repro.obs.validate import (  # noqa: E402
     chrome_trace_depth,
     event_names,
     validate_chrome_trace,
+    validate_event_jsonl,
 )
 
 
@@ -58,6 +59,17 @@ def check_trace(
     return problems
 
 
+def check_events(path: str) -> list[str]:
+    """Validate an event-stream JSONL file (schema + monotonic order)."""
+    try:
+        content = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"cannot load {path}: {exc}"]
+    if not content.strip():
+        return [f"{path}: event stream is empty"]
+    return [f"{path}: {p}" for p in validate_event_jsonl(content)]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", help="Chrome trace-event JSON file to check")
@@ -72,12 +84,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="require a 'batch' span with stitched 'job:*' worker spans",
     )
+    parser.add_argument(
+        "--events",
+        help="also validate this event-stream JSONL file "
+        "(schema + strictly increasing sequence numbers)",
+    )
     args = parser.parse_args(argv)
     problems = check_trace(args.trace, args.min_depth, args.require_stitched)
+    if args.events:
+        problems += check_events(args.events)
     for problem in problems:
         print(f"error: {problem}", file=sys.stderr)
     if not problems:
-        print(f"{args.trace}: valid Chrome trace")
+        checked = f"{args.trace}: valid Chrome trace"
+        if args.events:
+            checked += f"; {args.events}: valid event stream"
+        print(checked)
     return 1 if problems else 0
 
 

@@ -31,11 +31,14 @@ from repro.api import (  # noqa: F401 — the facade's whole surface
     Budget,
     Decomposition,
     Degradation,
+    EventStream,
     JobResult,
     MethodOutcome,
     OpCount,
     Polynomial,
     PolySystem,
+    ProgressRenderer,
+    Provenance,
     RetryPolicy,
     RunConfig,
     SynthesisOptions,
@@ -45,6 +48,7 @@ from repro.api import (  # noqa: F401 — the facade's whole surface
     TradeoffPoint,
     available_methods,
     compare_methods,
+    explain_text,
     explore_tradeoffs,
     improvement,
     method_outcome,

@@ -50,7 +50,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from contextlib import nullcontext
 
 from repro import (
     BitVectorSignature,
@@ -59,7 +58,7 @@ from repro import (
     parse_system,
     synthesize_system,
 )
-from repro.config import RetryPolicy, RunConfig
+from repro.config import RunConfig
 from repro.core import Budget
 from repro.cost import estimate_decomposition
 from repro.factor import factor_polynomial
@@ -124,22 +123,58 @@ def run_config_from_args(args: argparse.Namespace) -> RunConfig:
     return cfg
 
 
-def _trace_scope(args: argparse.Namespace):
-    """(context manager, tracer) honouring --trace-out / --stats flags."""
-    from repro.obs import Tracer, use_tracer
+def _obs_scope(args: argparse.Namespace, total_jobs: int | None = None):
+    """(context manager, tracer, event stream) honouring the shared
+    observability flags: ``--trace-out`` / ``--stats`` install a fresh
+    tracer, ``--events-out`` / ``--progress`` a fresh event stream with
+    a JSONL file sink and/or the live progress renderer."""
+    from contextlib import ExitStack
 
+    from repro.obs import (
+        CallbackSink,
+        EventStream,
+        JsonlSink,
+        ProgressRenderer,
+        RingBufferSink,
+        Tracer,
+        use_events,
+        use_tracer,
+    )
+
+    stack = ExitStack()
+    tracer = None
+    stream = None
     if getattr(args, "trace_out", None) or getattr(args, "stats", False):
         tracer = Tracer()
-        return use_tracer(tracer), tracer
-    return nullcontext(), None
+        stack.enter_context(use_tracer(tracer))
+    sinks: list = [RingBufferSink()]
+    if getattr(args, "events_out", None):
+        sinks.append(JsonlSink(args.events_out))
+    if getattr(args, "progress", False):
+        sinks.append(CallbackSink(ProgressRenderer(total_jobs=total_jobs)))
+    if len(sinks) > 1:
+        stream = EventStream(sinks=sinks)
+        stack.enter_context(use_events(stream))
+    return stack, tracer, stream
 
 
-def _emit_trace_artifacts(args: argparse.Namespace, tracer) -> None:
-    from repro.obs import get_registry, prometheus_text, write_chrome_trace
+def _trace_scope(args: argparse.Namespace):
+    """(context manager, tracer) honouring --trace-out / --stats flags."""
+    scope, tracer, _ = _obs_scope(args)
+    return scope, tracer
+
+
+def _emit_trace_artifacts(args: argparse.Namespace, tracer, stream=None) -> None:
+    from repro.obs import JsonlSink, get_registry, prometheus_text, write_chrome_trace
 
     if getattr(args, "trace_out", None) and tracer is not None:
         events = write_chrome_trace(args.trace_out, tracer.snapshot())
         print(f"trace: {events} event(s) -> {args.trace_out}")
+    if stream is not None:
+        stream.close()
+        for sink in stream.sinks:
+            if isinstance(sink, JsonlSink):
+                print(f"events: {sink.written} event(s) -> {sink.path}")
     if getattr(args, "stats", False):
         text = prometheus_text(get_registry())
         if text:
@@ -149,13 +184,13 @@ def _emit_trace_artifacts(args: argparse.Namespace, tracer) -> None:
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     system = _system_from_args(args)
-    scope, tracer = _trace_scope(args)
+    scope, tracer, stream = _obs_scope(args, total_jobs=1)
     with scope:
         result = synthesize_system(system, run_config_from_args(args))
     print(result.summary())
     report = estimate_decomposition(result.decomposition, system.signature)
     print(f"hardware: {report}")
-    _emit_trace_artifacts(args, tracer)
+    _emit_trace_artifacts(args, tracer, stream)
     return 0
 
 
@@ -213,13 +248,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         names = TABLE_14_3_SYSTEMS
     engine = BatchEngine(run_config_from_args(args))
     report = None
-    scope, tracer = _trace_scope(args)
+    scope, tracer, stream = _obs_scope(
+        args, total_jobs=len(names) * max(1, args.repeat)
+    )
     with scope:
         for _ in range(max(1, args.repeat)):
             report = engine.run_suite(names, method=args.method)
     assert report is not None
     print(report.summary_table())
-    _emit_trace_artifacts(args, tracer)
+    _emit_trace_artifacts(args, tracer, stream)
     return 1 if report.errors else 0
 
 
@@ -289,14 +326,39 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_dir=args.corpus_dir,
         run_config=run_config_from_args(args),
     )
-    scope, tracer = _trace_scope(args)
+    scope, tracer, stream = _obs_scope(args, total_jobs=args.iterations)
     with scope:
         report = run_fuzz(config)
     print(report.summary())
     # Wall-clock goes to stderr: the stdout summary stays deterministic.
     print(f"elapsed: {report.elapsed:.1f}s", file=sys.stderr)
-    _emit_trace_artifacts(args, tracer)
+    _emit_trace_artifacts(args, tracer, stream)
     return 1 if report.findings else 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import explain_text
+    from repro.obs import EventStream, Tracer, use_events, use_tracer
+
+    system = _system_from_args(args)
+    # Run under a fresh tracer + stream so the provenance counters and
+    # the published metrics come from this run alone.
+    with use_tracer(Tracer()), use_events(EventStream()):
+        result = synthesize_system(system, run_config_from_args(args))
+    if args.format == "json":
+        prov = result.provenance
+        print(
+            json.dumps(
+                prov.as_dict() if prov is not None else None,
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(explain_text(result, name=system.name))
+    return 0
 
 
 def _cmd_canon(args: argparse.Namespace) -> int:
@@ -412,6 +474,15 @@ def _observability_parent() -> argparse.ArgumentParser:
         action="store_true",
         help="print the metrics registry (Prometheus text format)",
     )
+    parent.add_argument(
+        "--events-out",
+        help="stream the structured event log (JSONL) of the run to this file",
+    )
+    parent.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress/ETA status line from the event stream",
+    )
     return parent
 
 
@@ -443,6 +514,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: direct,horner,factor+cse,proposed)",
     )
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "explain",
+        parents=[system, governance],
+        help="run the flow and render its decision report (provenance)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="human-readable report (default) or the raw provenance JSON",
+    )
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("canon", help="canonical form over Z_2^m")
     p.add_argument("polynomial")
@@ -558,18 +642,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _flush_env_trace() -> None:
-    """Honour ``REPRO_TRACE=<file>``: dump the ambient tracer on exit."""
-    from repro.obs import current_tracer, env_trace_path, write_chrome_trace
+    """Honour ``REPRO_TRACE=<file>`` / ``REPRO_EVENTS=<file>``: dump the
+    ambient tracer and close the ambient event stream's sinks on exit."""
+    from repro.obs import (
+        current_events,
+        current_tracer,
+        env_trace_path,
+        write_chrome_trace,
+    )
 
     path = env_trace_path()
     tracer = current_tracer()
     if path and getattr(tracer, "roots", None):
         write_chrome_trace(path, tracer.snapshot())
+    current_events().close()
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "command", None) in ("synthesize", "compare", "verilog", "trace"):
+    if getattr(args, "command", None) in (
+        "synthesize", "compare", "verilog", "trace", "explain",
+    ):
         if not args.polynomials and not args.system:
             print("error: provide polynomials or --system NAME", file=sys.stderr)
             return 2

@@ -26,9 +26,11 @@ from repro.config import RetryPolicy, RunConfig, as_run_config
 from repro.core import (
     Budget,
     Degradation,
+    Provenance,
     SynthesisOptions,
     SynthesisResult,
     Timings,
+    explain_text,
     synthesize,
 )
 from repro.cost import (
@@ -39,7 +41,7 @@ from repro.cost import (
 )
 from repro.engine import BatchEngine, BatchJob, BatchReport, JobResult
 from repro.expr import Decomposition, OpCount
-from repro.obs import Tracer
+from repro.obs import EventStream, ProgressRenderer, Tracer
 from repro.poly import Polynomial, parse_polynomial, parse_system
 from repro.rings import BitVectorSignature
 from repro.system import PolySystem
@@ -53,11 +55,14 @@ __all__ = [
     "DEFAULT_METHODS",
     "Decomposition",
     "Degradation",
+    "EventStream",
     "JobResult",
     "MethodOutcome",
     "OpCount",
     "PolySystem",
     "Polynomial",
+    "ProgressRenderer",
+    "Provenance",
     "RetryPolicy",
     "RunConfig",
     "SynthesisOptions",
@@ -67,6 +72,7 @@ __all__ = [
     "TradeoffPoint",
     "available_methods",
     "compare_methods",
+    "explain_text",
     "explore_tradeoffs",
     "improvement",
     "method_outcome",

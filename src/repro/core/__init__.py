@@ -30,6 +30,7 @@ from .cube_extract import (
     homogeneous_part,
 )
 from .metrics import PhaseTiming, Timings
+from .provenance import ChosenRepresentation, Provenance, explain_text
 from .representations import (
     Representation,
     canonical_representations,
@@ -47,6 +48,7 @@ from .synth import (
     clear_synthesis_caches,
     direct_cost,
     refactored_expression,
+    synthesis_cache_sizes,
     synthesize,
 )
 from .trace import FlowEvent, FlowTrace
@@ -56,11 +58,13 @@ __all__ = [
     "Budget",
     "BudgetExceeded",
     "CceResult",
+    "ChosenRepresentation",
     "Deadline",
     "Degradation",
     "FlowEvent",
     "FlowTrace",
     "PhaseTiming",
+    "Provenance",
     "Representation",
     "SynthesisOptions",
     "SynthesisResult",
@@ -78,6 +82,7 @@ __all__ = [
     "dedupe_representations",
     "divide_by_block",
     "direct_cost",
+    "explain_text",
     "division_candidates",
     "expose_homogeneous_factors",
     "exposed_linear_kernels",
@@ -87,6 +92,7 @@ __all__ = [
     "original_representation",
     "refactored_expression",
     "refine_block_definitions",
+    "synthesis_cache_sizes",
     "synthesize",
     "use_deadline",
 ]

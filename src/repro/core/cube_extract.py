@@ -17,7 +17,7 @@ factoring from the flat form, and the cost model scores it identically.
 from __future__ import annotations
 
 from repro.cse import all_kernels
-from repro.obs import current_tracer
+from repro.obs import current_events, current_tracer
 from repro.poly import Polynomial
 
 from .blocks import BlockRegistry
@@ -52,6 +52,8 @@ def cube_extraction(
     pending = 0
     names: list[str] = []
     seen: set[Polynomial] = set()
+    events = current_events()
+    emitting = events.enabled  # hoisted: harvest runs inside the search loop
 
     def harvest(poly: Polynomial) -> None:
         nonlocal pending
@@ -70,6 +72,13 @@ def cube_extraction(
             name, _ = registry.register(kernel)
             if name not in names:
                 names.append(name)
+                if emitting:
+                    events.emit(
+                        "block_registered",
+                        name=name,
+                        source="cube_extract",
+                        definition=str(ground),
+                    )
 
     with current_tracer().span("cube_extract/kernels") as span:
         for poly in polys:
@@ -113,6 +122,8 @@ def expose_homogeneous_factors(
 
     names: list[str] = []
     seen: set[Polynomial] = set()
+    events = current_events()
+    emitting = events.enabled
     with current_tracer().span("cube_extract/homogeneous") as span:
         for poly in polys:
             ground = registry.expand(poly)
@@ -129,5 +140,12 @@ def expose_homogeneous_factors(
                     name, _ = registry.register(base)
                     if name not in names:
                         names.append(name)
+                        if emitting:
+                            events.emit(
+                                "block_registered",
+                                name=name,
+                                source="homogeneous",
+                                definition=str(base),
+                            )
         span.count(forms=len(seen), factors=len(names))
     return names

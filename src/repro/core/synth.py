@@ -31,7 +31,7 @@ from itertools import product
 from typing import Iterator
 
 from repro.cse import eliminate_common_subexpressions
-from repro.obs import current_tracer, observe_timings
+from repro.obs import current_events, current_tracer, get_registry, observe_timings
 from repro.expr import Decomposition, OpCount, expr_from_polynomial, expr_op_count
 from repro.expr.ast import Add, BlockRef, Expr, Mul, Pow, Var
 from repro.factor import horner_greedy
@@ -45,13 +45,13 @@ from .budget import (
     NULL_DEADLINE,
     Budget,
     BudgetExceeded,
-    Deadline,
     Degradation,
     deadline_for,
     use_deadline,
 )
 from .cube_extract import cube_extraction
 from .metrics import Timings
+from .provenance import ChosenRepresentation, Provenance
 from .representations import (
     Representation,
     cce_representation,
@@ -97,6 +97,7 @@ class SynthesisResult:
     trace: "FlowTrace | None" = None
     timings: "Timings | None" = None
     degradations: list[Degradation] = field(default_factory=list)
+    provenance: "Provenance | None" = None
 
     @property
     def degraded(self) -> bool:
@@ -159,6 +160,20 @@ def clear_synthesis_caches() -> None:
 
     _BEST_EXPR_CACHE.clear()
     clear_kernel_cache()
+
+
+def synthesis_cache_sizes() -> dict[str, int]:
+    """Current entry counts of the flow's content-keyed memo caches.
+
+    The same caches :func:`clear_synthesis_caches` drops; traced runs
+    publish them as ``repro_search_<name>_size`` gauges.
+    """
+    from repro.cse.kernels import kernel_cache_size
+
+    return {
+        "best_expr_cache": len(_BEST_EXPR_CACHE),
+        "kernel_cache": kernel_cache_size(),
+    }
 
 
 def best_expression(poly: Polynomial) -> Expr:
@@ -331,19 +346,25 @@ def _phase(
     phases let the exception propagate to :func:`synthesize`'s fallback
     ladder.
     """
+    events = current_events()
     with tracer.span(name) as span, timings.phase(name) as clock:
         deadline.start_phase(name)
+        events.emit("phase_start", name=name)
+        degraded_here = False
         try:
             fault_point(f"phase:{name}")
             yield clock
         except BudgetExceeded as exc:
             if not skippable or degradations is None:
                 raise
+            degraded_here = True
             degradations.append(Degradation(name, "skipped", str(exc)))
             span.set(degraded=True)
+            events.emit("degradation", phase=name, action="skipped")
         finally:
             deadline.end_phase()
             span.count(**clock.counters)
+            events.emit("phase_end", name=name, degraded=degraded_here)
 
 
 def synthesize(
@@ -408,6 +429,9 @@ def synthesize(
                     )
                 except BudgetExceeded as exc:
                     degradations.append(Degradation("job", "fallback", str(exc)))
+                    current_events().emit(
+                        "degradation", phase="job", action="fallback"
+                    )
                     result = _degraded_result(
                         system, signature, options, trace, timings, tracer,
                         degradations,
@@ -422,7 +446,30 @@ def synthesize(
             root.set(degraded=True)
     if tracer.enabled:
         observe_timings(timings)
+        _publish_search_metrics(result)
     return result
+
+
+def _publish_search_metrics(result: SynthesisResult) -> None:
+    """Publish one traced run's search telemetry to the global registry.
+
+    The counters carry the *same integers* as ``result.provenance`` —
+    ``repro explain`` and the Prometheus exposition must agree exactly
+    (tests enforce this).
+    """
+    registry = get_registry()
+    provenance = result.provenance
+    if provenance is not None:
+        if provenance.combinations_scored:
+            registry.counter("repro_search_combos_scored").inc(
+                provenance.combinations_scored
+            )
+        if provenance.memo_hits:
+            registry.counter("repro_search_memo_hits").inc(provenance.memo_hits)
+        if provenance.pruned:
+            registry.counter("repro_search_pruned").inc(provenance.pruned)
+    for name, size in synthesis_cache_sizes().items():
+        registry.gauge(f"repro_search_{name}_size").set(size)
 
 
 def _degraded_result(
@@ -484,6 +531,22 @@ def _degraded_result(
         )
     initial = direct_cost(system, options)
     lists = [[Representation(poly, "original")] for poly in system]
+    provenance = Provenance(
+        objective=options.objective,
+        search_mode="degraded",
+        search_space=1,
+        search_bound=0,
+        chosen=[
+            ChosenRepresentation(
+                polynomial=str(poly), tag="original", index=0, candidates=1
+            )
+            for poly in system
+        ],
+        blocks={
+            name: str(expr) for name, expr in decomposition.blocks.items()
+        },
+        degradations=[str(d) for d in degradations],
+    )
     return SynthesisResult(
         decomposition=decomposition,
         op_count=decomposition.op_count(),
@@ -495,6 +558,7 @@ def _degraded_result(
         trace=trace,
         timings=timings,
         degradations=degradations,
+        provenance=provenance,
     )
 
 
@@ -682,9 +746,16 @@ def _synthesize_flow(
     cache: dict[tuple[int, ...], tuple[float, Decomposition]] = {}
     content_cache: dict[tuple, tuple[float, Decomposition]] = {}
     scored_counter = 0
+    memo_hits = 0
+    pruned_count = 0
+    search_bound = 0
+    # Hot-loop discipline: hoist the enabled flag so the disabled stream
+    # costs one truth test per lookup and allocates zero event objects.
+    events = current_events()
+    emitting = events.enabled
 
     def score_indices(indices: tuple[int, ...]) -> tuple[float, Decomposition]:
-        nonlocal scored_counter
+        nonlocal scored_counter, memo_hits
         hit = cache.get(indices)
         if hit is None:
             chosen = [lists[i][j] for i, j in enumerate(indices)]
@@ -697,11 +768,35 @@ def _synthesize_flow(
                 hit = _score(chosen, registry, options, signature)
                 content_cache[key] = hit
                 scored_counter += 1
+                if emitting:
+                    events.emit(
+                        "combo_scored",
+                        scored=scored_counter,
+                        bound=search_bound,
+                        cost=hit[0],
+                    )
+            else:
+                memo_hits += 1
+                if emitting:
+                    events.emit("combo_memo_hit", level="content")
             cache[indices] = hit
+        else:
+            memo_hits += 1
+            if emitting:
+                events.emit("combo_memo_hit", level="indices")
         return hit
+
+    def note_prune(surrogate: int, bound: float) -> None:
+        nonlocal pruned_count
+        pruned_count += 1
+        if emitting:
+            events.emit("combo_pruned", surrogate=surrogate, bound=bound)
 
     with _phase(timings, tracer, "search", deadline) as clock:
         sizes = [len(reps) for reps in lists]
+        search_space = 1
+        for size in sizes:
+            search_space *= size
         total = 1
         for size in sizes:
             total *= size
@@ -722,8 +817,16 @@ def _synthesize_flow(
             for reps in lists
         ]
 
+        search_mode = "exhaustive" if total <= options.exhaustive_limit else "descent"
+        if search_mode == "exhaustive":
+            search_bound = total
+        else:
+            search_bound = (
+                len(_search_seeds(lists, weights)) + options.descent_budget
+            )
+
         try:
-            if total <= options.exhaustive_limit:
+            if search_mode == "exhaustive":
                 best_indices = None
                 best_cost = None
                 best_surrogate = None
@@ -735,6 +838,7 @@ def _synthesize_flow(
                         best_surrogate is not None
                         and surrogate > _PRUNE_FACTOR * best_surrogate
                     ):
+                        note_prune(surrogate, _PRUNE_FACTOR * best_surrogate)
                         continue
                     cost, _ = score_indices(indices)
                     if best_cost is None or cost < best_cost:
@@ -747,7 +851,7 @@ def _synthesize_flow(
                         best_surrogate = surrogate
             else:
                 best_indices, best_cost = _seeded_descent(
-                    lists, sizes, weights, options, score_indices
+                    lists, sizes, weights, options, score_indices, note_prune
                 )
         except BudgetExceeded as exc:
             # Out of budget mid-search: settle for the best combination
@@ -758,6 +862,7 @@ def _synthesize_flow(
                 raise
             best_indices = min(cache, key=lambda indices: cache[indices][0])
             degradations.append(Degradation("search", "partial", str(exc)))
+            events.emit("degradation", phase="search", action="partial")
             clock.count(degraded=1)
             # Committed to the partial winner: retrieval and validation
             # below must finish, so enforcement stops here.
@@ -769,7 +874,9 @@ def _synthesize_flow(
             f"{scored_counter} combination(s) scored",
             chosen=[lists[i][j].tag for i, j in enumerate(best_indices)],
         )
-        winner_cost, decomposition = score_indices(best_indices)
+        # Direct cache read: the winner was necessarily scored, and the
+        # retrieval must not inflate the memo-hit telemetry.
+        winner_cost, decomposition = cache[best_indices]
         chosen = [lists[i][j] for i, j in enumerate(best_indices)]
 
         # Never-worse-than-direct guard.  Every assembled combination is
@@ -784,8 +891,10 @@ def _synthesize_flow(
         direct_dec = Decomposition(method="poly_synth")
         for poly in system:
             direct_dec.outputs.append(expr_from_polynomial(poly))
+        direct_fallback = False
         if _score_assembled(direct_dec, options, signature) < winner_cost:
             decomposition = direct_dec
+            direct_fallback = True
             trace.record(
                 "search",
                 "direct SOP beat every assembled combination; kept direct",
@@ -796,6 +905,8 @@ def _synthesize_flow(
         final = decomposition.op_count()
         clock.count(
             combinations=scored_counter,
+            memo_hits=memo_hits,
+            pruned=pruned_count,
             ops_initial=_weighted(initial, options),
             ops_final=_weighted(final, options),
         )
@@ -805,6 +916,30 @@ def _synthesize_flow(
         # the per-phase clock restarted, so a job-budget overrun earlier
         # in the flow does not leave the winning decomposition unchecked.
         _validate(decomposition, system, chosen, signature)
+
+    provenance = Provenance(
+        objective=options.objective,
+        search_mode=search_mode,
+        search_space=search_space,
+        search_bound=search_bound,
+        combinations_scored=scored_counter,
+        memo_hits=memo_hits,
+        pruned=pruned_count,
+        direct_fallback=direct_fallback,
+        chosen=[
+            ChosenRepresentation(
+                polynomial=str(poly),
+                tag=lists[i][j].tag,
+                index=j,
+                candidates=len(lists[i]),
+            )
+            for i, (poly, j) in enumerate(zip(system, best_indices))
+        ],
+        blocks={
+            name: str(expr) for name, expr in decomposition.blocks.items()
+        },
+        degradations=[str(d) for d in degradations],
+    )
 
     return SynthesisResult(
         decomposition=decomposition,
@@ -817,6 +952,7 @@ def _synthesize_flow(
         trace=trace,
         timings=timings,
         degradations=degradations,
+        provenance=provenance,
     )
 
 
@@ -874,13 +1010,15 @@ def _seeded_descent(
     weights: list[list[int]],
     options: SynthesisOptions,
     score_indices,
+    note_prune=None,
 ) -> tuple[tuple[int, ...], float]:
     """Score the family seeds, then coordinate-descend from the best one.
 
     Single-coordinate moves whose surrogate weight regresses the current
     combination beyond the branch-and-bound margin are pruned without
     scoring (see :data:`_PRUNE_FACTOR`) — the saved budget goes to moves
-    that can plausibly win.
+    that can plausibly win.  ``note_prune(surrogate, bound)`` reports
+    each pruned move to the caller's telemetry.
     """
     best_indices: tuple[int, ...] | None = None
     best_cost: float | None = None
@@ -907,6 +1045,8 @@ def _seeded_descent(
                     best_surrogate - weights[i][best_indices[i]] + weights[i][j]
                 )
                 if trial_surrogate > bound:
+                    if note_prune is not None:
+                        note_prune(trial_surrogate, bound)
                     continue
                 trial = best_indices[:i] + (j,) + best_indices[i + 1:]
                 cost, _ = score_indices(trial)

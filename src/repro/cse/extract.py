@@ -559,7 +559,11 @@ class _Extractor:
     # -- the greedy loop --------------------------------------------------
 
     def run(self) -> CseResult:
+        from repro.obs import current_events
+
         deadline = _current_deadline()
+        events = current_events()
+        emitting = events.enabled  # hoisted: the greedy loop is hot
         while self.rounds < self.max_rounds:
             deadline.tick(site="cse/round")
             rows = self._kernel_rows() if self.enable_kernels else []
@@ -596,6 +600,14 @@ class _Extractor:
             )
             if not applied:
                 break
+            if emitting:
+                events.emit(
+                    "kernel_chosen",
+                    kind=kind,
+                    gain=best_gain,
+                    matches=len(where),
+                    round=self.rounds,
+                )
             self.rounds += 1
         self._compact()
         return CseResult(self.polys, dict(self.blocks), self.rounds)

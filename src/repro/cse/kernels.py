@@ -126,6 +126,11 @@ def clear_kernel_cache() -> None:
     _ALIGNED_CACHE.clear()
 
 
+def kernel_cache_size() -> int:
+    """Entries currently held by the content-keyed kernel memo."""
+    return len(_KERNEL_CACHE)
+
+
 def all_kernels(poly: Polynomial) -> list[KernelEntry]:
     """List of every kernel/co-kernel pair (see :func:`iter_kernels`).
 

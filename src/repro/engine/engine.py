@@ -54,7 +54,15 @@ from repro.core import (
     direct_cost,
     synthesize,
 )
-from repro.obs import Tracer, current_tracer, get_registry, use_tracer
+from repro.obs import (
+    EventStream,
+    Tracer,
+    current_events,
+    current_tracer,
+    get_registry,
+    use_events,
+    use_tracer,
+)
 from repro.expr import Decomposition, OpCount
 from repro.testing.faults import fault_point, use_attempt
 from repro.serialize import (
@@ -75,6 +83,10 @@ logger = logging.getLogger("repro.engine")
 
 #: How often the pool dispatch loop wakes to poll futures and timeouts.
 _POLL_SECONDS = 0.05
+
+#: Minimum gap between ``heartbeat`` events from the dispatch loops, so
+#: even a quiet batch shows signs of life without flooding the stream.
+_HEARTBEAT_SECONDS = 1.0
 
 #: Attempt number used for degraded in-process reruns.  It exceeds any
 #: realistic ``attempts`` gate, so injected faults never fire on the
@@ -236,6 +248,7 @@ def _run_job_payload(
     method: str,
     label: str = "",
     trace: bool = False,
+    events: bool = False,
     config_data: dict[str, Any] | None = None,
     attempt: int = 0,
     degraded_reason: str | None = None,
@@ -248,7 +261,10 @@ def _run_job_payload(
     job runs under its own fresh :class:`~repro.obs.Tracer` (whichever
     process it lands in) and ships the resulting span tree home inside
     the payload for :meth:`~repro.obs.Tracer.adopt` to stitch; the
-    caller strips it again before caching.
+    caller strips it again before caching.  ``events`` does the same for
+    the structured event stream (:meth:`~repro.obs.EventStream.adopt`):
+    only the *accepted* payload's events are adopted, so the events of
+    failed attempts that were retried are discarded, never duplicated.
 
     ``config_data`` is the engine's :class:`~repro.config.RunConfig`
     round-tripped through the payload; its budget bounds the synthesis
@@ -282,40 +298,44 @@ def _run_job_payload(
             # its wall-clock allowance inside the killed worker.
             budget = Budget(job_seconds=0.0)
     tracer = Tracer() if trace else None
+    stream = EventStream() if events else None
     start_wall = time.time()
     with use_attempt(attempt if degraded_reason is None else _DEGRADED_ATTEMPT):
+        if stream is not None:
+            stream.emit("job_start", job=label or method, method=method)
         try:
             system = system_from_dict(system_data)
             options = SynthesisOptions(**options_data) if options_data else None
             fault_point(f"job:{label or method}")
-            with use_tracer(tracer) if tracer is not None else nullcontext():
-                job_span = (
-                    tracer.span(f"job:{label or method}", method=method)
-                    if tracer is not None
-                    else nullcontext()
-                )
-                with job_span:
-                    if method == "proposed":
-                        result = synthesize(
-                            list(system.polys), system.signature, options,
-                            budget=budget,
-                        )
-                        decomposition = result.decomposition
-                        op_count = result.op_count
-                        initial = result.initial_op_count
-                        timings = result.timings or Timings()
-                        payload["degradations"].extend(
-                            d.as_dict() for d in result.degradations
-                        )
-                    else:
-                        fn = get_method(method)
-                        timings = Timings()
-                        with timings.phase(f"method:{method}"):
-                            decomposition = fn(system, options)
-                        op_count = decomposition.op_count()
-                        initial = direct_cost(
-                            list(system.polys), options or SynthesisOptions()
-                        )
+            with use_events(stream) if stream is not None else nullcontext():
+                with use_tracer(tracer) if tracer is not None else nullcontext():
+                    job_span = (
+                        tracer.span(f"job:{label or method}", method=method)
+                        if tracer is not None
+                        else nullcontext()
+                    )
+                    with job_span:
+                        if method == "proposed":
+                            result = synthesize(
+                                list(system.polys), system.signature, options,
+                                budget=budget,
+                            )
+                            decomposition = result.decomposition
+                            op_count = result.op_count
+                            initial = result.initial_op_count
+                            timings = result.timings or Timings()
+                            payload["degradations"].extend(
+                                d.as_dict() for d in result.degradations
+                            )
+                        else:
+                            fn = get_method(method)
+                            timings = Timings()
+                            with timings.phase(f"method:{method}"):
+                                decomposition = fn(system, options)
+                            op_count = decomposition.op_count()
+                            initial = direct_cost(
+                                list(system.polys), options or SynthesisOptions()
+                            )
             payload.update(
                 decomposition=decomposition_to_dict(decomposition),
                 op_count=op_count_to_dict(op_count),
@@ -324,6 +344,10 @@ def _run_job_payload(
             )
         except Exception as exc:  # noqa: BLE001 - one bad job must not kill the batch
             payload["error"] = f"{type(exc).__name__}: {exc}"
+        if stream is not None:
+            stream.emit(
+                "job_end", job=label or method, error=payload["error"]
+            )
     payload["worker"] = {
         "pid": os.getpid(),
         "start_wall": start_wall,
@@ -331,6 +355,8 @@ def _run_job_payload(
     }
     if tracer is not None:
         payload["spans"] = tracer.snapshot().to_dict()
+    if stream is not None:
+        payload["events"] = stream.snapshot().to_dict()
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
@@ -368,6 +394,7 @@ def _pool_worker(args: tuple[int, str]) -> tuple[int, str]:
         data["method"],
         label=data.get("label", ""),
         trace=bool(data.get("trace")),
+        events=bool(data.get("events")),
         config_data=data.get("config"),
         attempt=int(data.get("attempt", 0)),
     )
@@ -421,6 +448,7 @@ class BatchEngine:
         batch = [self._coerce(job) for job in jobs]
         start = time.perf_counter()
         tracer = current_tracer()
+        events = current_events()
         stats_before = replace(self.cache.stats)
         self._attempts = {}
         self._timed_out = set()
@@ -439,21 +467,30 @@ class BatchEngine:
                     hits[index] = True
                     with tracer.span("cache_hit", job=batch[index].label):
                         pass
+                    if events.enabled:
+                        events.emit("cache_hit", job=batch[index].label)
                 else:
                     pending.append(index)
+                    if events.enabled:
+                        events.emit("cache_miss", job=batch[index].label)
 
             for index, payload in self._execute(batch, pending).items():
                 data = json.loads(payload)
                 spans_data = data.pop("spans", None)
-                if spans_data is not None:
-                    # Span trees are transport-only: stitch them under the
-                    # batch span, then strip them so the cached payload
-                    # (and JobResult.payload) is identical to an untraced
+                events_data = data.pop("events", None)
+                if spans_data is not None or events_data is not None:
+                    # Span trees and event snapshots are transport-only:
+                    # stitch them under the batch span / parent stream,
+                    # then strip them so the cached payload (and
+                    # JobResult.payload) is identical to an unobserved
                     # run's.
                     payload = json.dumps(
                         data, sort_keys=True, separators=(",", ":")
                     )
+                if spans_data is not None:
                     tracer.adopt(spans_data, tid=index + 1)
+                if events_data is not None:
+                    events.adopt(events_data, job=batch[index].label)
                 payloads[index] = payload
                 hits[index] = False
                 # Degraded results are wall-clock-dependent (a slower
@@ -524,6 +561,7 @@ class BatchEngine:
                 "method": job.method,
                 "label": job.label,
                 "trace": current_tracer().enabled,
+                "events": current_events().enabled,
                 "config": self.config.as_dict(),
                 "attempt": attempt,
             }
@@ -587,6 +625,12 @@ class BatchEngine:
     def _degraded_payload(self, job: BatchJob, attempt: int, reason: str) -> str:
         """Rerun one job in-process down the degraded path (see ROBUSTNESS)."""
         self.last_pool.degraded += 1
+        events = current_events()
+        if events.enabled:
+            events.emit(
+                "degradation", phase="pool", action="degraded-rerun",
+                job=job.label, reason=reason,
+            )
         with current_tracer().span(
             "pool/degraded", job=job.label, reason=reason
         ):
@@ -596,6 +640,7 @@ class BatchEngine:
                 job.method,
                 label=job.label,
                 trace=current_tracer().enabled,
+                events=events.enabled,
                 config_data=self.config.as_dict(),
                 attempt=attempt,
                 degraded_reason=reason,
@@ -608,11 +653,26 @@ class BatchEngine:
         retry = self.config.retry
         stats = self.last_pool
         tracer = current_tracer()
+        events = current_events()
+        last_beat = time.monotonic()
         for index in pending:
             job = batch[index]
+            if events.enabled:
+                now = time.monotonic()
+                if now - last_beat >= _HEARTBEAT_SECONDS:
+                    last_beat = now
+                    events.emit(
+                        "heartbeat", done=len(out), inflight=1,
+                        pending=len(pending) - len(out),
+                    )
             if self._breaker_open(job):
                 with tracer.span("pool/breaker", job=job.label):
                     pass
+                if events.enabled:
+                    events.emit(
+                        "breaker", job=job.label,
+                        failures=self._breaker[job.label],
+                    )
                 self._attempts[index] = 1
                 out[index] = self._degraded_payload(
                     job,
@@ -639,6 +699,8 @@ class BatchEngine:
                 stats.retries += 1
                 with tracer.span("pool/retry", job=job.label, attempt=attempt):
                     pass
+                if events.enabled:
+                    events.emit("retry", job=job.label, attempt=attempt)
                 time.sleep(retry.delay(attempt, job.label))
             out[index] = payload
         return out
@@ -669,6 +731,7 @@ class BatchEngine:
         stats = self.last_pool
         retry = self.config.retry
         tracer = current_tracer()
+        events = current_events()
         wait_histogram = get_registry().histogram("repro_pool_queue_wait_seconds")
         max_workers = min(self.workers, len(pending))
 
@@ -678,6 +741,11 @@ class BatchEngine:
             if self._breaker_open(job):
                 with tracer.span("pool/breaker", job=job.label):
                     pass
+                if events.enabled:
+                    events.emit(
+                        "breaker", job=job.label,
+                        failures=self._breaker[job.label],
+                    )
                 self._attempts[index] = 1
                 out[index] = self._degraded_payload(
                     job,
@@ -693,8 +761,18 @@ class BatchEngine:
         pool = ProcessPoolExecutor(max_workers=max_workers)
         inflight: dict[Any, tuple[int, int, float]] = {}
         not_before: dict[int, float] = {}
+        last_beat = time.monotonic()
         try:
             while ready or inflight:
+                if events.enabled:
+                    beat_now = time.monotonic()
+                    if beat_now - last_beat >= _HEARTBEAT_SECONDS:
+                        last_beat = beat_now
+                        events.emit(
+                            "heartbeat", done=len(out),
+                            inflight=len(inflight),
+                            pending=len(ready),
+                        )
                 now = time.time()
                 for item in list(ready):
                     if len(inflight) >= max_workers:
@@ -742,6 +820,10 @@ class BatchEngine:
                                 "pool/retry", job=job.label, attempt=attempt + 1
                             ):
                                 pass
+                            if events.enabled:
+                                events.emit(
+                                    "retry", job=job.label, attempt=attempt + 1
+                                )
                             not_before[index] = time.time() + retry.delay(
                                 attempt + 1, job.label
                             )
@@ -782,6 +864,11 @@ class BatchEngine:
                                 "pool/retry", job=job.label, attempt=attempt + 1
                             ):
                                 pass
+                            if events.enabled:
+                                events.emit(
+                                    "retry", job=job.label,
+                                    attempt=attempt + 1, crashed=True,
+                                )
                             not_before[index] = time.time() + retry.delay(
                                 attempt + 1, job.label
                             )
@@ -828,6 +915,11 @@ class BatchEngine:
                                     "pool/timeout", job=job.label
                                 ):
                                     pass
+                                if events.enabled:
+                                    events.emit(
+                                        "timeout", job=job.label,
+                                        seconds=retry.job_timeout_seconds,
+                                    )
                                 self._note_failure(job)
                                 self._timed_out.add(index)
                                 self._attempts[index] = attempt + 2

@@ -1,4 +1,4 @@
-"""Unified observability: hierarchical spans, metrics, exporters.
+"""Unified observability: hierarchical spans, events, metrics, exporters.
 
 The subsystem the ROADMAP's scaling PRs measure themselves against:
 
@@ -6,17 +6,43 @@ The subsystem the ROADMAP's scaling PRs measure themselves against:
   near-zero-overhead no-op default; ambient via :func:`current_tracer`
   / :func:`use_tracer`; cross-process stitching via
   :meth:`Tracer.adopt`; ``REPRO_TRACE`` turns the default on.
+* :mod:`repro.obs.events` — the typed, ordered :class:`EventStream`
+  (phase boundaries, scored/memoized/pruned combinations, kernel
+  choices, cache hits, retries, heartbeats) with pluggable sinks
+  (:class:`RingBufferSink`, :class:`JsonlSink`, :class:`CallbackSink`)
+  behind the same zero-cost no-op default; ``REPRO_EVENTS`` turns the
+  default on.
+* :mod:`repro.obs.progress` — :class:`ProgressRenderer`, the live
+  status-line consumer of the event stream (``--progress``).
 * :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
   gauges, and fixed-bucket histograms; :func:`observe_timings` bridges
   the flow's per-phase :class:`~repro.core.metrics.Timings` into it.
 * :mod:`repro.obs.exporters` — JSONL span logs, Chrome trace-event JSON
   (Perfetto / ``chrome://tracing``), Prometheus text exposition.
-* :mod:`repro.obs.validate` — the bundled Chrome-trace checker used by
-  tests, ``repro trace``, and CI.
+* :mod:`repro.obs.validate` — the bundled Chrome-trace and event-JSONL
+  checkers used by tests, ``repro trace``, and CI.
 
-See ``docs/OBSERVABILITY.md`` for the span taxonomy and formats.
+See ``docs/OBSERVABILITY.md`` for the span taxonomy, the event
+taxonomy, and the export formats.
 """
 
+from .events import (
+    EVENT_KINDS,
+    NULL_EVENTS,
+    CallbackSink,
+    Event,
+    EventsSnapshot,
+    EventStream,
+    JsonlSink,
+    NullEventStream,
+    RingBufferSink,
+    current_events,
+    env_events_path,
+    env_events_settings,
+    event_allocation_count,
+    set_events,
+    use_events,
+)
 from .exporters import (
     chrome_trace,
     prometheus_text,
@@ -34,6 +60,7 @@ from .metrics import (
     get_registry,
     observe_timings,
 )
+from .progress import ProgressRenderer
 from .tracer import (
     NULL_TRACER,
     NullTracer,
@@ -41,6 +68,7 @@ from .tracer import (
     Tracer,
     TraceSnapshot,
     current_tracer,
+    env_toggle,
     env_trace_path,
     env_trace_settings,
     format_span_tree,
@@ -48,34 +76,57 @@ from .tracer import (
     span_allocation_count,
     use_tracer,
 )
-from .validate import chrome_trace_depth, event_names, validate_chrome_trace
+from .validate import (
+    chrome_trace_depth,
+    event_names,
+    validate_chrome_trace,
+    validate_event_jsonl,
+)
 
 __all__ = [
+    "CallbackSink",
     "Counter",
     "DEFAULT_BUCKETS",
+    "EVENT_KINDS",
+    "Event",
+    "EventStream",
+    "EventsSnapshot",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "MetricsRegistry",
+    "NULL_EVENTS",
     "NULL_TRACER",
+    "NullEventStream",
     "NullTracer",
+    "ProgressRenderer",
+    "RingBufferSink",
     "Span",
     "TraceSnapshot",
     "Tracer",
     "chrome_trace",
     "chrome_trace_depth",
+    "current_events",
     "current_tracer",
+    "env_events_path",
+    "env_events_settings",
+    "env_toggle",
     "env_trace_path",
     "env_trace_settings",
+    "event_allocation_count",
     "event_names",
     "format_span_tree",
     "get_registry",
     "observe_timings",
     "prometheus_text",
+    "set_events",
     "set_tracer",
     "span_allocation_count",
     "spans_to_jsonl",
+    "use_events",
     "use_tracer",
     "validate_chrome_trace",
+    "validate_event_jsonl",
     "write_chrome_trace",
     "write_jsonl",
     "write_prometheus",

@@ -398,8 +398,28 @@ def _rebase(span: Span, delta: float, tid: int) -> Span:
 # The ambient tracer
 # ----------------------------------------------------------------------
 
-_FALSY = frozenset({"", "0", "false", "off", "no"})
+_FALSY = frozenset({"", "0", "false", "off", "no", "none", "disabled"})
 _TRUTHY = frozenset({"1", "true", "on", "yes"})
+
+
+def env_toggle(var: str) -> tuple[bool, str | None]:
+    """Interpret an on/off/path environment variable: (enabled, path).
+
+    The shared grammar of ``REPRO_TRACE`` and ``REPRO_EVENTS``: unset or
+    falsy values (``0``/``false``/``off``/``no``/``none``/``disabled``,
+    any case, surrounding whitespace ignored) disable; truthy values
+    (``1``/``true``/``on``/``yes``) enable; any other value enables
+    *and* is taken as an output file path.  A falsy value must never be
+    mistaken for a path — ``REPRO_TRACE=0`` used to produce a Chrome
+    trace named ``0``.
+    """
+    raw = os.environ.get(var, "").strip()
+    lowered = raw.lower()
+    if lowered in _FALSY:
+        return False, None
+    if lowered in _TRUTHY:
+        return True, None
+    return True, raw
 
 
 def env_trace_settings() -> tuple[bool, str | None]:
@@ -409,12 +429,7 @@ def env_trace_settings() -> tuple[bool, str | None]:
     other value enables it *and* is taken as the file the CLI writes a
     Chrome trace to when the command finishes.
     """
-    raw = os.environ.get("REPRO_TRACE", "").strip()
-    if raw.lower() in _FALSY:
-        return False, None
-    if raw.lower() in _TRUTHY:
-        return True, None
-    return True, raw
+    return env_toggle("REPRO_TRACE")
 
 
 _env_enabled, _env_path = env_trace_settings()

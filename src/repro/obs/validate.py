@@ -1,16 +1,23 @@
-"""Validator for Chrome trace-event JSON documents.
+"""Validators for the observability artifacts ``repro`` writes.
 
 Used by the test suite, by ``scripts/check_trace.py`` (the CI smoke
-check), and by ``repro trace`` before it reports success.  The checks
-cover what Perfetto / ``chrome://tracing`` actually require to load a
-file: the JSON Object Format with a ``traceEvents`` array of well-typed
-events, non-negative microsecond timestamps, and durations present on
-complete (``"X"``) events.
+check), and by ``repro trace`` before it reports success.  Two formats:
+
+* **Chrome trace-event JSON** (:func:`validate_chrome_trace`) — the
+  checks cover what Perfetto / ``chrome://tracing`` actually require to
+  load a file: the JSON Object Format with a ``traceEvents`` array of
+  well-typed events, non-negative microsecond timestamps, and durations
+  present on complete (``"X"``) events.
+* **Event-stream JSONL** (:func:`validate_event_jsonl`) — one
+  :class:`~repro.obs.events.Event` object per line, kinds restricted to
+  the :data:`~repro.obs.events.EVENT_KINDS` taxonomy, sequence numbers
+  strictly increasing (the stream's total order is a contract).
 """
 
 from __future__ import annotations
 
-from typing import Any
+import json
+from typing import Any, Iterable
 
 #: Event phases this repo emits or tolerates (the full spec has more).
 _KNOWN_PHASES = frozenset({"X", "B", "E", "i", "C", "M", "b", "e"})
@@ -102,3 +109,55 @@ def event_names(document: Any) -> list[str]:
         str(event.get("name", ""))
         for event in _events(document)
     ]
+
+
+def validate_event_jsonl(lines: "str | Iterable[str]") -> list[str]:
+    """Schema + ordering violations of an event-stream JSONL (empty = valid).
+
+    ``lines`` is the file content (one JSON object per line) or any
+    iterable of lines.  Checks per line: parseable JSON object with
+    ``kind == "event"``, an ``event`` field naming a kind from the
+    :data:`~repro.obs.events.EVENT_KINDS` taxonomy, a strictly
+    increasing integer ``seq``, a non-negative numeric ``ts``, and an
+    object ``data``.
+    """
+    from .events import EVENT_KINDS
+
+    if isinstance(lines, str):
+        lines = lines.splitlines()
+    errors: list[str] = []
+    last_seq: int | None = None
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"line {number}"
+        try:
+            entry = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"{where}: not valid JSON ({exc})")
+            continue
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        if entry.get("kind") != "event":
+            errors.append(f"{where}: 'kind' must be \"event\"")
+        kind = entry.get("event")
+        if not isinstance(kind, str) or kind not in EVENT_KINDS:
+            errors.append(f"{where}: unknown event kind {kind!r}")
+        seq = entry.get("seq")
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            errors.append(f"{where}: 'seq' must be a non-negative integer")
+        elif last_seq is not None and seq <= last_seq:
+            errors.append(
+                f"{where}: 'seq' {seq} does not increase over {last_seq}"
+            )
+        else:
+            last_seq = seq
+        ts = entry.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"{where}: 'ts' must be a non-negative number")
+        data = entry.get("data")
+        if data is not None and not isinstance(data, dict):
+            errors.append(f"{where}: 'data' must be an object")
+    return errors

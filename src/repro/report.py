@@ -96,6 +96,16 @@ def batch_text_report(report: "BatchReport") -> str:
         f"hit(s), {stats.evictions} eviction(s), "
         f"{stats.disk_reads} disk read(s) / {stats.disk_writes} write(s)",
     ]
+    combos = sum(r.timings.counter("combinations") for r in report.results)
+    memo_hits = sum(r.timings.counter("memo_hits") for r in report.results)
+    pruned = sum(r.timings.counter("pruned") for r in report.results)
+    if combos or memo_hits or pruned:
+        lookups = combos + memo_hits
+        memo_rate = memo_hits / lookups * 100.0 if lookups else 0.0
+        lines.append(
+            f"search: {combos} combination(s) scored, {memo_hits} memo "
+            f"hit(s) ({memo_rate:.0f}% memo hit rate), {pruned} pruned"
+        )
     if pool.jobs_executed:
         lines.append(
             f"pool: mode={pool.mode}, {pool.jobs_executed} job(s) executed, "
@@ -114,17 +124,19 @@ def batch_text_report(report: "BatchReport") -> str:
     lines += [
         "",
         f"{'job':16s} {'method':12s} {'cache':6s} "
-        f"{'MULT':>5s} {'ADD':>5s} {'synth s':>8s} {'tries':>5s} flags",
+        f"{'MULT':>5s} {'ADD':>5s} {'synth s':>8s} {'combos':>6s} "
+        f"{'tries':>5s} flags",
     ]
     for result in report.results:
         if result.ok:
             assert result.op_count is not None
             cells = (
                 f"{result.op_count.mul:5d} {result.op_count.add:5d} "
-                f"{result.seconds:8.3f}"
+                f"{result.seconds:8.3f} "
+                f"{result.timings.counter('combinations'):6d}"
             )
         else:
-            cells = f"{'ERROR':>5s} {'':>5s} {'':>8s}"
+            cells = f"{'ERROR':>5s} {'':>5s} {'':>8s} {'':>6s}"
         flags = ",".join(
             flag
             for flag, present in (

@@ -1,0 +1,145 @@
+"""Provenance records, the explain report, and the search-telemetry metrics.
+
+The load-bearing contract (the ISSUE's acceptance criterion): the
+integers in a result's :class:`~repro.core.Provenance` and the
+``repro_search_*`` counters published to the metrics registry are the
+*same numbers* — a consumer can cross-check either view against the
+other exactly.
+"""
+
+import json
+
+from repro.__main__ import main
+from repro.core import (
+    ChosenRepresentation,
+    Provenance,
+    SynthesisOptions,
+    clear_synthesis_caches,
+    explain_text,
+    synthesis_cache_sizes,
+    synthesize,
+)
+from repro.obs import Tracer, get_registry, use_tracer
+from repro.suite import get_system
+
+
+def traced_synthesis(name, options=None):
+    system = get_system(name)
+    clear_synthesis_caches()
+    get_registry().reset()
+    with use_tracer(Tracer()):
+        result = synthesize(
+            list(system.polys), system.signature, options or SynthesisOptions()
+        )
+    return system, result
+
+
+class TestProvenanceRecord:
+    def test_every_result_carries_provenance(self):
+        _, result = traced_synthesis("Table 14.1")
+        prov = result.provenance
+        assert prov is not None
+        assert prov.search_mode in ("exhaustive", "descent")
+        assert prov.combinations_scored > 0
+        assert prov.search_space >= prov.search_bound > 0
+        assert len(prov.chosen) == len(get_system("Table 14.1").polys)
+        for choice in prov.chosen:
+            assert choice.tag
+            assert 0 <= choice.index < choice.candidates
+
+    def test_round_trip(self):
+        _, result = traced_synthesis("Table 14.1")
+        doc = result.provenance.as_dict()
+        assert doc["kind"] == "provenance"
+        again = Provenance.from_dict(json.loads(json.dumps(doc)))
+        assert again == result.provenance
+
+    def test_memo_hit_rate(self):
+        prov = Provenance(combinations_scored=3, memo_hits=1)
+        assert prov.memo_hit_rate == 0.25
+        assert Provenance().memo_hit_rate == 0.0
+
+    def test_blocks_capture_winner_definitions(self):
+        _, result = traced_synthesis("Table 14.1")
+        prov = result.provenance
+        assert set(prov.blocks) == set(result.decomposition.blocks)
+        for name, definition in prov.blocks.items():
+            assert isinstance(definition, str) and definition
+
+
+class TestMetricsAgreement:
+    def test_counters_match_provenance_exactly(self):
+        """SG 3X2 exercises descent + memo hits; views must agree."""
+        _, result = traced_synthesis("SG 3X2")
+        prov = result.provenance
+        registry = get_registry()
+        assert (
+            registry.counter("repro_search_combos_scored").value
+            == prov.combinations_scored
+        )
+        assert (
+            registry.counter("repro_search_memo_hits").value == prov.memo_hits
+        )
+        assert registry.counter("repro_search_pruned").value == prov.pruned
+        assert prov.memo_hits > 0  # SG 3X2's search actually memoizes
+
+    def test_cache_size_gauges_published(self):
+        _, _ = traced_synthesis("Table 14.1")
+        sizes = synthesis_cache_sizes()
+        registry = get_registry()
+        for name, size in sizes.items():
+            assert registry.gauge(f"repro_search_{name}_size").value == size
+        assert sizes["best_expr_cache"] > 0
+
+    def test_untraced_run_publishes_nothing(self):
+        system = get_system("Table 14.1")
+        clear_synthesis_caches()
+        get_registry().reset()
+        synthesize(list(system.polys), system.signature, SynthesisOptions())
+        registry = get_registry()
+        assert registry.counter("repro_search_combos_scored").value == 0
+
+
+class TestExplainReport:
+    def test_text_names_kernels_and_telemetry(self):
+        system, result = traced_synthesis("SG 3X2")
+        text = explain_text(result, name=system.name)
+        prov = result.provenance
+        assert f"system: {system.name}" in text
+        assert f"{prov.combinations_scored} scored" in text
+        assert f"{prov.memo_hits} memo hit(s)" in text
+        assert "chosen representations:" in text
+        for block in prov.blocks:
+            assert block in text
+
+    def test_missing_provenance_degrades_gracefully(self):
+        class Stub:
+            provenance = None
+
+        assert "no provenance" in explain_text(Stub())
+
+    def test_chosen_representation_as_dict(self):
+        choice = ChosenRepresentation(
+            polynomial="x^2", tag="factored", index=0, candidates=4
+        )
+        assert choice.as_dict()["tag"] == "factored"
+
+
+class TestExplainCli:
+    def test_text_format(self, capsys):
+        rc = main(["explain", "--system", "Table 14.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "search:" in out
+        assert "chosen representations:" in out
+
+    def test_json_format(self, capsys):
+        rc = main(["explain", "--system", "Table 14.1", "--format", "json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "provenance"
+        assert doc["combinations_scored"] > 0
+        assert doc["chosen"]
+
+    def test_requires_a_system(self, capsys):
+        assert main(["explain"]) == 2

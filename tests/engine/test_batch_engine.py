@@ -121,6 +121,19 @@ class TestReport:
         assert "phase seconds" in table
         assert "Table 14.1" in table
 
+    def test_summary_table_reports_search_stats(self):
+        report = BatchEngine(RunConfig(workers=1)).run(jobs_for())
+        table = report.summary_table()
+        combos = sum(
+            r.timings.counter("combinations") for r in report.results
+        )
+        memo = sum(r.timings.counter("memo_hits") for r in report.results)
+        assert combos > 0
+        assert f"search: {combos} combination(s) scored" in table
+        assert f"{memo} memo hit(s)" in table
+        assert "memo hit rate" in table
+        assert "combos" in table  # the per-job column header
+
     def test_accepts_bare_systems(self):
         report = BatchEngine(RunConfig(workers=1)).run([get_system("Table 14.1")])
         assert report.results[0].name == "Table 14.1"

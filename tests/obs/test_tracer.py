@@ -171,16 +171,26 @@ class TestAmbient:
         assert NULL_TRACER.roots == []
 
     def test_env_trace_settings(self, monkeypatch):
+        # Regression: falsy values must disable, never be mistaken for a
+        # trace path ("REPRO_TRACE=0" once wrote a Chrome trace named 0).
         for value, expected in [
             ("", (False, None)),
             ("0", (False, None)),
             ("off", (False, None)),
+            ("false", (False, None)),
+            ("FALSE", (False, None)),
+            ("No", (False, None)),
+            ("none", (False, None)),
+            ("disabled", (False, None)),
+            ("  Off  ", (False, None)),
             ("1", (True, None)),
             ("TRUE", (True, None)),
+            (" yes ", (True, None)),
             ("trace.json", (True, "trace.json")),
+            ("0.json", (True, "0.json")),
         ]:
             monkeypatch.setenv("REPRO_TRACE", value)
-            assert env_trace_settings() == expected
+            assert env_trace_settings() == expected, value
         monkeypatch.delenv("REPRO_TRACE")
         assert env_trace_settings() == (False, None)
 
