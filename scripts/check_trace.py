@@ -31,6 +31,7 @@ from repro.obs.validate import (  # noqa: E402
     event_names,
     validate_chrome_trace,
     validate_event_jsonl,
+    validate_job_lifecycles,
 )
 
 
@@ -59,20 +60,53 @@ def check_trace(
     return problems
 
 
-def check_events(path: str) -> list[str]:
-    """Validate an event-stream JSONL file (schema + monotonic order)."""
+def check_events(path: str, require_lifecycle: bool = False) -> list[str]:
+    """Validate an event-stream JSONL file.
+
+    Checks the schema and the monotonic sequence order, then the per-job
+    lifecycle ordering — requeue-aware, so the durable service's
+    lease-expiry redeliveries (``job_requeued`` followed by a second
+    ``job_start``) validate cleanly instead of being flagged as
+    duplicate ``job`` events.  With ``require_lifecycle`` the file must
+    additionally contain at least one ``job_queued``/``job_leased``
+    event (the service-smoke assertion that the store was exercised).
+    """
     try:
         content = Path(path).read_text(encoding="utf-8")
     except OSError as exc:
         return [f"cannot load {path}: {exc}"]
     if not content.strip():
         return [f"{path}: event stream is empty"]
-    return [f"{path}: {p}" for p in validate_event_jsonl(content)]
+    problems = list(validate_event_jsonl(content))
+    entries = []
+    for line in content.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue  # already reported by validate_event_jsonl
+        if isinstance(entry, dict):
+            entries.append(entry)
+    problems += validate_job_lifecycles(entries)
+    if require_lifecycle:
+        kinds = {entry.get("event") for entry in entries}
+        if not kinds & {"job_queued", "job_leased"}:
+            problems.append(
+                "no service lifecycle events (job_queued/job_leased) found"
+            )
+    return [f"{path}: {p}" for p in problems]
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", help="Chrome trace-event JSON file to check")
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        help="Chrome trace-event JSON file to check (optional when only "
+        "--events is being validated)",
+    )
     parser.add_argument(
         "--min-depth",
         type=int,
@@ -87,19 +121,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--events",
         help="also validate this event-stream JSONL file "
-        "(schema + strictly increasing sequence numbers)",
+        "(schema + strictly increasing sequence numbers + per-job "
+        "lifecycle ordering)",
+    )
+    parser.add_argument(
+        "--require-job-lifecycle",
+        action="store_true",
+        help="require service lifecycle events (job_queued/job_leased) "
+        "in the --events file",
     )
     args = parser.parse_args(argv)
-    problems = check_trace(args.trace, args.min_depth, args.require_stitched)
+    if not args.trace and not args.events:
+        parser.error("nothing to check: give a trace file and/or --events")
+    problems = []
+    if args.trace:
+        problems += check_trace(args.trace, args.min_depth, args.require_stitched)
     if args.events:
-        problems += check_events(args.events)
+        problems += check_events(args.events, args.require_job_lifecycle)
     for problem in problems:
         print(f"error: {problem}", file=sys.stderr)
     if not problems:
-        checked = f"{args.trace}: valid Chrome trace"
+        checked = []
+        if args.trace:
+            checked.append(f"{args.trace}: valid Chrome trace")
         if args.events:
-            checked += f"; {args.events}: valid event stream"
-        print(checked)
+            checked.append(f"{args.events}: valid event stream")
+        print("; ".join(checked))
     return 1 if problems else 0
 
 

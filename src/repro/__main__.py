@@ -31,6 +31,17 @@ Commands:
     registered method plus the flow's strategy matrix, verify each
     result against the exact canonical-form oracle, shrink failures to
     minimal reproducers — see ``docs/VERIFY.md``.
+``serve``
+    Run the durable synthesis service: a crash-safe WAL job store,
+    lease-based recovery (``--resume`` after a crash), admission
+    control, and a stdlib HTTP API in front of the batch engine — see
+    ``docs/SERVICE.md``.
+``submit``
+    Submit one system to a running ``repro serve`` over HTTP
+    (``--wait`` polls until the job is terminal).
+``jobs``
+    List the jobs of a running ``repro serve`` (``--state``/``--tenant``
+    filters).
 
 ``synthesize`` and ``batch`` additionally accept ``--trace-out FILE``
 (write a Chrome trace of the run) and ``--stats`` (print the metrics
@@ -232,7 +243,7 @@ def _cmd_methods(args: argparse.Namespace) -> int:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.baselines import available_methods
-    from repro.engine import BatchEngine
+    from repro.engine import BatchEngine, graceful_shutdown
     from repro.suite import TABLE_14_3_SYSTEMS
 
     if args.method not in available_methods():
@@ -251,12 +262,24 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     scope, tracer, stream = _obs_scope(
         args, total_jobs=len(names) * max(1, args.repeat)
     )
-    with scope:
+    with scope, graceful_shutdown(engine):
         for _ in range(max(1, args.repeat)):
             report = engine.run_suite(names, method=args.method)
+            if engine.stop_requested:
+                break
     assert report is not None
     print(report.summary_table())
     _emit_trace_artifacts(args, tracer, stream)
+    if engine.stop_requested:
+        # Interrupted: in-flight jobs were drained (their results are in
+        # the partial report above), queued jobs were cancelled, and the
+        # disk cache holds everything that completed.
+        print(
+            f"batch: interrupted — {len(report.cancelled)} job(s) cancelled "
+            f"before execution, completed work is cached",
+            file=sys.stderr,
+        )
+        return 130
     return 1 if report.errors else 0
 
 
@@ -334,6 +357,180 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     print(f"elapsed: {report.elapsed:.1f}s", file=sys.stderr)
     _emit_trace_artifacts(args, tracer, stream)
     return 1 if report.findings else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.report import batch_text_report
+    from repro.service import ServiceConfig, ServiceServer, SynthesisService
+
+    service = SynthesisService(
+        ServiceConfig(
+            data_dir=args.data_dir,
+            run_config=run_config_from_args(args),
+            lease_seconds=args.lease_seconds,
+            max_redeliveries=args.max_redeliveries,
+            fsync=args.fsync,
+            drain_seconds=args.drain_seconds,
+            max_queue_depth=args.max_queue_depth,
+            tenant_rate=args.rate,
+            tenant_burst=args.burst,
+            max_job_seconds=args.max_job_seconds_cap,
+            events_out=args.events_out,
+        )
+    )
+    service.start(resume=args.resume)
+    if args.resume:
+        recovery = service.recovery
+        print(
+            f"repro-serve: resume recovered {recovery.get('jobs', 0)} job(s) "
+            f"from the WAL ({recovery.get('torn_records', 0)} torn record(s) "
+            f"dropped), requeued {recovery.get('requeued', 0)} orphan(s), "
+            f"dead-lettered {recovery.get('dead_lettered', 0)}",
+            flush=True,
+        )
+    server = ServiceServer(service, args.host, args.port)
+    try:
+        asyncio.run(
+            server.run(
+                announce=lambda msg: print(f"repro-serve: {msg}", flush=True)
+            )
+        )
+    finally:
+        report = service.stop(drain=True)
+        counts = service.store.counts()
+        summary = ", ".join(
+            f"{count} {state}" for state, count in sorted(counts.items())
+        )
+        print(f"repro-serve: drained; store holds {summary or 'no jobs'}")
+        if report.results:
+            print(batch_text_report(report))
+    return 0
+
+
+def _http_json(
+    url: str,
+    payload: dict | None = None,
+    timeout: float = 30.0,
+) -> tuple[int, dict]:
+    """One JSON-over-HTTP exchange against a running ``repro serve``."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read() or b"{}")
+    except urllib.error.HTTPError as error:
+        try:
+            body = json.loads(error.read() or b"{}")
+        except ValueError:
+            body = {}
+        return error.code, body
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import time as time_mod
+
+    from repro.serialize import system_to_dict
+    from repro.service import TERMINAL_STATES
+
+    system = _system_from_args(args)
+    payload: dict = {
+        "system": system_to_dict(system),
+        "method": args.method,
+        "tenant": args.tenant,
+    }
+    if args.label:
+        payload["label"] = args.label
+    config = run_config_from_args(args)
+    if config != RunConfig():
+        payload["config"] = config.as_dict()
+    base = args.url.rstrip("/")
+    status, data = _http_json(f"{base}/jobs", payload)
+    if status == 429:
+        print(
+            f"rejected: {data.get('error', 'rate limited')} "
+            f"(retry after {float(data.get('retry_after', 0.0)):.3f}s)",
+            file=sys.stderr,
+        )
+        return 75  # EX_TEMPFAIL: the client should back off and retry
+    if status not in (200, 201):
+        print(f"error {status}: {data.get('error', data)}", file=sys.stderr)
+        return 1
+    job = data["job"]
+    dedup = "" if data.get("created") else " (deduplicated onto existing job)"
+    print(f"job {job['job_id']}: {job['state']}{dedup}")
+    if not args.wait:
+        return 0
+    deadline = time_mod.time() + args.wait_timeout
+    while time_mod.time() < deadline:
+        status, data = _http_json(f"{base}/jobs/{job['job_id']}")
+        if status != 200:
+            print(f"error {status}: {data.get('error', data)}", file=sys.stderr)
+            return 1
+        job = data["job"]
+        if job["state"] in TERMINAL_STATES:
+            break
+        time_mod.sleep(args.poll_seconds)
+    else:
+        print(
+            f"job {job['job_id']} still {job['state']!r} after "
+            f"{args.wait_timeout:.0f}s",
+            file=sys.stderr,
+        )
+        return 1
+    status, data = _http_json(f"{base}/jobs/{job['job_id']}/result")
+    if status != 200:
+        print(f"error {status}: {data.get('error', data)}", file=sys.stderr)
+        return 1
+    line = f"job {data['job_id']}: {data['state']}"
+    if data.get("fingerprint"):
+        line += f", fingerprint {data['fingerprint'][:16]}"
+    if data.get("error"):
+        line += f", error: {data['error']}"
+    print(line)
+    return 0 if data["state"] in ("done", "degraded") else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    query = []
+    if args.state:
+        query.append(f"state={args.state}")
+    if args.tenant:
+        query.append(f"tenant={args.tenant}")
+    suffix = f"?{'&'.join(query)}" if query else ""
+    status, data = _http_json(f"{base}/jobs{suffix}")
+    if status != 200:
+        print(f"error {status}: {data.get('error', data)}", file=sys.stderr)
+        return 1
+    jobs = data.get("jobs", [])
+    print(
+        f"{'job':24s} {'state':12s} {'tenant':10s} {'method':12s} "
+        f"{'att':>3s} {'redel':>5s} fingerprint"
+    )
+    for job in jobs:
+        fingerprint = (job.get("fingerprint") or "")[:16]
+        print(
+            f"{job['job_id']:24s} {job['state']:12s} {job['tenant']:10s} "
+            f"{job['method']:12s} {job.get('attempts', 0):3d} "
+            f"{job.get('redeliveries', 0):5d} {fingerprint}"
+        )
+    counts = data.get("counts", {})
+    summary = ", ".join(
+        f"{count} {state}" for state, count in sorted(counts.items())
+    )
+    print(f"total: {len(jobs)} job(s) ({summary or 'empty store'})")
+    return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -626,6 +823,133 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser(
+        "serve",
+        parents=[governance],
+        help="run the durable synthesis service (WAL job store + HTTP API)",
+    )
+    p.add_argument(
+        "--data-dir",
+        required=True,
+        help="directory for the WAL job store and the result cache",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default 0: pick an ephemeral port and announce it)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the WAL and requeue jobs orphaned by a crash",
+    )
+    p.add_argument(
+        "--workers", type=int, help="engine process pool size (default: 1)"
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="result cache directory (default: <data-dir>/cache)",
+    )
+    p.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="worker lease duration; expired leases are requeued",
+    )
+    p.add_argument(
+        "--max-redeliveries",
+        type=int,
+        default=3,
+        help="redeliveries before a job parks in the dead-letter state",
+    )
+    p.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=30.0,
+        help="grace period for in-flight jobs on SIGTERM/SIGINT",
+    )
+    p.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=1024,
+        help="global cap on non-terminal jobs (backpressure: HTTP 429)",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="sustained submissions/second allowed per tenant",
+    )
+    p.add_argument(
+        "--burst",
+        type=int,
+        default=100,
+        help="instantaneous submission burst allowed per tenant",
+    )
+    p.add_argument(
+        "--max-job-seconds-cap",
+        type=float,
+        help="clamp every tenant's job budget to at most this many seconds",
+    )
+    p.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every WAL append (survives power loss, not just crashes)",
+    )
+    p.add_argument(
+        "--events-out",
+        help="stream the service's structured event log (JSONL) to this file",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        parents=[system, governance],
+        help="submit one system to a running `repro serve` over HTTP",
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="base URL of the running service",
+    )
+    p.add_argument(
+        "--method", default="proposed", help="registered method to run"
+    )
+    p.add_argument("--tenant", default="default", help="tenant identity")
+    p.add_argument("--label", help="display label (default: the system name)")
+    p.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job is terminal and print its result",
+    )
+    p.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=300.0,
+        help="give up polling after this many seconds",
+    )
+    p.add_argument(
+        "--poll-seconds",
+        type=float,
+        default=0.2,
+        help="poll interval while waiting",
+    )
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "jobs", help="list the jobs of a running `repro serve`"
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="base URL of the running service",
+    )
+    p.add_argument("--state", help="filter by job state")
+    p.add_argument("--tenant", help="filter by tenant")
+    p.set_defaults(func=_cmd_jobs)
+
+    p = sub.add_parser(
         "trace",
         parents=[system, governance],
         help="run the flow under the span tracer and export the trace",
@@ -661,7 +985,7 @@ def _flush_env_trace() -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "command", None) in (
-        "synthesize", "compare", "verilog", "trace", "explain",
+        "synthesize", "compare", "verilog", "trace", "explain", "submit",
     ):
         if not args.polynomials and not args.system:
             print("error: provide polynomials or --system NAME", file=sys.stderr)

@@ -44,6 +44,12 @@ from repro.expr import Decomposition, OpCount
 from repro.obs import EventStream, ProgressRenderer, Tracer
 from repro.poly import Polynomial, parse_polynomial, parse_system
 from repro.rings import BitVectorSignature
+from repro.service import (
+    JobStore,
+    ServiceConfig,
+    SynthesisService,
+    TenantPolicy,
+)
 from repro.system import PolySystem
 
 __all__ = [
@@ -57,6 +63,7 @@ __all__ = [
     "Degradation",
     "EventStream",
     "JobResult",
+    "JobStore",
     "MethodOutcome",
     "OpCount",
     "PolySystem",
@@ -65,8 +72,11 @@ __all__ = [
     "Provenance",
     "RetryPolicy",
     "RunConfig",
+    "ServiceConfig",
     "SynthesisOptions",
     "SynthesisResult",
+    "SynthesisService",
+    "TenantPolicy",
     "Timings",
     "Tracer",
     "TradeoffPoint",

@@ -13,7 +13,14 @@ from .cache import (
     ResultCache,
     cache_key,
 )
-from .engine import BatchEngine, BatchJob, BatchReport, JobResult, PoolStats
+from .engine import (
+    BatchEngine,
+    BatchJob,
+    BatchReport,
+    JobResult,
+    PoolStats,
+    graceful_shutdown,
+)
 
 __all__ = [
     "BatchEngine",
@@ -27,4 +34,5 @@ __all__ = [
     "PoolStats",
     "ResultCache",
     "cache_key",
+    "graceful_shutdown",
 ]

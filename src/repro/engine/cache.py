@@ -28,12 +28,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.core import SynthesisOptions
+from repro.ioutil import atomic_write_text
 from repro.serialize import polynomial_to_dict, signature_to_dict
 from repro.system import PolySystem
 
@@ -128,18 +128,10 @@ class DiskCache:
         return text
 
     def put(self, key: str, value: str) -> None:
-        fd, tmp = tempfile.mkstemp(
-            prefix=f".{key[:16]}-", suffix=".tmp", dir=self.directory
-        )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(value)
-            os.replace(tmp, self._path(key))
+            atomic_write_text(self._path(key), value)
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            pass  # a cache store that loses the race (or the disk) is a miss
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))

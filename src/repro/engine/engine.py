@@ -37,12 +37,14 @@ from __future__ import annotations
 import json
 import logging
 import os
+import signal as signal_module
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.baselines import get_method
 from repro.config import RunConfig, as_run_config
@@ -133,6 +135,11 @@ class JobResult:
         return self.error is None
 
     @property
+    def cancelled(self) -> bool:
+        """Was the job cancelled by a drain before it could execute?"""
+        return self.error is not None and self.error.startswith("cancelled:")
+
+    @property
     def degraded(self) -> bool:
         """Did the job overrun a budget and fall back somewhere?"""
         return bool(self.degradations)
@@ -184,6 +191,7 @@ class PoolStats:
     retries: int = 0     # re-executions after a failure or worker crash
     timeouts: int = 0    # jobs killed by the hard per-job pool timeout
     degraded: int = 0    # jobs rerouted to the in-process degraded path
+    cancelled: int = 0   # jobs never started because a drain was requested
 
     @property
     def utilization(self) -> float:
@@ -227,6 +235,11 @@ class BatchReport:
     def degraded(self) -> list[JobResult]:
         """Results that overran a budget and carry degradations."""
         return [r for r in self.results if r.degraded]
+
+    @property
+    def cancelled(self) -> list[JobResult]:
+        """Jobs a graceful drain cancelled before they executed."""
+        return [r for r in self.results if r.cancelled]
 
     def phase_seconds(self) -> dict[str, float]:
         """Per-phase synthesis seconds aggregated over every job."""
@@ -434,10 +447,34 @@ class BatchEngine:
         self._breaker: dict[str, int] = {}
         self._attempts: dict[int, int] = {}
         self._timed_out: set[int] = set()
+        # Set by request_stop() (a signal handler or the service's
+        # shutdown): the dispatch loops drain in-flight jobs and cancel
+        # everything not yet started.  Checking a threading.Event per
+        # dispatch iteration is the whole cost of the serving layer on
+        # plain batch runs.
+        self._stop = threading.Event()
 
     @property
     def workers(self) -> int:
         return self.config.workers
+
+    def request_stop(self) -> None:
+        """Ask the engine to drain: finish in-flight work, cancel the rest.
+
+        Safe to call from a signal handler or another thread.  Jobs
+        already executing run to completion (their own budgets and hard
+        timeouts still apply); jobs not yet started come back as
+        ``cancelled:`` error results so the caller can requeue them.
+        """
+        self._stop.set()
+
+    def clear_stop(self) -> None:
+        """Re-arm a drained engine (the service reuses one engine)."""
+        self._stop.clear()
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop.is_set()
 
     # ------------------------------------------------------------------
     # Public API
@@ -612,6 +649,19 @@ class BatchEngine:
 
     # -- shared fault-handling helpers ---------------------------------
 
+    def _cancelled_payload(self, index: int, job: BatchJob) -> str:
+        """Mark one never-started job cancelled by the drain."""
+        self.last_pool.cancelled += 1
+        self._attempts[index] = 0
+        events = current_events()
+        with current_tracer().span("pool/cancelled", job=job.label):
+            pass
+        if events.enabled:
+            events.emit("job_cancelled", job=job.label, reason="shutdown")
+        return _error_payload(
+            job.method, "cancelled: shutdown requested before execution"
+        )
+
     def _breaker_open(self, job: BatchJob) -> bool:
         threshold = self.config.retry.breaker_threshold
         return threshold > 0 and self._breaker.get(job.label, 0) >= threshold
@@ -657,6 +707,9 @@ class BatchEngine:
         last_beat = time.monotonic()
         for index in pending:
             job = batch[index]
+            if self._stop.is_set():
+                out[index] = self._cancelled_payload(index, job)
+                continue
             if events.enabled:
                 now = time.monotonic()
                 if now - last_beat >= _HEARTBEAT_SECONDS:
@@ -693,7 +746,7 @@ class BatchEngine:
                     self._note_success(job)
                     break
                 self._note_failure(job)
-                if attempt >= retry.max_retries:
+                if attempt >= retry.max_retries or self._stop.is_set():
                     break
                 attempt += 1
                 stats.retries += 1
@@ -764,6 +817,16 @@ class BatchEngine:
         last_beat = time.monotonic()
         try:
             while ready or inflight:
+                if self._stop.is_set() and ready:
+                    # Drain: cancel everything not yet submitted; the
+                    # loop keeps waiting on the in-flight window below.
+                    for index, _attempt in ready:
+                        out[index] = self._cancelled_payload(
+                            index, batch[index]
+                        )
+                    ready.clear()
+                    if not inflight:
+                        break
                 if events.enabled:
                     beat_now = time.monotonic()
                     if beat_now - last_beat >= _HEARTBEAT_SECONDS:
@@ -975,12 +1038,53 @@ class BatchEngine:
             registry.counter("repro_pool_timeouts_total").inc(pool.timeouts)
         if pool.degraded:
             registry.counter("repro_pool_degraded_total").inc(pool.degraded)
+        if pool.cancelled:
+            registry.counter("repro_pool_cancelled_total").inc(pool.cancelled)
         degraded_results = len(report.degraded)
         if degraded_results:
             registry.counter("repro_jobs_degraded_total").inc(degraded_results)
         if pool.mode == "pool":
             registry.gauge("repro_pool_utilization").set(pool.utilization)
         registry.histogram("repro_batch_seconds").observe(report.seconds)
+
+
+@contextmanager
+def graceful_shutdown(
+    engine: BatchEngine,
+    signals: Sequence[int] = (signal_module.SIGINT, signal_module.SIGTERM),
+) -> Iterator[BatchEngine]:
+    """Drain ``engine`` on SIGINT/SIGTERM instead of dying mid-report.
+
+    The first signal requests a drain (in-flight jobs finish, queued
+    jobs come back as ``cancelled:`` results, the partial
+    :class:`BatchReport` is still produced and the disk cache keeps
+    every completed result); a second signal raises
+    :class:`KeyboardInterrupt` for a hard abort.  Handlers are restored
+    on exit.  Signal handlers can only be installed from the main
+    thread — elsewhere (the service's worker thread, pytest-xdist) this
+    is a transparent no-op and the caller's own shutdown path governs.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield engine
+        return
+
+    def _handle(signum: int, _frame: Any) -> None:
+        if engine.stop_requested:
+            raise KeyboardInterrupt
+        logger.warning(
+            "received %s: draining batch (signal again to abort hard)",
+            signal_module.Signals(signum).name,
+        )
+        engine.request_stop()
+
+    previous = {}
+    for sig in signals:
+        previous[sig] = signal_module.signal(sig, _handle)
+    try:
+        yield engine
+    finally:
+        for sig, handler in previous.items():
+            signal_module.signal(sig, handler)
 
 
 def _decode_result(

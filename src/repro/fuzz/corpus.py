@@ -23,6 +23,7 @@ import json
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
+from repro.ioutil import atomic_write_text
 from repro.serialize import system_from_dict, system_to_dict
 from repro.system import PolySystem
 
@@ -63,12 +64,13 @@ def write_corpus_entry(
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{case.case_id}.json"
-    path.write_text(
+    atomic_write_text(
+        path,
         json.dumps(
             corpus_entry(case, findings, shrunk, expect),
             indent=2, sort_keys=True,
         )
-        + "\n"
+        + "\n",
     )
     return path
 

@@ -1,0 +1,74 @@
+"""Crash-safe filesystem primitives shared by every on-disk writer.
+
+Anything ``repro`` persists — result-cache entries, the service job
+store's WAL snapshots, fuzz-corpus reproducers, benchmark baselines —
+must survive a ``kill -9`` (or a crash-mid-write) without ever exposing
+a torn file to a later reader.  The rule is one primitive, used
+everywhere: write the full content to a temporary file *in the target
+directory* (so the rename cannot cross filesystems), then publish it
+with :func:`os.replace`, which POSIX guarantees to be atomic.  A reader
+therefore sees either the old content, the new content, or no file —
+never a prefix.
+
+``fsync=True`` additionally flushes the file (and, where the platform
+allows, the directory entry) to stable storage before the rename, which
+extends the guarantee from "survives process death" to "survives power
+loss".  Process death is the threat model of the durable synthesis
+service's tests, so callers default to the cheap variant.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(
+    path: str | os.PathLike,
+    text: str,
+    *,
+    encoding: str = "utf-8",
+    fsync: bool = False,
+) -> Path:
+    """Atomically replace ``path`` with ``text``; returns the path.
+
+    The temporary file is created next to the target and renamed over
+    it, so concurrent writers can only ever race to a *complete* file
+    and a crash at any point leaves either the old file or the new one.
+    The temp file is removed on failure.
+    """
+    target = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{target.name[:24]}-", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        if fsync:
+            fsync_dir(target.parent)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def fsync_dir(directory: str | os.PathLike) -> None:
+    """Flush a directory entry to disk (best-effort on platforms without)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

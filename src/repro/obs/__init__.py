@@ -81,6 +81,7 @@ from .validate import (
     event_names,
     validate_chrome_trace,
     validate_event_jsonl,
+    validate_job_lifecycles,
 )
 
 __all__ = [
@@ -127,6 +128,7 @@ __all__ = [
     "use_tracer",
     "validate_chrome_trace",
     "validate_event_jsonl",
+    "validate_job_lifecycles",
     "write_chrome_trace",
     "write_jsonl",
     "write_prometheus",

@@ -61,7 +61,13 @@ EVENT_KINDS = frozenset(
         "breaker",         # the circuit breaker refused a job
         "job_start",       # a job began executing (worker side)
         "job_end",         # a job finished executing (worker side)
+        "job_cancelled",   # a job was cancelled before (or instead of) running
         "heartbeat",       # periodic liveness/progress pulse
+        # -- durable-service lifecycle (src/repro/service/) -------------
+        "job_queued",      # the job store accepted a submission
+        "job_leased",      # a worker took a time-bounded lease on the job
+        "job_requeued",    # lease expired / crash orphan went back to queued
+        "job_dead_letter",  # redelivery budget exhausted; job parked
     }
 )
 

@@ -12,6 +12,13 @@ check), and by ``repro trace`` before it reports success.  Two formats:
   :class:`~repro.obs.events.Event` object per line, kinds restricted to
   the :data:`~repro.obs.events.EVENT_KINDS` taxonomy, sequence numbers
   strictly increasing (the stream's total order is a contract).
+* **Job lifecycles** (:func:`validate_job_lifecycles`) — per-job
+  ordering of the ``job_*`` lifecycle events the engine and the durable
+  service emit.  The rules are deliberately requeue-aware: a lease
+  expiry or crash recovery legally re-runs a job, so a second
+  ``job_start`` after a ``job_requeued``/``retry``/``timeout`` is a
+  valid redelivery, **not** a duplicate — only an unexplained repeat is
+  flagged.
 """
 
 from __future__ import annotations
@@ -109,6 +116,99 @@ def event_names(document: Any) -> list[str]:
         str(event.get("name", ""))
         for event in _events(document)
     ]
+
+
+#: Events that legalize another ``job_start`` for the same job: the
+#: engine's retry/timeout redelivery and the service's lease requeue.
+_REDELIVERY_KINDS = frozenset({"job_requeued", "retry", "timeout"})
+
+
+def validate_job_lifecycles(entries: Iterable[dict]) -> list[str]:
+    """Per-job lifecycle violations over parsed event dicts (empty = valid).
+
+    ``entries`` are event payloads (``Event.to_dict`` shape or parsed
+    JSONL lines).  Events are grouped by ``data["job"]`` (events without
+    a job label are ignored) and checked per job, in stream order:
+
+    * ``job_end`` must close an open ``job_start``;
+    * a second ``job_start`` needs an intervening redelivery event
+      (``job_requeued`` / ``retry`` / ``timeout``) — redeliveries are a
+      legal part of crash recovery and must not read as duplicates;
+    * ``job_leased`` is illegal while an execution is open (a lease on a
+      running job means two workers own it);
+    * ``job_dead_letter`` requires at least one prior ``job_requeued``
+      (a job cannot exhaust a redelivery budget it never consumed);
+    * nothing may follow a terminal ``job_dead_letter``/``job_cancelled``.
+    """
+    errors: list[str] = []
+    # Per-job state: "open" = a job_start with no job_end yet,
+    # "ran" = completed at least one execution, "requeues" = count,
+    # "terminal" = saw dead-letter/cancelled.
+    state: dict[str, dict[str, Any]] = {}
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        kind = entry.get("event")
+        data = entry.get("data") or {}
+        job = data.get("job")
+        if not isinstance(job, str) or not isinstance(kind, str):
+            continue
+        if not (kind.startswith("job_") or kind in _REDELIVERY_KINDS):
+            continue
+        st = state.setdefault(
+            job, {"open": False, "ran": False, "requeues": 0, "terminal": None}
+        )
+        if st["terminal"] is not None:
+            errors.append(
+                f"job {job!r}: {kind!r} after terminal {st['terminal']!r}"
+            )
+            continue
+        if kind == "job_start":
+            if st["open"]:
+                errors.append(
+                    f"job {job!r}: 'job_start' while an execution is "
+                    f"already open (no intervening job_end)"
+                )
+            elif st["ran"] and st["requeues"] == 0:
+                errors.append(
+                    f"job {job!r}: duplicate 'job_start' without an "
+                    f"intervening requeue/retry/timeout"
+                )
+            st["open"] = True
+            st["requeues"] = 0
+        elif kind == "job_end":
+            if not st["open"]:
+                errors.append(f"job {job!r}: 'job_end' without 'job_start'")
+            st["open"] = False
+            st["ran"] = True
+        elif kind in _REDELIVERY_KINDS:
+            # A requeue of an open execution is the crash-orphan path:
+            # the job never emitted job_end, the lease reaper took it
+            # back.  Close the execution and allow a fresh start.
+            st["open"] = False
+            st["requeues"] += 1
+        elif kind == "job_leased":
+            if st["open"]:
+                errors.append(
+                    f"job {job!r}: 'job_leased' while an execution is open"
+                )
+        elif kind == "job_dead_letter":
+            if st["requeues"] == 0 and not st["ran"]:
+                errors.append(
+                    f"job {job!r}: 'job_dead_letter' without any "
+                    f"prior delivery or requeue"
+                )
+            st["terminal"] = kind
+        elif kind == "job_cancelled":
+            st["terminal"] = kind
+        # job_queued needs no checks: resubmission dedup never re-emits.
+    for job, st in state.items():
+        if st["open"]:
+            errors.append(
+                f"job {job!r}: execution left open (job_start without "
+                f"job_end, requeue, or terminal state)"
+            )
+    return errors
 
 
 def validate_event_jsonl(lines: "str | Iterable[str]") -> list[str]:

@@ -114,11 +114,14 @@ def batch_text_report(report: "BatchReport") -> str:
             f"(max {pool.max_queue_wait_seconds:.3f} s), "
             f"{pool.fallbacks} fallback(s)"
         )
-        if pool.retries or pool.timeouts or pool.degraded:
-            lines.append(
+        if pool.retries or pool.timeouts or pool.degraded or pool.cancelled:
+            fault_line = (
                 f"faults: {pool.retries} retried, {pool.timeouts} timed out, "
                 f"{pool.degraded} degraded rerun(s)"
             )
+            if pool.cancelled:
+                fault_line += f", {pool.cancelled} cancelled by drain"
+            lines.append(fault_line)
     if pool.fallback_reason:
         lines.append(f"pool fallback reason: {pool.fallback_reason}")
     lines += [

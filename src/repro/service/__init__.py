@@ -1,0 +1,57 @@
+"""Durable synthesis service: crash-safe job store, leases, admission.
+
+The long-running front end over :class:`repro.engine.BatchEngine` —
+``repro serve`` on the CLI, :class:`SynthesisService` in-process.  See
+``docs/SERVICE.md`` for the architecture (WAL job store, lease-based
+recovery, admission control, graceful drain).
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TenantPolicy,
+    TokenBucket,
+    uniform_controller,
+)
+from .server import ServerThread, ServiceServer, run_server
+from .service import (
+    AdmissionRejected,
+    ServiceConfig,
+    SynthesisService,
+    result_fingerprint,
+)
+from .store import (
+    TERMINAL_STATES,
+    InvalidTransition,
+    JobRecord,
+    JobState,
+    JobStore,
+    LeaseLost,
+    UnknownJob,
+    load_store,
+    replay_summary,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionRejected",
+    "InvalidTransition",
+    "JobRecord",
+    "JobState",
+    "JobStore",
+    "LeaseLost",
+    "ServerThread",
+    "ServiceConfig",
+    "ServiceServer",
+    "SynthesisService",
+    "TERMINAL_STATES",
+    "TenantPolicy",
+    "TokenBucket",
+    "UnknownJob",
+    "load_store",
+    "replay_summary",
+    "result_fingerprint",
+    "run_server",
+    "uniform_controller",
+]

@@ -1,0 +1,230 @@
+"""Admission control: per-tenant token buckets, queue-depth backpressure,
+and tenant budget caps.
+
+A service that accepts unbounded work does not survive heavy traffic —
+it ties up memory and disk until everything degrades at once.  The
+admission controller sits in front of the job store and answers one
+question per submission: *take it, or tell the client when to retry*.
+Three independent gates, checked in order:
+
+1. **Queue depth** — a global cap on non-terminal jobs in the store
+   (and a smaller per-tenant cap), so a single hot client cannot wedge
+   the backlog for everyone.  Rejections carry ``Retry-After`` derived
+   from the configured drain hint.
+2. **Rate** — a classic token bucket per tenant (``burst`` capacity,
+   ``rate`` tokens/second refill).  The clock is injectable, so tests
+   are deterministic.
+3. **Budgets** — a tenant's :class:`TenantPolicy` caps the
+   :class:`~repro.config.RunConfig` budgets a job may request
+   (``max_job_seconds`` / ``max_steps``); an over-budget submission is
+   *clamped*, not rejected — the cap maps straight onto the engine's
+   cooperative budget machinery (see ``docs/ROBUSTNESS.md``).
+
+The controller is thread-safe and purely in-memory: rate state is
+deliberately *not* durable (a restarted service forgives old bursts).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import RunConfig
+from repro.core.budget import Budget
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """What one tenant is allowed to do (the default applies to all)."""
+
+    rate: float = 10.0            # sustained submissions per second
+    burst: int = 20               # bucket capacity (instantaneous burst)
+    max_queued: int = 256         # non-terminal jobs this tenant may hold
+    max_job_seconds: float | None = None  # budget cap mapped onto RunConfig
+    max_steps: int | None = None          # deterministic step-fuse cap
+
+    def clamp(self, config: RunConfig) -> RunConfig:
+        """Apply the tenant's budget caps to a submitted config."""
+        if self.max_job_seconds is None and self.max_steps is None:
+            return config
+        budget = config.budget or Budget()
+        job_seconds = budget.job_seconds
+        if self.max_job_seconds is not None:
+            job_seconds = (
+                self.max_job_seconds
+                if job_seconds is None
+                else min(job_seconds, self.max_job_seconds)
+            )
+        max_steps = budget.max_steps
+        if self.max_steps is not None:
+            max_steps = (
+                self.max_steps
+                if max_steps is None
+                else min(max_steps, self.max_steps)
+            )
+        return config.replace(
+            budget=Budget(
+                job_seconds=job_seconds,
+                phase_seconds=budget.phase_seconds,
+                max_steps=max_steps,
+            )
+        )
+
+
+class TokenBucket:
+    """The standard refill-on-read token bucket, with injectable clock."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst < 1:
+            raise ValueError("rate must be > 0 and burst >= 1")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            float(self.burst), self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available (0 when they are)."""
+        self._refill()
+        deficit = tokens - self._tokens
+        return max(deficit / self.rate, 0.0)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's verdict on one submission."""
+
+    allowed: bool
+    reason: str = ""
+    retry_after: float = 0.0
+
+
+class AdmissionController:
+    """The three gates (depth, per-tenant depth, rate) behind one call."""
+
+    def __init__(
+        self,
+        *,
+        max_queue_depth: int = 1024,
+        default_policy: TenantPolicy | None = None,
+        tenant_policies: dict[str, TenantPolicy] | None = None,
+        queue_retry_after: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.max_queue_depth = max_queue_depth
+        self.default_policy = default_policy or TenantPolicy()
+        self.tenant_policies = dict(tenant_policies or {})
+        self.queue_retry_after = queue_retry_after
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.tenant_policies.get(tenant, self.default_policy)
+
+    def _bucket_for(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            policy = self.policy_for(tenant)
+            bucket = TokenBucket(policy.rate, policy.burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(
+        self, tenant: str, *, queued_depth: int, tenant_depth: int
+    ) -> AdmissionDecision:
+        """Decide one submission given the store's current depths."""
+        with self._lock:
+            if queued_depth >= self.max_queue_depth:
+                return AdmissionDecision(
+                    allowed=False,
+                    reason=(
+                        f"queue full ({queued_depth}/{self.max_queue_depth} "
+                        f"jobs pending)"
+                    ),
+                    retry_after=self.queue_retry_after,
+                )
+            policy = self.policy_for(tenant)
+            if tenant_depth >= policy.max_queued:
+                return AdmissionDecision(
+                    allowed=False,
+                    reason=(
+                        f"tenant {tenant!r} queue full "
+                        f"({tenant_depth}/{policy.max_queued} jobs pending)"
+                    ),
+                    retry_after=self.queue_retry_after,
+                )
+            bucket = self._bucket_for(tenant)
+            if not bucket.try_acquire():
+                return AdmissionDecision(
+                    allowed=False,
+                    reason=f"tenant {tenant!r} rate limit exceeded",
+                    retry_after=max(bucket.retry_after(), 0.001),
+                )
+            return AdmissionDecision(allowed=True)
+
+    def clamp_config(self, tenant: str, config: RunConfig) -> RunConfig:
+        """Map the tenant's budget caps onto a submitted RunConfig."""
+        return self.policy_for(tenant).clamp(config)
+
+    def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        with self._lock:
+            self.tenant_policies[tenant] = policy
+            self._buckets.pop(tenant, None)  # rebuilt with the new rate
+
+
+def uniform_controller(
+    *,
+    rate: float,
+    burst: int,
+    max_queue_depth: int,
+    max_queued_per_tenant: int | None = None,
+    max_job_seconds: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
+) -> AdmissionController:
+    """The CLI's shape: one policy applied to every tenant."""
+    policy = TenantPolicy(
+        rate=rate,
+        burst=burst,
+        max_queued=(
+            max_queued_per_tenant
+            if max_queued_per_tenant is not None
+            else max_queue_depth
+        ),
+        max_job_seconds=max_job_seconds,
+    )
+    return AdmissionController(
+        max_queue_depth=max_queue_depth,
+        default_policy=policy,
+        clock=clock,
+    )
+
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TenantPolicy",
+    "TokenBucket",
+    "uniform_controller",
+]

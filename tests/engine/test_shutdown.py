@@ -1,0 +1,100 @@
+"""Graceful-shutdown tests for the batch engine: request_stop drains
+in-flight work, cancels the queue, and the signal-installing context
+manager follows the first-drain / second-kill convention."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.baselines import get_method, register_method, unregister_method
+from repro.config import RunConfig
+from repro.engine import BatchEngine, BatchJob, graceful_shutdown
+
+from tests.service.test_service import tiny_system
+
+
+class TestRequestStop:
+    def test_stop_before_run_cancels_everything(self):
+        engine = BatchEngine(RunConfig())
+        engine.request_stop()
+        report = engine.run(
+            [BatchJob(system=tiny_system(k)) for k in range(1, 4)]
+        )
+        assert len(report.results) == 3
+        assert all(r.cancelled for r in report.results)
+        assert all(not r.ok for r in report.results)
+        assert all((r.error or "").startswith("cancelled:") for r in report.results)
+        assert len(report.cancelled) == 3
+        assert report.pool.cancelled == 3
+
+    def test_stop_mid_run_finishes_current_job_and_drains(self):
+        engine = BatchEngine(RunConfig())
+
+        def stopper(system, options=None):
+            engine.request_stop()  # a signal arriving mid-job
+            return get_method("direct")(system, options)
+
+        register_method("stopper", stopper, replace=True)
+        try:
+            report = engine.run(
+                [
+                    BatchJob(system=tiny_system(k), method="stopper")
+                    for k in range(1, 4)
+                ]
+            )
+        finally:
+            unregister_method("stopper")
+        results = report.results
+        assert results[0].ok  # the in-flight job ran to completion
+        assert all(r.cancelled for r in results[1:])
+        assert report.pool.cancelled == 2
+
+    def test_clear_stop_resets_the_engine(self):
+        engine = BatchEngine(RunConfig())
+        engine.request_stop()
+        assert engine.stop_requested
+        engine.clear_stop()
+        assert not engine.stop_requested
+        report = engine.run([BatchJob(system=tiny_system(5))])
+        assert report.results[0].ok
+
+    def test_cancelled_results_are_not_cached(self):
+        engine = BatchEngine(RunConfig())
+        engine.request_stop()
+        engine.run([BatchJob(system=tiny_system(6))])
+        engine.clear_stop()
+        report = engine.run([BatchJob(system=tiny_system(6))])
+        [result] = report.results
+        assert result.ok and not result.cache_hit  # a real run, not a poisoned hit
+
+
+class TestGracefulShutdownContext:
+    def test_first_signal_drains(self):
+        engine = BatchEngine(RunConfig())
+        with graceful_shutdown(engine, signals=(signal.SIGUSR1,)):
+            os.kill(os.getpid(), signal.SIGUSR1)
+            for _ in range(100):
+                if engine.stop_requested:
+                    break
+                time.sleep(0.01)
+            assert engine.stop_requested
+        # Handlers restored on exit: a later signal must not touch the engine.
+        engine.clear_stop()
+        previous = signal.signal(signal.SIGUSR1, signal.SIG_IGN)
+        try:
+            os.kill(os.getpid(), signal.SIGUSR1)
+            time.sleep(0.01)
+            assert not engine.stop_requested
+        finally:
+            signal.signal(signal.SIGUSR1, previous)
+
+    def test_second_signal_raises_keyboard_interrupt(self):
+        engine = BatchEngine(RunConfig())
+        with pytest.raises(KeyboardInterrupt):
+            with graceful_shutdown(engine, signals=(signal.SIGUSR1,)):
+                os.kill(os.getpid(), signal.SIGUSR1)
+                time.sleep(0.05)
+                os.kill(os.getpid(), signal.SIGUSR1)
+                time.sleep(0.05)

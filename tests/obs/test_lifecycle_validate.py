@@ -1,0 +1,130 @@
+"""Tests for the requeue-aware job-lifecycle validator
+(repro.obs.validate.validate_job_lifecycles)."""
+
+from repro.obs import validate_job_lifecycles
+
+
+def ev(kind, job="j1", **data):
+    return {"kind": "event", "event": kind, "data": {"job": job, **data}}
+
+
+class TestValidSequences:
+    def test_plain_engine_run(self):
+        entries = [ev("job_start"), ev("job_end")]
+        assert validate_job_lifecycles(entries) == []
+
+    def test_full_service_lifecycle(self):
+        entries = [
+            ev("job_queued"),
+            ev("job_leased"),
+            ev("job_start"),
+            ev("job_end"),
+        ]
+        assert validate_job_lifecycles(entries) == []
+
+    def test_requeue_legalizes_a_second_start(self):
+        """Lease expiry / crash recovery re-runs a job; the validator
+        must not flag the redelivery as a duplicate."""
+        entries = [
+            ev("job_queued"),
+            ev("job_leased"),
+            ev("job_start"),
+            ev("job_end"),
+            ev("job_requeued"),
+            ev("job_leased"),
+            ev("job_start"),
+            ev("job_end"),
+        ]
+        assert validate_job_lifecycles(entries) == []
+
+    def test_crash_orphan_requeue_closes_the_open_execution(self):
+        """A job_requeued while an execution is open is the reaper taking
+        back a crashed worker's job — not an error."""
+        entries = [
+            ev("job_start"),
+            ev("job_requeued"),
+            ev("job_start"),
+            ev("job_end"),
+        ]
+        assert validate_job_lifecycles(entries) == []
+
+    def test_engine_retry_and_timeout_count_as_redeliveries(self):
+        entries = [
+            ev("job_start"),
+            ev("job_end"),
+            ev("retry"),
+            ev("job_start"),
+            ev("job_end"),
+            ev("timeout"),
+            ev("job_start"),
+            ev("job_end"),
+        ]
+        assert validate_job_lifecycles(entries) == []
+
+    def test_dead_letter_after_requeues(self):
+        entries = [
+            ev("job_queued"),
+            ev("job_leased"),
+            ev("job_requeued"),
+            ev("job_leased"),
+            ev("job_requeued"),
+            ev("job_dead_letter"),
+        ]
+        assert validate_job_lifecycles(entries) == []
+
+    def test_jobs_are_independent(self):
+        entries = [
+            ev("job_start", job="a"),
+            ev("job_start", job="b"),
+            ev("job_end", job="b"),
+            ev("job_end", job="a"),
+        ]
+        assert validate_job_lifecycles(entries) == []
+
+    def test_events_without_a_job_label_are_ignored(self):
+        entries = [
+            {"kind": "event", "event": "heartbeat", "data": {}},
+            {"kind": "event", "event": "job_start", "data": {}},
+            "not even a dict",
+        ]
+        assert validate_job_lifecycles(entries) == []
+
+
+class TestViolations:
+    def test_duplicate_start_without_redelivery(self):
+        entries = [
+            ev("job_start"),
+            ev("job_end"),
+            ev("job_start"),
+            ev("job_end"),
+        ]
+        errors = validate_job_lifecycles(entries)
+        assert len(errors) == 1
+        assert "duplicate 'job_start'" in errors[0]
+
+    def test_nested_start_flagged(self):
+        entries = [ev("job_start"), ev("job_start"), ev("job_end")]
+        errors = validate_job_lifecycles(entries)
+        assert any("already open" in e for e in errors)
+
+    def test_end_without_start(self):
+        errors = validate_job_lifecycles([ev("job_end")])
+        assert any("'job_end' without 'job_start'" in e for e in errors)
+
+    def test_lease_on_open_execution(self):
+        entries = [ev("job_start"), ev("job_leased")]
+        errors = validate_job_lifecycles(entries)
+        assert any("'job_leased' while an execution is open" in e for e in errors)
+
+    def test_dead_letter_without_history(self):
+        errors = validate_job_lifecycles([ev("job_dead_letter")])
+        assert any("without any" in e for e in errors)
+
+    def test_nothing_after_terminal(self):
+        entries = [ev("job_cancelled"), ev("job_start")]
+        errors = validate_job_lifecycles(entries)
+        assert any("after terminal" in e for e in errors)
+
+    def test_execution_left_open_at_stream_end(self):
+        errors = validate_job_lifecycles([ev("job_start")])
+        assert any("left open" in e for e in errors)

@@ -1,0 +1,84 @@
+"""Crash-simulation tests for the shared atomic-write primitive and the
+on-disk writers that use it (cache entries, corpus files, WAL snapshots
+are covered in tests/service)."""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import DiskCache
+from repro.ioutil import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_round_trip(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, '{"v": 1}')
+        assert target.read_text() == '{"v": 1}'
+
+    def test_overwrites_atomically(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "out.json"
+        for index in range(5):
+            atomic_write_text(target, f"v{index}")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failure_cleans_up_and_raises(self, tmp_path):
+        # A directory at the target path makes os.replace fail.
+        target = tmp_path / "collision"
+        target.mkdir()
+        (target / "keep").write_text("x")
+        with pytest.raises(OSError):
+            atomic_write_text(target, "data")
+        assert (target / "keep").read_text() == "x"  # target untouched
+        assert [p.name for p in tmp_path.iterdir()] == ["collision"]
+
+    def test_fsync_variant_also_round_trips(self, tmp_path):
+        target = tmp_path / "durable.json"
+        atomic_write_text(target, "synced", fsync=True)
+        assert target.read_text() == "synced"
+
+
+class TestCacheCrashSimulation:
+    def test_truncated_cache_entry_is_a_miss(self, tmp_path):
+        """A torn write (crash mid-write of a cache entry) must read as a
+        miss, never as a half-result."""
+        cache = DiskCache(tmp_path)
+        payload = json.dumps({"kind": "job-result", "big": "x" * 4096})
+        cache.put("k" * 64, payload)
+        assert cache.get("k" * 64) == payload
+        # Simulate the crash: truncate the entry file mid-content.
+        [entry] = [p for p in tmp_path.iterdir() if p.is_file()]
+        with open(entry, "r+b") as handle:
+            handle.truncate(os.path.getsize(entry) // 2)
+        assert cache.get("k" * 64) is None  # a miss, not an exception
+
+    def test_put_is_atomic_under_concurrent_read(self, tmp_path):
+        """After atomic publication the reader sees old or new, never a
+        mix — modelled by overwriting and checking full payloads."""
+        cache = DiskCache(tmp_path)
+        old = json.dumps({"v": "old" * 100})
+        new = json.dumps({"v": "new" * 100})
+        cache.put("a" * 64, old)
+        cache.put("a" * 64, new)
+        assert cache.get("a" * 64) in (old, new)
+        assert cache.get("a" * 64) == new
+
+
+class TestCorpusAtomicWrite:
+    def test_corpus_entry_is_complete_json(self, tmp_path):
+        from repro.fuzz.corpus import write_corpus_entry
+        from repro.fuzz.generator import FuzzCase
+        from tests.service.test_service import tiny_system
+
+        case = FuzzCase(system=tiny_system(3), shape="tiny", seed=0, index=0)
+        path = write_corpus_entry(tmp_path, case, findings=[])
+        data = json.loads(path.read_text())
+        assert data  # parseable, complete
+        assert [p.suffix for p in tmp_path.iterdir()] == [".json"]

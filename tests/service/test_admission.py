@@ -1,0 +1,166 @@
+"""Tests for admission control (repro.service.admission)."""
+
+import pytest
+
+from repro.config import RunConfig
+from repro.core.budget import Budget
+from repro.service import (
+    AdmissionController,
+    TenantPolicy,
+    TokenBucket,
+    uniform_controller,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()  # burst exhausted
+        clock.advance(1.0)
+        assert bucket.try_acquire()  # one token refilled
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+        clock.advance(100.0)
+        for _ in range(3):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_retry_after_is_the_token_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.5)
+        clock.advance(0.25)
+        assert bucket.retry_after() == pytest.approx(0.25)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def controller(self, clock=None, **kwargs):
+        kwargs.setdefault("max_queue_depth", 10)
+        kwargs.setdefault(
+            "default_policy", TenantPolicy(rate=1.0, burst=2, max_queued=3)
+        )
+        return AdmissionController(clock=clock or FakeClock(), **kwargs)
+
+    def test_admits_within_all_gates(self):
+        decision = self.controller().admit(
+            "t", queued_depth=0, tenant_depth=0
+        )
+        assert decision.allowed
+
+    def test_global_queue_depth_rejects(self):
+        decision = self.controller().admit(
+            "t", queued_depth=10, tenant_depth=0
+        )
+        assert not decision.allowed
+        assert "queue full" in decision.reason
+        assert decision.retry_after > 0
+
+    def test_tenant_queue_depth_rejects(self):
+        decision = self.controller().admit(
+            "t", queued_depth=5, tenant_depth=3
+        )
+        assert not decision.allowed
+        assert "'t' queue full" in decision.reason
+
+    def test_rate_limit_rejects_with_retry_after(self):
+        clock = FakeClock()
+        controller = self.controller(clock=clock)
+        assert controller.admit("t", queued_depth=0, tenant_depth=0).allowed
+        assert controller.admit("t", queued_depth=0, tenant_depth=0).allowed
+        decision = controller.admit("t", queued_depth=0, tenant_depth=0)
+        assert not decision.allowed
+        assert "rate limit" in decision.reason
+        assert decision.retry_after == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert controller.admit("t", queued_depth=0, tenant_depth=0).allowed
+
+    def test_buckets_are_per_tenant(self):
+        controller = self.controller()
+        for _ in range(2):
+            assert controller.admit(
+                "a", queued_depth=0, tenant_depth=0
+            ).allowed
+        assert not controller.admit("a", queued_depth=0, tenant_depth=0).allowed
+        assert controller.admit("b", queued_depth=0, tenant_depth=0).allowed
+
+    def test_set_policy_rebuilds_the_bucket(self):
+        controller = self.controller()
+        controller.set_policy("vip", TenantPolicy(rate=100.0, burst=50))
+        for _ in range(50):
+            assert controller.admit(
+                "vip", queued_depth=0, tenant_depth=0
+            ).allowed
+
+
+class TestBudgetClamp:
+    def test_no_caps_passes_config_through(self):
+        config = RunConfig(budget=Budget(job_seconds=99.0))
+        assert TenantPolicy().clamp(config) is config
+
+    def test_caps_clamp_requested_budget(self):
+        policy = TenantPolicy(max_job_seconds=5.0, max_steps=1000)
+        clamped = policy.clamp(RunConfig(budget=Budget(job_seconds=99.0)))
+        assert clamped.budget.job_seconds == 5.0
+        assert clamped.budget.max_steps == 1000
+
+    def test_caps_do_not_raise_a_smaller_request(self):
+        policy = TenantPolicy(max_job_seconds=5.0)
+        clamped = policy.clamp(RunConfig(budget=Budget(job_seconds=2.0)))
+        assert clamped.budget.job_seconds == 2.0
+
+    def test_caps_apply_when_no_budget_requested(self):
+        policy = TenantPolicy(max_job_seconds=5.0)
+        clamped = policy.clamp(RunConfig())
+        assert clamped.budget is not None
+        assert clamped.budget.job_seconds == 5.0
+
+    def test_phase_budget_is_preserved(self):
+        policy = TenantPolicy(max_job_seconds=5.0)
+        clamped = policy.clamp(
+            RunConfig(budget=Budget(job_seconds=99.0, phase_seconds=1.5))
+        )
+        assert clamped.budget.phase_seconds == 1.5
+
+
+class TestUniformController:
+    def test_cli_shape(self):
+        controller = uniform_controller(
+            rate=2.0,
+            burst=4,
+            max_queue_depth=100,
+            max_queued_per_tenant=7,
+            max_job_seconds=12.0,
+        )
+        policy = controller.policy_for("anyone")
+        assert policy.rate == 2.0
+        assert policy.burst == 4
+        assert policy.max_queued == 7
+        assert policy.max_job_seconds == 12.0
+
+    def test_per_tenant_cap_defaults_to_global(self):
+        controller = uniform_controller(rate=1.0, burst=1, max_queue_depth=42)
+        assert controller.policy_for("t").max_queued == 42

@@ -1,0 +1,165 @@
+"""End-to-end crash recovery: SIGKILL a live ``repro serve`` mid-batch,
+restart with ``--resume``, and require every job to reach a terminal
+state with fingerprints byte-identical to an uninterrupted baseline.
+
+This is the PR's headline guarantee, so the test runs the real CLI in a
+real subprocess and kills it with the one signal that cannot be
+handled."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import repro
+from repro.config import RunConfig
+from repro.engine import BatchEngine, BatchJob
+from repro.serialize import system_to_dict
+from repro.service import TERMINAL_STATES, result_fingerprint
+
+from .test_service import tiny_system
+
+N_JOBS = 20
+
+
+def _env():
+    env = os.environ.copy()
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    # Slow each job down so the SIGKILL reliably lands mid-batch.
+    env["REPRO_FAULTS"] = "delay@job:*:seconds=0.15"
+    return env
+
+
+def _start_server(data_dir, resume=False):
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--data-dir", str(data_dir),
+        "--port", "0",
+        "--lease-seconds", "5",
+    ]
+    if resume:
+        cmd.append("--resume")
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+    )
+    base = None
+    startup = []
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        startup.append(line)
+        if "listening on " in line:
+            base = line.rsplit("listening on ", 1)[1].strip()
+            break
+    assert base, "server never announced its port"
+    return proc, base, "".join(startup)
+
+
+def _call(base, path, payload=None, timeout=10.0):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        base + path,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read() or b"{}")
+
+
+def _jobs_by_state(base):
+    _, body = _call(base, "/jobs")
+    return body["jobs"]
+
+
+def test_sigkill_resume_is_byte_identical(tmp_path):
+    systems = [tiny_system(k) for k in range(1, N_JOBS + 1)]
+
+    # Uninterrupted baseline: the plain engine on identical jobs.  The
+    # service records JobResult.canonical_result() verbatim, so its
+    # fingerprints must match these exactly.
+    engine = BatchEngine(RunConfig())
+    baseline_report = engine.run([BatchJob(system=s) for s in systems])
+    assert all(r.ok for r in baseline_report.results)
+    baseline = {
+        s.name: result_fingerprint(r.canonical_result())
+        for s, r in zip(systems, baseline_report.results)
+    }
+
+    data_dir = tmp_path / "state"
+    proc, base, _ = _start_server(data_dir)
+    job_ids = {}
+    try:
+        for system in systems:
+            status, body = _call(
+                base, "/jobs",
+                {"system": system_to_dict(system), "label": system.name},
+            )
+            assert status == 201, body
+            job_ids[body["job"]["job_id"]] = system.name
+
+        # Let a few jobs finish, then SIGKILL mid-batch.
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            done = [
+                j for j in _jobs_by_state(base) if j["state"] == "done"
+            ]
+            if len(done) >= 3:
+                break
+            time.sleep(0.05)
+        assert len(done) >= 3, "no progress before the kill"
+        assert len(done) < N_JOBS, "batch finished before the kill landed"
+    finally:
+        proc.kill()  # SIGKILL: no drain, no flush, no goodbye
+        proc.wait(timeout=10)
+
+    proc2, base2, startup2 = _start_server(data_dir, resume=True)
+    assert "resume recovered" in startup2
+    try:
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            jobs = _jobs_by_state(base2)
+            if len(jobs) == N_JOBS and all(
+                j["state"] in TERMINAL_STATES for j in jobs
+            ):
+                break
+            time.sleep(0.1)
+        jobs = _jobs_by_state(base2)
+        assert len(jobs) == N_JOBS
+        states = {j["job_id"]: j["state"] for j in jobs}
+        assert all(state == "done" for state in states.values()), states
+
+        for job in jobs:
+            name = job_ids[job["job_id"]]
+            status, body = _call(base2, f"/jobs/{job['job_id']}/result")
+            assert status == 200
+            assert body["fingerprint"] == baseline[name], (
+                f"{name}: resumed fingerprint diverged from the "
+                f"uninterrupted baseline"
+            )
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        try:
+            proc2.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc2.kill()
+            proc2.wait(timeout=10)
+
+    # The graceful shutdown drained and reported.
+    output = proc2.stdout.read()
+    assert "drained" in output

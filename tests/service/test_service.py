@@ -1,0 +1,224 @@
+"""In-process tests for SynthesisService: submit→done, byte-identity,
+idempotent reuse, admission rejection, graceful drain."""
+
+import time
+
+import pytest
+
+from repro import BitVectorSignature, PolySystem, parse_system
+from repro.config import RunConfig
+from repro.engine import BatchEngine, BatchJob
+from repro.serialize import system_to_dict
+from repro.service import (
+    AdmissionRejected,
+    JobState,
+    ServiceConfig,
+    SynthesisService,
+    TenantPolicy,
+    AdmissionController,
+    result_fingerprint,
+)
+
+
+def tiny_system(k: int = 1) -> PolySystem:
+    """A one-polynomial system cheap enough for many-job tests."""
+    polys = tuple(p.with_vars(("x",)) for p in parse_system([f"x^2 + {k}*x + {k}"]))
+    return PolySystem(
+        f"tiny-{k}", polys, BitVectorSignature.uniform(("x",), 8)
+    )
+
+
+def make_service(tmp_path, **overrides) -> SynthesisService:
+    admission = overrides.pop("admission", None)
+    config = ServiceConfig(
+        data_dir=str(tmp_path / "svc"),
+        poll_seconds=0.02,
+        **overrides,
+    )
+    return SynthesisService(config, admission=admission)
+
+
+def wait_terminal(service, job_id, timeout=30.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        record = service.store.get(job_id)
+        if record.terminal:
+            return record
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} not terminal within {timeout}s")
+
+
+class TestRunToDone:
+    def test_submit_runs_to_done_with_fingerprint(self, tmp_path):
+        service = make_service(tmp_path)
+        service.start()
+        try:
+            record, created = service.submit(system_to_dict(tiny_system()))
+            assert created
+            done = wait_terminal(service, record.job_id)
+            assert done.state == JobState.DONE
+            assert done.result is not None
+            assert done.fingerprint == result_fingerprint(done.result)
+            assert done.attempts == 1
+        finally:
+            service.stop()
+
+    def test_fingerprint_matches_direct_engine_run(self, tmp_path):
+        """The service's durable result is byte-identical to what a plain
+        BatchEngine run produces for the same job."""
+        system = tiny_system(7)
+        service = make_service(tmp_path)
+        service.start()
+        try:
+            record, _ = service.submit(system_to_dict(system))
+            done = wait_terminal(service, record.job_id)
+        finally:
+            service.stop()
+        engine = BatchEngine(RunConfig())
+        report = engine.run([BatchJob(system=system)])
+        [result] = report.results
+        assert result.ok
+        assert done.result == result.canonical_result()
+        assert done.fingerprint == result_fingerprint(result.canonical_result())
+
+    def test_dedup_returns_existing_job(self, tmp_path):
+        service = make_service(tmp_path)
+        service.start()
+        try:
+            first, created1 = service.submit(system_to_dict(tiny_system()))
+            second, created2 = service.submit(system_to_dict(tiny_system()))
+            assert created1 and not created2
+            assert second.job_id == first.job_id
+        finally:
+            service.stop()
+
+    def test_lifecycle_events_reach_the_job_tail(self, tmp_path):
+        service = make_service(tmp_path)
+        service.start()
+        try:
+            record, _ = service.submit(system_to_dict(tiny_system(3)))
+            wait_terminal(service, record.job_id)
+            kinds = [
+                e.get("event")
+                for e in service.store.events_for(record.job_id)
+            ]
+            assert "job_queued" in kinds
+            assert "job_leased" in kinds
+            assert "job_start" in kinds
+            assert "job_end" in kinds
+        finally:
+            service.stop()
+
+
+class TestAdmission:
+    def test_queue_full_raises_429_material(self, tmp_path):
+        service = make_service(tmp_path, max_queue_depth=1)
+        # Worker not started: the first job stays queued.
+        service.submit(system_to_dict(tiny_system(1)))
+        with pytest.raises(AdmissionRejected) as excinfo:
+            service.submit(system_to_dict(tiny_system(2)))
+        assert "queue full" in excinfo.value.reason
+        assert excinfo.value.retry_after > 0
+        service.store.close()
+
+    def test_rate_limit_rejects(self, tmp_path):
+        frozen = lambda: 0.0  # noqa: E731 - tokens never refill
+        admission = AdmissionController(
+            default_policy=TenantPolicy(rate=1.0, burst=1),
+            clock=frozen,
+        )
+        service = make_service(tmp_path, admission=admission)
+        service.submit(system_to_dict(tiny_system(1)))
+        with pytest.raises(AdmissionRejected) as excinfo:
+            service.submit(system_to_dict(tiny_system(2)))
+        assert "rate limit" in excinfo.value.reason
+        service.store.close()
+
+    def test_tenant_budget_cap_is_recorded(self, tmp_path):
+        service = make_service(tmp_path, max_job_seconds=5.0)
+        record, _ = service.submit(system_to_dict(tiny_system()))
+        assert record.config is not None
+        assert record.config["budget"]["job_seconds"] == 5.0
+        service.store.close()
+
+    def test_unknown_method_rejected(self, tmp_path):
+        service = make_service(tmp_path)
+        with pytest.raises(ValueError, match="unknown method"):
+            service.submit(
+                system_to_dict(tiny_system()), method="no-such-method"
+            )
+        service.store.close()
+
+
+class TestIdempotentReuse:
+    def test_redelivered_twin_reuses_completed_result(self, tmp_path):
+        """A leased job whose idempotency key already has a DONE result
+        completes by reference instead of re-running the engine."""
+        service = make_service(tmp_path)
+        store = service.store
+        donor, _ = store.submit(
+            key="K", tenant="t", method="proposed", label="a",
+            system=system_to_dict(tiny_system()),
+        )
+        [leased] = store.lease(1, 30.0)
+        store.start(donor.job_id, leased.lease_id)
+        store.complete(
+            donor.job_id, leased.lease_id, JobState.DONE,
+            result='{"canonical": true}', fingerprint="d" * 64,
+        )
+        twin, _ = store.submit(
+            key="K2", tenant="t", method="proposed", label="b",
+            system=system_to_dict(tiny_system()),
+        )
+        twin.key = "K"  # same content hash as the donor
+        leased_twins = store.lease(1, 30.0)
+        runnable = service._reuse_idempotent(leased_twins)
+        assert runnable == []
+        reused = store.get(twin.job_id)
+        assert reused.state == JobState.DONE
+        assert reused.result == '{"canonical": true}'
+        assert reused.reused_from == donor.job_id
+        store.close()
+
+
+class TestDrainAndResume:
+    def test_stop_persists_queued_jobs(self, tmp_path):
+        service = make_service(tmp_path)
+        # Never started: submissions stay queued in the WAL.
+        record, _ = service.submit(system_to_dict(tiny_system()))
+        service.store.close()
+        reopened = make_service(tmp_path)
+        assert reopened.store.get(record.job_id).state == JobState.QUEUED
+        reopened.store.close()
+
+    def test_resume_requeues_orphans_and_completes(self, tmp_path):
+        # Simulate a crashed process: job leased+running, never completed.
+        service = make_service(tmp_path)
+        record, _ = service.submit(system_to_dict(tiny_system(9)))
+        [leased] = service.store.lease(1, 3600.0)
+        service.store.start(record.job_id, leased.lease_id)
+        service.store._handle.flush()  # the "crash": no close, no compact
+        del service
+
+        resumed = make_service(tmp_path)
+        resumed.start(resume=True)
+        try:
+            assert resumed.recovery["requeued"] == 1
+            done = wait_terminal(resumed, record.job_id)
+            assert done.state == JobState.DONE
+            assert done.redeliveries == 1
+            assert done.attempts == 2
+        finally:
+            resumed.stop()
+
+    def test_final_report_covers_executed_jobs(self, tmp_path):
+        service = make_service(tmp_path)
+        service.start()
+        try:
+            record, _ = service.submit(system_to_dict(tiny_system(4)))
+            wait_terminal(service, record.job_id)
+        finally:
+            report = service.stop()
+        assert len(report.results) == 1
+        assert report.results[0].ok
+        assert not service.ready  # drained services stop admitting
