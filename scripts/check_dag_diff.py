@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Differential smoke check: dag-mode vs rectangle-mode synthesis.
+
+The CI gate for the DAG-scored combination search: a fixed-seed stream
+of generated systems runs through the integrated flow twice — once with
+``cse_mode="dag"`` (the shipped default) and once with
+``cse_mode="rectangle"`` (the pre-DAG per-combination scorer) — and for
+every case both results must
+
+* verify against the exact canonical-form oracle
+  (:func:`repro.verify.check_decompositions`), and
+* cost no more estimated area than the direct sum-of-products
+  (the flow's never-worse-than-direct guarantee, mode-independent).
+
+A mismatch prints the offending case and exits 1.  The run is
+deterministic per seed; the wall-clock budget truncates between cases so
+the job is time-bounded on any runner.
+
+Usage::
+
+    python scripts/check_dag_diff.py --seed 7 --iterations 60 --time-budget 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+# Allow running from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core import SynthesisOptions, synthesize  # noqa: E402
+from repro.cost import estimate_decomposition  # noqa: E402
+from repro.fuzz.driver import specification  # noqa: E402
+from repro.fuzz.generator import generate_case  # noqa: E402
+from repro.verify import check_decompositions  # noqa: E402
+
+#: Relative slack for the area checks (float sums, not exact integers).
+_TOLERANCE = 1e-6
+
+
+def check_case(case) -> list[str]:
+    """Both modes on one case; returns human-readable problems."""
+    system = case.system
+    spec = specification(system)
+    problems: list[str] = []
+    areas: dict[str, float] = {}
+    for mode in ("dag", "rectangle"):
+        result = synthesize(
+            list(system.polys),
+            system.signature,
+            SynthesisOptions(cse_mode=mode),
+        )
+        report = check_decompositions(
+            result.decomposition, spec, system.signature, seed=case.seed
+        )
+        if not report:
+            problems.append(
+                f"{case.case_id} [{mode}]: decomposition differs from the "
+                f"spec at output {report.failing_output} "
+                f"(witness {dict(report.counterexample or {})})"
+            )
+            continue
+        areas[mode] = estimate_decomposition(
+            result.decomposition, system.signature
+        ).area
+    if len(areas) == 2:
+        from repro.baselines.direct import direct_decomposition
+
+        direct_area = estimate_decomposition(
+            direct_decomposition(list(system.polys)), system.signature
+        ).area
+        for mode, area in sorted(areas.items()):
+            if area > direct_area * (1.0 + _TOLERANCE):
+                problems.append(
+                    f"{case.case_id} [{mode}]: area {area:.1f} exceeds "
+                    f"direct {direct_area:.1f}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7, help="case-stream seed")
+    parser.add_argument(
+        "--iterations", type=int, default=60, help="generated cases to try"
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=30.0,
+        help="wall seconds; the sweep stops between cases when exhausted",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.monotonic()
+    cases = 0
+    problems: list[str] = []
+    truncated = False
+    for index in range(args.iterations):
+        if time.monotonic() - start >= args.time_budget:
+            truncated = True
+            break
+        case = generate_case(args.seed, index)
+        problems.extend(check_case(case))
+        cases += 1
+    status = "TRUNCATED at the time budget" if truncated else "complete"
+    print(
+        f"dag-vs-rectangle: seed {args.seed}, {cases} case(s) ({status}), "
+        f"{len(problems)} problem(s)"
+    )
+    for problem in problems:
+        print(f"  {problem}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ from repro.api import (  # noqa: F401 — the facade's whole surface
     Decomposition,
     Degradation,
     EventStream,
+    ExpressionDAG,
     JobResult,
     MethodOutcome,
     OpCount,
@@ -47,14 +48,18 @@ from repro.api import (  # noqa: F401 — the facade's whole surface
     Tracer,
     TradeoffPoint,
     available_methods,
+    clear_caches,
     compare_methods,
     explain_text,
     explore_tradeoffs,
     improvement,
+    intern,
+    lower_to_blocks,
     method_outcome,
     parse_polynomial,
     parse_system,
     register_method,
+    shared_subexpressions,
     synthesize,
     synthesize_system,
 )

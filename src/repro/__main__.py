@@ -241,6 +241,20 @@ def _cmd_methods(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.api import clear_caches
+    from repro.core import synthesis_cache_sizes
+
+    if args.clear:
+        sizes = clear_caches()
+        for name, size in sizes.items():
+            print(f"{name:16s} {size} entr{'y' if size == 1 else 'ies'} cleared")
+    else:
+        for name, size in synthesis_cache_sizes().items():
+            print(f"{name:16s} {size} entr{'y' if size == 1 else 'ies'}")
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.baselines import available_methods
     from repro.engine import BatchEngine, graceful_shutdown
@@ -754,6 +768,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("methods", help="list registered synthesis methods")
     p.set_defaults(func=_cmd_methods)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or clear the process-level synthesis caches "
+        "(best-expression memo, kernel cache, DAG interner)",
+    )
+    group = p.add_mutually_exclusive_group()
+    group.add_argument(
+        "--stats", action="store_true", help="print cache sizes (the default)"
+    )
+    group.add_argument(
+        "--clear", action="store_true", help="clear every cache; print what was dropped"
+    )
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser(
         "batch",

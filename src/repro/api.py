@@ -30,8 +30,16 @@ from repro.core import (
     SynthesisOptions,
     SynthesisResult,
     Timings,
+    clear_synthesis_caches,
     explain_text,
+    synthesis_cache_sizes,
     synthesize,
+)
+from repro.dag import (
+    ExpressionDAG,
+    intern,
+    lower_to_blocks,
+    shared_subexpressions,
 )
 from repro.cost import (
     DEFAULT_MODEL,
@@ -62,6 +70,7 @@ __all__ = [
     "Decomposition",
     "Degradation",
     "EventStream",
+    "ExpressionDAG",
     "JobResult",
     "JobStore",
     "MethodOutcome",
@@ -81,17 +90,34 @@ __all__ = [
     "Tracer",
     "TradeoffPoint",
     "available_methods",
+    "clear_caches",
     "compare_methods",
     "explain_text",
     "explore_tradeoffs",
     "improvement",
+    "intern",
+    "lower_to_blocks",
     "method_outcome",
     "parse_polynomial",
     "parse_system",
     "register_method",
+    "shared_subexpressions",
     "synthesize",
     "synthesize_system",
 ]
+
+
+def clear_caches() -> dict[str, int]:
+    """Clear every process-level synthesis cache; return pre-clear sizes.
+
+    One call covers the best-expression memo, the CSE kernel cache, and
+    the default expression-DAG interner (the three stores
+    :func:`~repro.core.synthesis_cache_sizes` reports).  Exposed on the
+    CLI as ``repro cache --clear``.
+    """
+    sizes = synthesis_cache_sizes()
+    clear_synthesis_caches()
+    return sizes
 
 
 @dataclass(frozen=True)
@@ -157,10 +183,17 @@ def compare_methods(
     a :class:`~repro.config.RunConfig`; each method then runs under its
     synthesis options.
 
+    Every method of one comparison receives the same fresh
+    :class:`~repro.dag.ExpressionDAG` via its ``dag=`` keyword, so
+    structure interned by one method (a baseline's rows, the flow's
+    scored combinations) is shared by the next — and the comparison
+    never leaks interned state into the process default DAG.
+
     This drives the Table 14.1 and Table 14.3 reproductions: operator
     counts for the former, area/delay for the latter.
     """
     synth_options = as_run_config(options).options
+    shared_dag = ExpressionDAG()
     outcomes: dict[str, MethodOutcome] = {}
     for method in methods:
         try:
@@ -174,7 +207,7 @@ def compare_methods(
             )
             continue
         outcomes[method] = method_outcome(
-            method, fn(system, synth_options), system, model
+            method, fn(system, synth_options, dag=shared_dag), system, model
         )
     return outcomes
 

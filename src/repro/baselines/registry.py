@@ -9,27 +9,77 @@ shows up everywhere:
 
 >>> from repro.baselines.registry import register_method
 >>> @register_method("my-method")
-... def my_method(system, options=None):
+... def my_method(system, options=None, *, dag=None):
 ...     ...  # return a Decomposition
 
-A method is a callable ``fn(system, options=None) -> Decomposition``.
-``options`` is a :class:`~repro.core.synth.SynthesisOptions` (or ``None``
-for defaults); baseline methods are free to ignore it.
+A method is a callable ``fn(system, options=None, *, dag=None) ->
+Decomposition``.  ``options`` is a
+:class:`~repro.core.synth.SynthesisOptions` (or ``None`` for defaults);
+``dag`` is a shared :class:`~repro.dag.ExpressionDAG` handle the caller
+may pass so several methods run against one interning store (e.g.
+:func:`repro.api.compare_methods` scores every method of one comparison
+on one DAG).  Baseline methods are free to ignore either.
+
+Methods written against the pre-DAG signature ``fn(system, options)``
+still register — they are wrapped in an adapter that drops the ``dag``
+keyword — but registration emits a :class:`DeprecationWarning`; the
+compatibility shim lasts one release.
 """
 
 from __future__ import annotations
 
+import inspect
+import warnings
 from typing import Callable, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core import SynthesisOptions
+    from repro.dag import ExpressionDAG
     from repro.expr import Decomposition
     from repro.system import PolySystem
 
-#: A synthesis method: PolySystem (+ optional options) -> Decomposition.
-MethodFn = Callable[["PolySystem", "Optional[SynthesisOptions]"], "Decomposition"]
+#: A synthesis method: PolySystem (+ optional options, shared DAG handle)
+#: -> Decomposition.
+MethodFn = Callable[..., "Decomposition"]
 
 _METHODS: dict[str, MethodFn] = {}
+
+
+def _accepts_dag(fn: Callable) -> bool:
+    """True when ``fn`` can be called with a ``dag=`` keyword."""
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):  # builtins / C callables: assume modern
+        return True
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == "dag" and parameter.kind in (
+            inspect.Parameter.KEYWORD_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            return True
+    return False
+
+
+def _adapt_legacy(name: str, fn: Callable) -> MethodFn:
+    """Wrap a pre-DAG ``fn(system, options)`` method; warn at registration."""
+    warnings.warn(
+        f"method {name!r} uses the legacy signature fn(system, options); "
+        "methods now receive a shared expression DAG — declare "
+        "fn(system, options=None, *, dag=None).  The legacy adapter "
+        "will be removed in the next release.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+    def adapted(system, options=None, *, dag=None):
+        return fn(system, options)
+
+    adapted.__name__ = getattr(fn, "__name__", name)
+    adapted.__doc__ = fn.__doc__
+    adapted.__wrapped__ = fn
+    return adapted
 
 
 def register_method(
@@ -45,7 +95,10 @@ def register_method(
     def _register(fn: MethodFn) -> MethodFn:
         if not replace and name in _METHODS:
             raise ValueError(f"method {name!r} is already registered")
-        _METHODS[name] = fn
+        registered = fn
+        if not _accepts_dag(fn):
+            registered = _adapt_legacy(name, fn)
+        _METHODS[name] = registered
         return fn
 
     if fn is None:
@@ -81,7 +134,7 @@ def is_registered(name: str) -> bool:
 # ----------------------------------------------------------------------
 
 @register_method("direct")
-def _direct(system: "PolySystem", options=None) -> "Decomposition":
+def _direct(system: "PolySystem", options=None, *, dag=None) -> "Decomposition":
     """Expanded sum-of-products, no sharing (the paper's C_initial)."""
     from .direct import direct_decomposition
 
@@ -89,7 +142,7 @@ def _direct(system: "PolySystem", options=None) -> "Decomposition":
 
 
 @register_method("horner")
-def _horner(system: "PolySystem", options=None) -> "Decomposition":
+def _horner(system: "PolySystem", options=None, *, dag=None) -> "Decomposition":
     """Greedy multivariate Horner forms, per polynomial."""
     from .horner import horner_baseline
 
@@ -97,15 +150,23 @@ def _horner(system: "PolySystem", options=None) -> "Decomposition":
 
 
 @register_method("factor+cse")
-def _factor_cse(system: "PolySystem", options=None) -> "Decomposition":
+def _factor_cse(
+    system: "PolySystem", options=None, *, dag=None
+) -> "Decomposition":
     """Square-free factorization followed by multi-polynomial CSE [13]."""
     from .factor_cse import factor_cse_decomposition
 
-    return factor_cse_decomposition(list(system.polys))
+    result = factor_cse_decomposition(list(system.polys))
+    if dag is not None:
+        # Feed the comparison's shared DAG: the baseline's rows intern
+        # here so later methods on the same DAG see the sharing.
+        for poly in system.polys:
+            dag.intern(poly)
+    return result
 
 
 @register_method("ted")
-def _ted(system: "PolySystem", options=None) -> "Decomposition":
+def _ted(system: "PolySystem", options=None, *, dag=None) -> "Decomposition":
     """Taylor expansion diagram lowering (the TED-based related work)."""
     from repro.ted import TedManager, ted_to_expression
 
@@ -115,8 +176,12 @@ def _ted(system: "PolySystem", options=None) -> "Decomposition":
 
 
 @register_method("proposed")
-def _proposed(system: "PolySystem", options=None) -> "Decomposition":
+def _proposed(
+    system: "PolySystem", options=None, *, dag=None
+) -> "Decomposition":
     """The paper's integrated flow (Algorithm 7)."""
     from repro.core import synthesize
 
-    return synthesize(list(system.polys), system.signature, options).decomposition
+    return synthesize(
+        list(system.polys), system.signature, options, dag=dag
+    ).decomposition

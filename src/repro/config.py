@@ -29,6 +29,12 @@ engine can ship it to pool workers unchanged.  Budgets deliberately stay
 **out of the result-cache key** — a budget can only change a result by
 degrading it, and degraded results are never cached (see
 ``docs/ROBUSTNESS.md``).
+
+New :class:`~repro.core.SynthesisOptions` fields need no wiring here:
+``as_dict`` serializes the options via :func:`dataclasses.asdict`, so a
+field like ``cse_mode`` (the DAG-vs-rectangle scorer switch, see
+``docs/DAG.md``) automatically round-trips to pool workers *and* lands
+in the engine's result-cache key.
 """
 
 from __future__ import annotations

@@ -31,6 +31,7 @@ from itertools import product
 from typing import Iterator
 
 from repro.cse import eliminate_common_subexpressions
+from repro.dag import ExpressionDAG
 from repro.obs import current_events, current_tracer, get_registry, observe_timings
 from repro.expr import Decomposition, OpCount, expr_from_polynomial, expr_op_count
 from repro.expr.ast import Add, BlockRef, Expr, Mul, Pow, Var
@@ -81,6 +82,12 @@ class SynthesisOptions:
     cmul_weight: int = 2
     add_weight: int = 1
     objective: str = "area"  # "area" (hardware estimate) or "ops" (weighted count)
+    # How the combination search prices sharing: "dag" scores every
+    # combination on the shared expression DAG (each interned product
+    # node paid once) and lowers only a shortlist of finalists through
+    # the exact rectangle extractor; "rectangle" is the pre-DAG
+    # behaviour — a full greedy CSE run per scored combination.
+    cse_mode: str = "dag"
 
 
 @dataclass
@@ -157,22 +164,27 @@ def clear_synthesis_caches() -> None:
     content and hold immutable values).
     """
     from repro.cse.kernels import clear_kernel_cache
+    from repro.dag import default_dag
 
     _BEST_EXPR_CACHE.clear()
     clear_kernel_cache()
+    default_dag().clear()
 
 
 def synthesis_cache_sizes() -> dict[str, int]:
     """Current entry counts of the flow's content-keyed memo caches.
 
     The same caches :func:`clear_synthesis_caches` drops; traced runs
-    publish them as ``repro_search_<name>_size`` gauges.
+    publish them as ``repro_search_<name>_size`` gauges, and
+    :func:`repro.api.clear_caches` returns them as its sizes dict.
     """
     from repro.cse.kernels import kernel_cache_size
+    from repro.dag import default_dag
 
     return {
         "best_expr_cache": len(_BEST_EXPR_CACHE),
         "kernel_cache": kernel_cache_size(),
+        "dag_interner": default_dag().size(),
     }
 
 
@@ -277,6 +289,34 @@ def _score(
     return _score_assembled(decomposition, options, signature), decomposition
 
 
+def _dag_score(
+    chosen: list[Representation],
+    registry: BlockRegistry,
+    options: SynthesisOptions,
+    dag: ExpressionDAG,
+) -> float:
+    """Score one combination on the shared expression DAG.
+
+    The rows are the same ones :func:`assemble_decomposition` would CSE
+    — the chosen representations plus the live block closure — but
+    instead of a greedy extraction run, the cost is a union of interned
+    node sets: every distinct product node is paid exactly once (the
+    operator count a DAG lowering realizes), with per-node costs
+    memoized inside the DAG.  Re-scoring a neighbouring combination
+    therefore only pays for rows the DAG has not seen yet.
+    """
+    polys = [rep.poly for rep in chosen]
+    defs = registry.defs
+    live = _live_closure(polys, defs)
+    roots = [dag.intern(p) for p in polys]
+    roots.extend(dag.intern(defs[name]) for name in live)
+    return float(
+        dag.combination_cost(
+            roots, options.mul_weight, options.cmul_weight, options.add_weight
+        )
+    )
+
+
 def _score_assembled(
     decomposition: Decomposition,
     options: SynthesisOptions,
@@ -374,6 +414,7 @@ def synthesize(
     trace: FlowTrace | None = None,
     timings: Timings | None = None,
     budget: Budget | None = None,
+    dag: ExpressionDAG | None = None,
 ) -> SynthesisResult:
     """Run the full integrated flow on a polynomial system.
 
@@ -399,11 +440,25 @@ def synthesize(
     the global metrics registry.  The flow never reads any of this back:
     traced and untraced runs produce identical results.
 
+    ``options.cse_mode`` selects how the combination search prices
+    sharing: ``"dag"`` (the default) scores every combination on a
+    shared expression DAG and lowers only a shortlist of finalists
+    through the exact rectangle extractor; ``"rectangle"`` runs the full
+    greedy extractor on every scored combination (the pre-DAG
+    behaviour).  ``dag`` optionally supplies the
+    :class:`~repro.dag.ExpressionDAG` to score on — by default each run
+    uses a fresh instance so provenance statistics never depend on what
+    else the process interned.
+
     The returned decomposition is validated: integer-exact outputs must
     expand to the original polynomials, canonical-form outputs must be
     functionally equal over the signature.
     """
     options = options or SynthesisOptions()
+    if options.cse_mode not in ("dag", "rectangle"):
+        raise ValueError(
+            f"unknown cse_mode {options.cse_mode!r}; expected 'dag' or 'rectangle'"
+        )
     trace = trace if trace is not None else FlowTrace()
     timings = timings if timings is not None else Timings()
     tracer = current_tracer()
@@ -425,7 +480,7 @@ def synthesize(
                 try:
                     result = _synthesize_flow(
                         system, signature, options, trace, timings, tracer,
-                        deadline, degradations,
+                        deadline, degradations, dag,
                     )
                 except BudgetExceeded as exc:
                     degradations.append(Degradation("job", "fallback", str(exc)))
@@ -468,6 +523,20 @@ def _publish_search_metrics(result: SynthesisResult) -> None:
             registry.counter("repro_search_memo_hits").inc(provenance.memo_hits)
         if provenance.pruned:
             registry.counter("repro_search_pruned").inc(provenance.pruned)
+        if provenance.dag_nodes:
+            registry.counter("repro_search_dag_nodes").inc(provenance.dag_nodes)
+        if provenance.dag_intern_hits:
+            registry.counter("repro_search_dag_intern_hits").inc(
+                provenance.dag_intern_hits
+            )
+        if provenance.dag_shared_nodes:
+            registry.counter("repro_search_dag_shared_nodes").inc(
+                provenance.dag_shared_nodes
+            )
+        if provenance.dag_finalists:
+            registry.counter("repro_search_dag_finalists").inc(
+                provenance.dag_finalists
+            )
     for name, size in synthesis_cache_sizes().items():
         registry.gauge(f"repro_search_{name}_size").set(size)
 
@@ -536,6 +605,7 @@ def _degraded_result(
         search_mode="degraded",
         search_space=1,
         search_bound=0,
+        cse_mode=options.cse_mode,
         chosen=[
             ChosenRepresentation(
                 polynomial=str(poly), tag="original", index=0, candidates=1
@@ -577,6 +647,7 @@ def _synthesize_flow(
     tracer,
     deadline=NULL_DEADLINE,
     degradations: list[Degradation] | None = None,
+    dag: ExpressionDAG | None = None,
 ) -> SynthesisResult:
     """The phases of Algorithm 7 (see :func:`synthesize` for the contract)."""
     if degradations is None:
@@ -742,9 +813,17 @@ def _synthesize_flow(
         after_reps = sum(len(reps) for reps in lists)
         clock.count(representations=after_reps, dropped=before_reps - after_reps)
 
-    # Phase 6: combination search (Fig. 14.1c).
-    cache: dict[tuple[int, ...], tuple[float, Decomposition]] = {}
-    content_cache: dict[tuple, tuple[float, Decomposition]] = {}
+    # Phase 6: combination search (Fig. 14.1c).  In dag mode the search
+    # scores combinations on the shared expression DAG (cheap set
+    # unions over interned nodes) and only a shortlist of finalists is
+    # assembled through the exact rectangle extractor afterwards; in
+    # rectangle mode every scored combination pays for a full greedy
+    # CSE run, exactly the pre-DAG behaviour.
+    dag_mode = options.cse_mode == "dag"
+    run_dag = (dag if dag is not None else ExpressionDAG()) if dag_mode else None
+    cache: dict[tuple[int, ...], tuple[float, Decomposition | None]] = {}
+    content_cache: dict[tuple, tuple[float, Decomposition | None]] = {}
+    exact_cache: dict[tuple, tuple[float, Decomposition]] = {}
     scored_counter = 0
     memo_hits = 0
     pruned_count = 0
@@ -754,7 +833,7 @@ def _synthesize_flow(
     events = current_events()
     emitting = events.enabled
 
-    def score_indices(indices: tuple[int, ...]) -> tuple[float, Decomposition]:
+    def score_indices(indices: tuple[int, ...]) -> tuple[float, Decomposition | None]:
         nonlocal scored_counter, memo_hits
         hit = cache.get(indices)
         if hit is None:
@@ -765,7 +844,10 @@ def _synthesize_flow(
             key = tuple(rep.poly for rep in chosen)
             hit = content_cache.get(key)
             if hit is None:
-                hit = _score(chosen, registry, options, signature)
+                if run_dag is not None:
+                    hit = (_dag_score(chosen, registry, options, run_dag), None)
+                else:
+                    hit = _score(chosen, registry, options, signature)
                 content_cache[key] = hit
                 scored_counter += 1
                 if emitting:
@@ -791,6 +873,20 @@ def _synthesize_flow(
         pruned_count += 1
         if emitting:
             events.emit("combo_pruned", surrogate=surrogate, bound=bound)
+
+    def exact_score(indices: tuple[int, ...]) -> tuple[float, Decomposition]:
+        """Assemble and exactly score one finalist (dag mode only).
+
+        Content-keyed like the surrogate memo: distinct index tuples
+        that select identical rows pay for one assembly.
+        """
+        chosen = [lists[i][j] for i, j in enumerate(indices)]
+        key = tuple(rep.poly for rep in chosen)
+        hit = exact_cache.get(key)
+        if hit is None:
+            hit = _score(chosen, registry, options, signature)
+            exact_cache[key] = hit
+        return hit
 
     with _phase(timings, tracer, "search", deadline) as clock:
         sizes = [len(reps) for reps in lists]
@@ -825,6 +921,7 @@ def _synthesize_flow(
                 len(_search_seeds(lists, weights)) + options.descent_budget
             )
 
+        degraded_search = False
         try:
             if search_mode == "exhaustive":
                 best_indices = None
@@ -861,6 +958,7 @@ def _synthesize_flow(
             if not cache:
                 raise
             best_indices = min(cache, key=lambda indices: cache[indices][0])
+            degraded_search = True
             degradations.append(Degradation("search", "partial", str(exc)))
             events.emit("degradation", phase="search", action="partial")
             clock.count(degraded=1)
@@ -869,14 +967,63 @@ def _synthesize_flow(
             deadline.disarm()
 
         assert best_indices is not None
+        dag_finalist_count = 0
+        if run_dag is not None:
+            # Finalist pass: the DAG surrogate ranked every combination
+            # by shared operator count; only a shortlist is now lowered
+            # through the exact extractor and area model.  The shortlist
+            # is the family seeds (each algebraic family's cheapest
+            # member — they carry the relative-quality guarantees the
+            # test suite pins against the factor+cse baseline) plus the
+            # top surrogate ranks, deduplicated in that order.  Over
+            # budget, the surrogate winner alone is assembled — the
+            # deadline is already disarmed, so one assembly is safe.
+            if degraded_search:
+                finalists = [best_indices]
+            else:
+                ranked = sorted(cache, key=lambda idx: (cache[idx][0], idx))
+                finalists = list(
+                    dict.fromkeys(
+                        [
+                            s
+                            for s in _search_seeds(lists, weights)
+                            if s in cache
+                        ]
+                        + ranked[:_DAG_FINALISTS]
+                    )
+                )
+            best_exact = None
+            for idx in finalists:
+                cost, _ = exact_score(idx)
+                dag_finalist_count += 1
+                if emitting:
+                    events.emit(
+                        "dag_finalist",
+                        cost=cost,
+                        surrogate=cache[idx][0],
+                        chosen=[lists[i][j].tag for i, j in enumerate(idx)],
+                    )
+                if best_exact is None or cost < best_exact:
+                    best_exact = cost
+                    best_indices = idx
+            winner_cost, decomposition = exact_score(best_indices)
+            dag_stats = run_dag.stats()
+            if emitting:
+                events.emit(
+                    "dag_stats",
+                    **dag_stats.as_dict(),
+                    finalists=dag_finalist_count,
+                )
+        else:
+            dag_stats = None
+            # Direct cache read: the winner was necessarily scored, and
+            # the retrieval must not inflate the memo-hit telemetry.
+            winner_cost, decomposition = cache[best_indices]
         trace.record(
             "search",
             f"{scored_counter} combination(s) scored",
             chosen=[lists[i][j].tag for i, j in enumerate(best_indices)],
         )
-        # Direct cache read: the winner was necessarily scored, and the
-        # retrieval must not inflate the memo-hit telemetry.
-        winner_cost, decomposition = cache[best_indices]
         chosen = [lists[i][j] for i, j in enumerate(best_indices)]
 
         # Never-worse-than-direct guard.  Every assembled combination is
@@ -907,6 +1054,7 @@ def _synthesize_flow(
             combinations=scored_counter,
             memo_hits=memo_hits,
             pruned=pruned_count,
+            dag_finalists=dag_finalist_count,
             ops_initial=_weighted(initial, options),
             ops_final=_weighted(final, options),
         )
@@ -926,6 +1074,11 @@ def _synthesize_flow(
         memo_hits=memo_hits,
         pruned=pruned_count,
         direct_fallback=direct_fallback,
+        cse_mode=options.cse_mode,
+        dag_nodes=dag_stats.nodes if dag_stats else 0,
+        dag_intern_hits=dag_stats.intern_hits if dag_stats else 0,
+        dag_shared_nodes=dag_stats.shared_nodes if dag_stats else 0,
+        dag_finalists=dag_finalist_count,
         chosen=[
             ChosenRepresentation(
                 polynomial=str(poly),
@@ -963,6 +1116,14 @@ def _synthesize_flow(
 #: generous — the prune should only drop combinations that are dominated
 #: beyond any plausible sharing gain.
 _PRUNE_FACTOR = 3.0
+
+#: Number of top surrogate-ranked combinations (beyond the family seeds)
+#: that dag mode lowers through the exact rectangle extractor.  The DAG
+#: surrogate ranks the exact winner first or second on every calibration
+#: system; a small buffer keeps the finalist pass robust to ranking
+#: noise without re-paying the per-combination CSE cost the surrogate
+#: exists to avoid.
+_DAG_FINALISTS = 4
 
 
 def _search_seeds(

@@ -1,0 +1,34 @@
+"""Global expression DAG: interning, shared-subexpression refcounts, lowering.
+
+Public surface (re-exported through :mod:`repro.api`):
+
+* :class:`ExpressionDAG` — the hash-consing node store,
+* :func:`intern` — intern a polynomial (default: the process DAG),
+* :func:`shared_subexpressions` — refcounted shared products,
+* :func:`lower_to_blocks` — lower DAG sharing to a
+  :class:`~repro.cse.extract.CseResult` block list.
+
+See ``docs/DAG.md`` for the design and the scoring/lowering split.
+"""
+
+from .graph import (
+    DagNode,
+    DagStats,
+    ExpressionDAG,
+    SharedSubexpression,
+    default_dag,
+    intern,
+    shared_subexpressions,
+)
+from .lower import lower_to_blocks
+
+__all__ = [
+    "DagNode",
+    "DagStats",
+    "ExpressionDAG",
+    "SharedSubexpression",
+    "default_dag",
+    "intern",
+    "lower_to_blocks",
+    "shared_subexpressions",
+]

@@ -1,0 +1,118 @@
+"""Lowering DAG sharing back to the repository's block representation.
+
+:func:`lower_to_blocks` turns the reference-counted sharing of an
+:class:`~repro.dag.graph.ExpressionDAG` into the same shape every other
+CSE in the repository produces — a
+:class:`~repro.cse.extract.CseResult`: rewritten polynomials over the
+original variables plus one fresh variable per extracted block, and the
+block definitions themselves.  Substituting every definition back
+reproduces the input exactly (the repository-wide CSE invariant; tests
+enforce the round trip through :func:`repro.cse.expand_blocks`).
+
+The extraction here is the DAG-native one: whole product nodes used by
+at least two distinct rows become blocks, largest first.  It is weaker
+than the greedy kernel-intersection extractor (no multi-term kernels,
+no sub-monomial GCDs) and exists as the public, deterministic lowering
+of DAG sharing — the synthesis flow itself uses the DAG for *scoring*
+and lowers its finalists through the exact extractor (see
+``docs/DAG.md`` for the division of labour).
+
+Determinism: block names are assigned in canonical payload order
+(literal count descending, then name pairs) — never node-id order — so
+two processes lowering the same system produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cse.extract import CseResult
+from repro.poly import Polynomial
+
+from .graph import ExpressionDAG
+
+
+def _divisible(exps: tuple[int, ...], need: dict[int, int]) -> bool:
+    return all(exps[i] >= e for i, e in need.items())
+
+
+def lower_to_blocks(
+    polys: Iterable[Polynomial],
+    prefix: str = "_d",
+    start_index: int = 0,
+    dag: ExpressionDAG | None = None,
+    min_refs: int = 2,
+    min_literals: int = 2,
+) -> CseResult:
+    """Extract shared DAG products of ``polys`` into block variables.
+
+    Every product node referenced by at least ``min_refs`` distinct rows
+    (and worth at least ``min_literals`` literals) becomes a block; each
+    occurrence — including repeated powers of the product inside one
+    term — is divided out and replaced by the block variable.  Blocks
+    are extracted largest first, and earlier block definitions are
+    themselves rewritten through later ones, so nested sharing chains
+    (``x*y*z`` inside ``w*x*y*z``) lower to block-over-block chains.
+    """
+    dag = dag or ExpressionDAG()
+    rows = [p.trim() for p in polys]
+    roots = [dag.intern(p) for p in rows]
+    shared = dag.shared_subexpressions(
+        roots, min_refs=min_refs, min_literals=min_literals
+    )
+
+    blocks: dict[str, Polynomial] = {}
+    counter = start_index
+    for item in shared:
+        name = f"{prefix}{counter + 1}"
+        mono = dict(item.pairs)  # var name -> exponent
+
+        def rewrite(poly: Polynomial) -> Polynomial:
+            variables = poly.vars
+            where = {}
+            for var, exp in mono.items():
+                if var not in variables:
+                    return poly
+                where[variables.index(var)] = exp
+            if not any(_divisible(e, where) for e in poly.terms):
+                return poly
+            new_vars = variables + (name,)
+            slot = len(variables)
+            terms: dict[tuple[int, ...], int] = {}
+            for exps, coeff in poly.terms.items():
+                power = 0
+                reduced = list(exps)
+                while _divisible(tuple(reduced), where):
+                    for i, e in where.items():
+                        reduced[i] -= e
+                    power += 1
+                new_exps = tuple(reduced) + (power,)
+                terms[new_exps] = terms.get(new_exps, 0) + coeff
+            return Polynomial(new_vars, terms).trim()
+
+        rewritten_rows = [rewrite(p) for p in rows]
+        touched = sum(
+            1 for old, new in zip(rows, rewritten_rows) if old is not new
+        )
+        rewritten_blocks = {k: rewrite(v) for k, v in blocks.items()}
+        touched += sum(
+            1
+            for k in blocks
+            if blocks[k] is not rewritten_blocks[k]
+        )
+        if touched < min_refs:
+            continue  # sharing collapsed under an earlier, larger block
+        rows = rewritten_rows
+        blocks = rewritten_blocks
+        block_vars = sorted(mono)
+        blocks[name] = Polynomial(
+            tuple(block_vars),
+            {tuple(mono[v] for v in block_vars): 1},
+        )
+        counter += 1
+
+    return CseResult(
+        polys=Polynomial.unify_all(rows) if rows else [],
+        blocks=blocks,
+        rounds=1 if blocks else 0,
+    )

@@ -40,7 +40,7 @@ from repro.system import PolySystem
 #: Code-version salt baked into every key.  Bump the trailing number in
 #: any PR that changes what the flow produces for the same input, so
 #: stale on-disk entries read as misses instead of wrong answers.
-CACHE_SALT = "repro-engine-v3"
+CACHE_SALT = "repro-engine-v4"
 
 
 def cache_key(

@@ -25,7 +25,7 @@ def scratch_method():
     """Register a throwaway method, always unregistered afterwards."""
     name = "test-scratch"
 
-    def fn(system, options=None):
+    def fn(system, options=None, *, dag=None):
         """A scratch method (direct decomposition in disguise)."""
         return direct_decomposition(list(system.polys))
 
@@ -49,7 +49,7 @@ class TestRegistry:
             register_method(scratch_method, lambda s, o=None: None)
 
     def test_replace_allows_override(self, scratch_method):
-        def replacement(system, options=None):
+        def replacement(system, options=None, *, dag=None):
             return direct_decomposition(list(system.polys))
 
         register_method(scratch_method, replacement, replace=True)
@@ -57,13 +57,42 @@ class TestRegistry:
 
     def test_decorator_form(self):
         @register_method("test-decorated")
-        def decorated(system, options=None):
+        def decorated(system, options=None, *, dag=None):
             return direct_decomposition(list(system.polys))
 
         try:
             assert is_registered("test-decorated")
         finally:
             unregister_method("test-decorated")
+
+    def test_legacy_signature_warns_and_adapts(self):
+        def legacy(system, options=None):
+            return direct_decomposition(list(system.polys))
+
+        with pytest.warns(DeprecationWarning, match="legacy signature"):
+            register_method("test-legacy", legacy)
+        try:
+            # The adapter accepts (and drops) the dag keyword the new
+            # calling convention passes.
+            from repro.dag import ExpressionDAG
+
+            system = get_system("Table 14.1")
+            fn = get_method("test-legacy")
+            dec = fn(system, None, dag=ExpressionDAG())
+            assert dec.op_count().mul > 0
+            assert fn.__wrapped__ is legacy
+        finally:
+            unregister_method("test-legacy")
+
+    def test_var_keyword_methods_are_not_wrapped(self):
+        def flexible(system, options=None, **kwargs):
+            return direct_decomposition(list(system.polys))
+
+        register_method("test-kwargs", flexible)
+        try:
+            assert get_method("test-kwargs") is flexible
+        finally:
+            unregister_method("test-kwargs")
 
 
 class TestCompareMethodsIntegration:

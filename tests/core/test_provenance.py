@@ -69,8 +69,14 @@ class TestProvenanceRecord:
 
 class TestMetricsAgreement:
     def test_counters_match_provenance_exactly(self):
-        """SG 3X2 exercises descent + memo hits; views must agree."""
-        _, result = traced_synthesis("SG 3X2")
+        """SG 3X2 exercises descent + memo hits; views must agree.
+
+        Pinned to rectangle mode: dag mode's surrogate scores steer the
+        descent down a different (hit-free) path on this system.
+        """
+        _, result = traced_synthesis(
+            "SG 3X2", SynthesisOptions(cse_mode="rectangle")
+        )
         prov = result.provenance
         registry = get_registry()
         assert (
@@ -82,6 +88,46 @@ class TestMetricsAgreement:
         )
         assert registry.counter("repro_search_pruned").value == prov.pruned
         assert prov.memo_hits > 0  # SG 3X2's search actually memoizes
+
+    def test_dag_counters_match_provenance_exactly(self):
+        """The dag_* counters carry the same integers as the provenance."""
+        _, result = traced_synthesis("SG 3X2")
+        prov = result.provenance
+        assert prov.cse_mode == "dag"
+        registry = get_registry()
+        assert (
+            registry.counter("repro_search_combos_scored").value
+            == prov.combinations_scored
+        )
+        assert registry.counter("repro_search_dag_nodes").value == prov.dag_nodes
+        assert (
+            registry.counter("repro_search_dag_intern_hits").value
+            == prov.dag_intern_hits
+        )
+        assert (
+            registry.counter("repro_search_dag_shared_nodes").value
+            == prov.dag_shared_nodes
+        )
+        assert (
+            registry.counter("repro_search_dag_finalists").value
+            == prov.dag_finalists
+        )
+        assert prov.dag_nodes > 0
+        assert prov.dag_intern_hits > 0
+        assert prov.dag_shared_nodes > 0
+        assert prov.dag_finalists > 0
+
+    def test_rectangle_mode_publishes_no_dag_counters(self):
+        _, result = traced_synthesis(
+            "Table 14.1", SynthesisOptions(cse_mode="rectangle")
+        )
+        prov = result.provenance
+        assert prov.cse_mode == "rectangle"
+        assert prov.dag_nodes == 0
+        assert prov.dag_finalists == 0
+        registry = get_registry()
+        assert registry.counter("repro_search_dag_nodes").value == 0
+        assert registry.counter("repro_search_dag_finalists").value == 0
 
     def test_cache_size_gauges_published(self):
         _, _ = traced_synthesis("Table 14.1")
@@ -111,6 +157,22 @@ class TestExplainReport:
         assert "chosen representations:" in text
         for block in prov.blocks:
             assert block in text
+
+    def test_text_reports_dag_sharing(self):
+        system, result = traced_synthesis("SG 3X2")
+        prov = result.provenance
+        text = explain_text(result, name=system.name)
+        assert (
+            f"dag sharing: {prov.dag_nodes} node(s) interned" in text
+        )
+        assert f"{prov.dag_shared_nodes} shared across polynomials" in text
+        assert f"{prov.dag_finalists} finalist(s) assembled" in text
+
+    def test_rectangle_text_omits_dag_line(self):
+        _, result = traced_synthesis(
+            "Table 14.1", SynthesisOptions(cse_mode="rectangle")
+        )
+        assert "dag sharing" not in explain_text(result)
 
     def test_missing_provenance_degrades_gracefully(self):
         class Stub:

@@ -1,0 +1,85 @@
+"""Lowering DAG sharing to block lists: exactness, determinism, chains."""
+
+from hypothesis import given, settings
+
+from repro.cse import expand_blocks
+from repro.dag import ExpressionDAG, lower_to_blocks
+from repro.poly import parse_polynomial
+
+from tests.conftest import polynomials
+
+
+def roundtrip_exact(polys, result):
+    for original, rewritten in zip(polys, result.polys):
+        assert expand_blocks(rewritten, result.blocks).trim() == original.trim()
+
+
+class TestLowering:
+    def test_shared_product_becomes_a_block(self):
+        polys = [
+            parse_polynomial("x*y*z + w"),
+            parse_polynomial("2*x*y*z - 1"),
+        ]
+        result = lower_to_blocks(polys)
+        assert len(result.blocks) == 1
+        (definition,) = result.blocks.values()
+        assert definition == parse_polynomial("x*y*z").trim()
+        roundtrip_exact(polys, result)
+
+    def test_nested_sharing_lowers_to_a_chain(self):
+        polys = [
+            parse_polynomial("w*x*y*z + 1"),
+            parse_polynomial("w*x*y*z + 2"),
+            parse_polynomial("x*y*z + 3"),
+            parse_polynomial("x*y*z + 4"),
+        ]
+        result = lower_to_blocks(polys)
+        # The big product is defined THROUGH the small one.
+        chained = [
+            d for d in result.blocks.values()
+            if any(v.startswith("_d") for v in d.used_vars())
+        ]
+        assert chained
+        roundtrip_exact(polys, result)
+
+    def test_no_sharing_no_blocks(self):
+        polys = [parse_polynomial("x + y"), parse_polynomial("x - y")]
+        result = lower_to_blocks(polys)
+        assert result.blocks == {}
+        assert result.rounds == 0
+
+    def test_repeated_powers_inside_one_term(self):
+        polys = [
+            parse_polynomial("x^2*y^2 + x*y"),
+            parse_polynomial("x*y + 7"),
+        ]
+        result = lower_to_blocks(polys)
+        roundtrip_exact(polys, result)
+
+    def test_prefix_and_start_index(self):
+        polys = [parse_polynomial("x*y + 1"), parse_polynomial("x*y + 2")]
+        result = lower_to_blocks(polys, prefix="_blk", start_index=9)
+        assert list(result.blocks) == ["_blk10"]
+
+    def test_deterministic_across_interning_history(self):
+        polys = [
+            parse_polynomial("a*b + x*y*z"),
+            parse_polynomial("a*b - x*y*z"),
+        ]
+        cold = lower_to_blocks(polys)
+        warmed = ExpressionDAG()
+        # Pre-warm the DAG in a scrambled order; block naming must not
+        # follow node ids.
+        warmed.intern(parse_polynomial("x*y*z"))
+        warmed.intern(parse_polynomial("a*b"))
+        warm = lower_to_blocks(polys, dag=warmed)
+        assert cold.blocks == warm.blocks
+        assert cold.polys == warm.polys
+
+    @settings(max_examples=40, deadline=None)
+    @given(p=polynomials(allow_zero=False), q=polynomials(allow_zero=False))
+    def test_roundtrip_is_exact(self, p, q):
+        polys = [p, q, p * q]
+        result = lower_to_blocks(polys)
+        assert len(result.polys) == len(polys)
+        roundtrip_exact(polys, result)

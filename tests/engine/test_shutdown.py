@@ -32,7 +32,7 @@ class TestRequestStop:
     def test_stop_mid_run_finishes_current_job_and_drains(self):
         engine = BatchEngine(RunConfig())
 
-        def stopper(system, options=None):
+        def stopper(system, options=None, *, dag=None):
             engine.request_stop()  # a signal arriving mid-job
             return get_method("direct")(system, options)
 

@@ -10,6 +10,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.core import SynthesisOptions
 from repro.fuzz import (
     Finding,
     FuzzConfig,
@@ -22,9 +23,17 @@ from repro.fuzz import (
     verify_entry,
     write_corpus_entry,
 )
+from repro.fuzz.driver import Strategy
 
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
 SHIPPED = sorted(CORPUS_DIR.glob("*.json"))
+
+#: The cse-mode replay matrix: both scorers, both labelled so the
+#: driver's never-worse-than-direct cost oracle applies to each.
+CSE_MODES = (
+    Strategy("area", SynthesisOptions(cse_mode="dag")),
+    Strategy("rectangle", SynthesisOptions(cse_mode="rectangle")),
+)
 
 
 class TestShippedCorpus:
@@ -38,6 +47,29 @@ class TestShippedCorpus:
         entry = load_corpus_entry(path)
         problems = verify_entry(entry)
         assert not problems, "\n".join(problems)
+
+    @pytest.mark.parametrize(
+        "path", SHIPPED, ids=[p.stem for p in SHIPPED]
+    )
+    def test_entry_verdict_is_mode_independent(self, path):
+        """Replay every locked regression under both cse modes.
+
+        The dag scorer must agree with the rectangle scorer on every
+        archived bug: same functional verdict from the exact oracle,
+        and neither mode's area-objective result worse than direct
+        (the driver's cost oracle covers both lineup entries because
+        both strategies carry cost-checked labels).
+        """
+        entry = load_corpus_entry(path)
+        config = FuzzConfig(
+            methods=("direct", "proposed"), strategies=CSE_MODES
+        )
+        result = replay_entry(entry, config)
+        assert result.methods_run == 3  # direct + one run per mode
+        mode_findings = [
+            f for f in result.findings if f.method.startswith("proposed[")
+        ]
+        assert not mode_findings, "\n".join(str(f) for f in mode_findings)
 
 
 class TestRoundTrip:
