@@ -121,7 +121,7 @@ _PERF: dict[str, dict] = {}
 #: Label stamped into the snapshot; bump alongside the checked-in file
 #: name.  ``REPRO_BENCH_LABEL`` overrides it for side-channel snapshots
 #: (e.g. the CI obs-overhead gate's "OBS" run).
-BASELINE_LABEL = os.environ.get("REPRO_BENCH_LABEL", "PR9")
+BASELINE_LABEL = os.environ.get("REPRO_BENCH_LABEL", "PR10")
 
 
 def _git_sha() -> str | None:

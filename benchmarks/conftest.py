@@ -18,14 +18,14 @@ from bench_common import record_table, recorded_tables, write_perf_baseline  # n
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Persist the machine-readable perf baseline (see BENCH_PR9.json).
+    """Persist the machine-readable perf baseline (see BENCH_PR10.json).
 
     ``REPRO_BENCH_JSON`` overrides the output path; nothing is written
     when no benchmark exercised :func:`bench_common.compare_system`.
     Compare the result against a prior baseline with ``bench_compare.py``.
     """
     path = os.environ.get("REPRO_BENCH_JSON") or os.path.join(
-        os.path.dirname(__file__), "BENCH_PR9.json"
+        os.path.dirname(__file__), "BENCH_PR10.json"
     )
     write_perf_baseline(path)
 

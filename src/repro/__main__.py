@@ -772,7 +772,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "cache",
         help="inspect or clear the process-level synthesis caches "
-        "(best-expression memo, kernel cache, DAG interner)",
+        "(best-expression memo, kernel cache, DAG interner, packed "
+        "contexts, rings memos)",
     )
     group = p.add_mutually_exclusive_group()
     group.add_argument(

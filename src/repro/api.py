@@ -110,8 +110,9 @@ __all__ = [
 def clear_caches() -> dict[str, int]:
     """Clear every process-level synthesis cache; return pre-clear sizes.
 
-    One call covers the best-expression memo, the CSE kernel cache, and
-    the default expression-DAG interner (the three stores
+    One call covers the best-expression memo, the CSE kernel cache, the
+    default expression-DAG interner, the packed-monomial context pool,
+    and the rings-layer number-theory memos (the stores
     :func:`~repro.core.synthesis_cache_sizes` reports).  Exposed on the
     CLI as ``repro cache --clear``.
     """

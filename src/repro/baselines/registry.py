@@ -21,15 +21,15 @@ may pass so several methods run against one interning store (e.g.
 on one DAG).  Baseline methods are free to ignore either.
 
 Methods written against the pre-DAG signature ``fn(system, options)``
-still register — they are wrapped in an adapter that drops the ``dag``
-keyword — but registration emits a :class:`DeprecationWarning`; the
-compatibility shim lasts one release.
+no longer register: the one-release compatibility adapter (which
+wrapped them with a ``DeprecationWarning``) has completed its cycle,
+and registration now raises a ``TypeError`` naming the required
+signature.
 """
 
 from __future__ import annotations
 
 import inspect
-import warnings
 from typing import Callable, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -62,26 +62,6 @@ def _accepts_dag(fn: Callable) -> bool:
     return False
 
 
-def _adapt_legacy(name: str, fn: Callable) -> MethodFn:
-    """Wrap a pre-DAG ``fn(system, options)`` method; warn at registration."""
-    warnings.warn(
-        f"method {name!r} uses the legacy signature fn(system, options); "
-        "methods now receive a shared expression DAG — declare "
-        "fn(system, options=None, *, dag=None).  The legacy adapter "
-        "will be removed in the next release.",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-    def adapted(system, options=None, *, dag=None):
-        return fn(system, options)
-
-    adapted.__name__ = getattr(fn, "__name__", name)
-    adapted.__doc__ = fn.__doc__
-    adapted.__wrapped__ = fn
-    return adapted
-
-
 def register_method(
     name: str, fn: MethodFn | None = None, *, replace: bool = False
 ):
@@ -90,15 +70,19 @@ def register_method(
     Usable directly (``register_method("x", fn)``) or as a decorator
     (``@register_method("x")``).  Re-registering an existing name raises
     unless ``replace=True`` — accidental shadowing of a built-in method
-    should be loud.
+    should be loud.  Methods must accept the ``dag=`` keyword; the
+    pre-DAG two-argument signature is no longer adapted.
     """
     def _register(fn: MethodFn) -> MethodFn:
         if not replace and name in _METHODS:
             raise ValueError(f"method {name!r} is already registered")
-        registered = fn
         if not _accepts_dag(fn):
-            registered = _adapt_legacy(name, fn)
-        _METHODS[name] = registered
+            raise TypeError(
+                f"method {name!r} uses the removed legacy signature "
+                "fn(system, options); declare "
+                "fn(system, options=None, *, dag=None)"
+            )
+        _METHODS[name] = fn
         return fn
 
     if fn is None:

@@ -16,6 +16,12 @@ from __future__ import annotations
 
 from repro.obs import current_tracer
 from repro.poly import Polynomial, divmod_poly
+from repro.poly.division import (
+    _divide_out_all_packed,
+    _packed_divmod_core,
+    _packed_lead_rest,
+)
+from repro.poly.packed import PackedContext, packed_enabled, packed_form
 
 from .blocks import BlockRegistry
 from .budget import CHECK_STRIDE, current_deadline
@@ -43,6 +49,16 @@ def divide_by_block(
             divisor_ground = divisor_ground.with_vars(poly.vars)
         else:
             poly, divisor_ground = Polynomial.unify(poly, divisor_ground)
+    ctx = None
+    if packed_enabled() and not poly.is_zero:
+        ctx = PackedContext.for_degrees(
+            len(poly.vars),
+            max(poly.total_degree(), divisor_ground.total_degree()),
+        )
+    if ctx is not None:
+        return _divide_by_block_packed(
+            poly, divisor_ground, block_name, max_depth, ctx
+        )
     quotient, remainder = divmod_poly(poly, divisor_ground)
     if quotient.is_zero:
         return None
@@ -55,6 +71,133 @@ def divide_by_block(
     return block_var * inner + remainder
 
 
+def _packed_division_levels(
+    poly: Polynomial,
+    divisor_ground: Polynomial,
+    max_depth: int,
+    ctx: PackedContext,
+) -> list[tuple[dict[int, int], dict[int, int]]] | None:
+    """The packed quotient/remainder chain of a block division.
+
+    Reduces ``P = l*(l*(...*q + r_m...) + r_1) + r_0`` entirely in
+    packed space; level ``k`` holds the ``(quotient, remainder)`` dicts
+    of the ``k``-th reduction.  Returns ``None`` when the divisor
+    yields no quotient at all.  Kept separate from the polynomial
+    assembly so the candidate loop can rank chains by term count and
+    only materialize the winners.
+    """
+    lead, lead_coeff, rest = _packed_lead_rest(divisor_ground, ctx)
+    divisor_degree = divisor_ground.total_degree()
+    divides = ctx.divides
+    degree_of = ctx.degree_of
+    levels: list[tuple[dict[int, int], dict[int, int]]] = []
+    work_map: dict[int, int] = packed_form(poly, ctx).term_map()
+    depth = max_depth
+    while True:
+        # Zero-quotient early-out (same probe as divmod_poly): the
+        # candidate loops try divisor pools where most chains end here.
+        for p, c in work_map.items():
+            if c % lead_coeff == 0 and divides(lead, p):
+                break
+        else:
+            break
+        quotient, remainder = _packed_divmod_core(
+            dict(work_map), lead, lead_coeff, rest, ctx
+        )
+        if not quotient:
+            break
+        levels.append((quotient, remainder))
+        depth -= 1
+        if depth < 1 or degree_of(min(quotient)) < divisor_degree:
+            break
+        work_map = quotient
+    return levels or None
+
+
+def _level_term_count(levels: list[tuple[dict[int, int], dict[int, int]]]) -> int:
+    """``len()`` of the polynomial the levels assemble to, without building it.
+
+    Every level gets a distinct block power, so no two emitted terms can
+    collide and the counts simply add.
+    """
+    return len(levels[-1][0]) + sum(len(rem) for _, rem in levels)
+
+
+def _assemble_packed_levels(
+    poly: Polynomial,
+    levels: list[tuple[dict[int, int], dict[int, int]]],
+    block_name: str,
+    ctx: PackedContext,
+) -> Polynomial:
+    """Materialize a division chain as ``block^(m+1)*q_m + sum block^k*r_k``.
+
+    Term order of the result reproduces the tuple path exactly: the
+    nested ``block * inner + remainder`` construction yields the deepest
+    quotient's terms first (highest block power), then each level's
+    remainder in descending block power, every group in its reduction
+    order.  The variable tuple is the sorted union the tuple path's
+    unify would produce.
+    """
+    union = tuple(sorted(set(poly.vars) | {block_name}))
+    block_at = union.index(block_name)
+    position = [union.index(v) for v in poly.vars]
+    nunion = len(union)
+    unpack = ctx.unpack
+    terms: dict[tuple, int] = {}
+
+    def emit(packed_terms: dict[int, int], block_power: int) -> None:
+        for p, coeff in packed_terms.items():
+            exps = unpack(p)
+            out = [0] * nunion
+            for src, dst in enumerate(position):
+                out[dst] = exps[src]
+            out[block_at] = block_power
+            terms[tuple(out)] = coeff
+
+    deepest = len(levels) - 1
+    emit(levels[deepest][0], deepest + 1)
+    for level in range(deepest, -1, -1):
+        emit(levels[level][1], level)
+    return Polynomial._raw(union, terms)
+
+
+def _divide_by_block_packed(
+    poly: Polynomial,
+    divisor_ground: Polynomial,
+    block_name: str,
+    max_depth: int,
+    ctx: PackedContext,
+) -> Polynomial | None:
+    """The packed whole-chain equivalent of the recursive tuple path."""
+    levels = _packed_division_levels(poly, divisor_ground, max_depth, ctx)
+    if levels is None:
+        return None
+    return _assemble_packed_levels(poly, levels, block_name, ctx)
+
+
+def _align_for_packed(
+    poly: Polynomial, divisor: Polynomial
+) -> tuple[Polynomial, Polynomial, PackedContext] | None:
+    """Operands aligned + a sized context, or ``None`` -> tuple fallback.
+
+    The same alignment :func:`divide_by_block` performs, hoisted so the
+    candidate loop can drive the packed chain directly.
+    """
+    if not packed_enabled() or poly.is_zero:
+        return None
+    if divisor.vars != poly.vars:
+        if set(divisor.used_vars()) <= set(poly.vars):
+            divisor = divisor.with_vars(poly.vars)
+        else:
+            poly, divisor = Polynomial.unify(poly, divisor)
+    ctx = PackedContext.for_degrees(
+        len(poly.vars), max(poly.total_degree(), divisor.total_degree())
+    )
+    if ctx is None:
+        return None
+    return poly, divisor, ctx
+
+
 def division_candidates(
     ground_poly: Polynomial,
     registry: BlockRegistry,
@@ -64,10 +207,14 @@ def division_candidates(
 
     Tries every registered linear block; candidates are ranked by how much
     structure the division removed (fewer remaining ground terms first)
-    and capped at ``max_candidates``.
+    and capped at ``max_candidates``.  In packed mode losing chains are
+    never materialized: the ranking key (the assembled term count) is
+    read off the packed level dicts, and only the ``max_candidates``
+    survivors are built into polynomials after the sort.
     """
-    candidates: list[tuple[int, Polynomial]] = []
+    candidates: list[tuple[int, object]] = []
     poly_vars = set(ground_poly.used_vars())
+    ground_trim = ground_poly.trim()
     deadline = current_deadline()
     ticking = deadline.enabled
     pending = 0
@@ -79,15 +226,36 @@ def division_candidates(
                 if pending >= CHECK_STRIDE:
                     deadline.tick(pending, site="algdiv/divide")
                     pending = 0
-            if name in ground_poly.vars and ground_poly.degree(name) > 0:
+            if name in poly_vars:
+                # The block's own variable appears (with positive degree)
+                # in the polynomial — dividing would be self-referential.
                 continue
             if not set(divisor.used_vars()) <= poly_vars:
                 continue  # the divisor mentions variables the polynomial lacks
             divisors += 1
+            prepared = _align_for_packed(ground_poly, divisor)
+            if prepared is not None:
+                apoly, adivisor, ctx = prepared
+                levels = _packed_division_levels(apoly, adivisor, 8, ctx)
+                if levels is None:
+                    continue
+                count = _level_term_count(levels)
+                if count == len(ground_trim):
+                    # Only a count tie can be an identity rewrite; check
+                    # it eagerly so no-op candidates never enter the pool.
+                    rewritten = _assemble_packed_levels(apoly, levels, name, ctx)
+                    if rewritten.trim() == ground_trim:
+                        continue
+                    candidates.append((count, rewritten))
+                else:
+                    candidates.append((count, (apoly, levels, name, ctx)))
+                continue
             rewritten = divide_by_block(ground_poly, divisor, name)
             if rewritten is None:
                 continue
-            if rewritten.trim() == ground_poly.trim():
+            # Equal polynomials need equal term counts — skip the trim
+            # and comparison when the counts already differ.
+            if len(rewritten) == len(ground_trim) and rewritten.trim() == ground_trim:
                 continue
             # Rank: strongly prefer representations with fewer terms (more of
             # the polynomial folded into the block structure).
@@ -96,7 +264,14 @@ def division_candidates(
             deadline.tick(pending, site="algdiv/divide")
         span.count(divisors=divisors, candidates=len(candidates))
     candidates.sort(key=lambda item: item[0])
-    return [poly for _, poly in candidates[:max_candidates]]
+    chosen: list[Polynomial] = []
+    for _, entry in candidates[:max_candidates]:
+        if isinstance(entry, Polynomial):
+            chosen.append(entry)
+        else:
+            apoly, levels, name, ctx = entry
+            chosen.append(_assemble_packed_levels(apoly, levels, name, ctx))
+    return chosen
 
 
 def refine_block_definitions(registry: BlockRegistry) -> int:
@@ -122,6 +297,7 @@ def _refine_block_definitions(registry: BlockRegistry, divide_out_all) -> int:
     ticking = deadline.enabled
     pending = 0
     rewritten = 0
+    use_packed = packed_enabled()
     for name in list(registry.defs):
         ground = registry.ground[name]
         if ground.is_linear:
@@ -129,6 +305,12 @@ def _refine_block_definitions(registry: BlockRegistry, divide_out_all) -> int:
         best: Polynomial | None = None
         ground_used = set(ground.used_vars())
         ground_degree = ground.total_degree()
+        # One context and one packed form serve the whole divisor sweep:
+        # every admitted divisor has degree <= the ground's, so the
+        # context divide_out_all would size per pair is this one.
+        ctx = None
+        if use_packed and not ground.is_zero:
+            ctx = PackedContext.for_degrees(len(ground.vars), ground_degree)
         for divisor_name, divisor in registry.linear_blocks():
             if ticking:
                 pending += 1
@@ -144,7 +326,12 @@ def _refine_block_definitions(registry: BlockRegistry, divide_out_all) -> int:
                 continue
             if not set(divisor.used_vars()) <= ground_used:
                 continue
-            reduced, multiplicity = divide_out_all(ground, divisor)
+            if ctx is not None and divisor.vars == ground.vars:
+                reduced, multiplicity = _divide_out_all_packed(
+                    ground, divisor, ctx
+                )
+            else:
+                reduced, multiplicity = divide_out_all(ground, divisor)
             if multiplicity == 0:
                 continue
             new_vars = tuple(dict.fromkeys(reduced.vars + (divisor_name,)))

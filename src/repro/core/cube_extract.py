@@ -55,6 +55,8 @@ def cube_extraction(
     events = current_events()
     emitting = events.enabled  # hoisted: harvest runs inside the search loop
 
+    defs = registry.defs
+
     def harvest(poly: Polynomial) -> None:
         nonlocal pending
         for kernel in exposed_linear_kernels(poly):
@@ -63,7 +65,13 @@ def cube_extraction(
                 if pending >= CHECK_STRIDE:
                     deadline.tick(pending, site="cube_extract/harvest")
                     pending = 0
-            ground = registry.expand(kernel).trim()
+            if any(name in defs for name in kernel.used_vars()):
+                ground = registry.expand(kernel).trim()
+            else:
+                # Block-variable-free kernels expand to themselves (the
+                # substitution machinery reduces to a trim) — and they are
+                # already trimmed by exposed_linear_kernels.
+                ground = kernel
             if not ground.is_linear or ground.is_constant or ground.is_zero:
                 continue
             if ground in seen:
@@ -83,9 +91,12 @@ def cube_extraction(
     with current_tracer().span("cube_extract/kernels") as span:
         for poly in polys:
             harvest(poly)
-            expanded = registry.expand(poly)
-            if expanded != poly:
-                harvest(expanded)
+            # Without block variables the expansion could only re-trim the
+            # polynomial, whose (trimmed) kernels harvest already saw.
+            if any(name in defs for name in poly.used_vars()):
+                expanded = registry.expand(poly)
+                if expanded != poly:
+                    harvest(expanded)
         for block_name in list(registry.defs):
             harvest(registry.ground[block_name])
         if ticking and pending:

@@ -161,14 +161,22 @@ def clear_synthesis_caches() -> None:
 
     Tests use this to compare cold runs against memoized runs; results
     must be identical either way (the caches are keyed by mathematical
-    content and hold immutable values).
+    content and hold immutable values).  Covers the packed-monomial
+    context intern pool and the rings-layer ``lru_cache`` memos too, so
+    a "cold" benchmark run really starts cold.
     """
     from repro.cse.kernels import clear_kernel_cache
     from repro.dag import default_dag
+    from repro.poly.packed import clear_packed_context_cache
+    from repro.rings.falling import clear_falling_caches
+    from repro.rings.modular import clear_modular_caches
 
     _BEST_EXPR_CACHE.clear()
     clear_kernel_cache()
     default_dag().clear()
+    clear_packed_context_cache()
+    clear_falling_caches()
+    clear_modular_caches()
 
 
 def synthesis_cache_sizes() -> dict[str, int]:
@@ -180,11 +188,17 @@ def synthesis_cache_sizes() -> dict[str, int]:
     """
     from repro.cse.kernels import kernel_cache_size
     from repro.dag import default_dag
+    from repro.poly.packed import packed_context_cache_size
+    from repro.rings.falling import falling_cache_size
+    from repro.rings.modular import modular_cache_size
 
     return {
         "best_expr_cache": len(_BEST_EXPR_CACHE),
         "kernel_cache": kernel_cache_size(),
         "dag_interner": default_dag().size(),
+        "packed_contexts": packed_context_cache_size(),
+        "rings_falling": falling_cache_size(),
+        "rings_modular": modular_cache_size(),
     }
 
 

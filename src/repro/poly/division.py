@@ -19,9 +19,9 @@ from __future__ import annotations
 import heapq
 from typing import Tuple
 
-from .monomial import mono_div, mono_divides
+from .monomial import mono_div, mono_divides, mono_mul
 from .orderings import OrderKey, grevlex_key, order_key
-from .packed import PackedContext
+from .packed import PackedContext, packed_enabled, packed_form
 from .polynomial import Polynomial
 
 
@@ -40,9 +40,22 @@ def divmod_poly(
     if divisor.is_zero:
         raise ZeroDivisionError("polynomial division by zero")
     if order == "grevlex" or order is grevlex_key:
-        return _divmod_grevlex_packed(dividend, divisor)
+        return _divmod_grevlex(dividend, divisor)
     key = order_key(order) if isinstance(order, str) else order
     dividend, divisor = Polynomial.unify(dividend, divisor)
+    return _divmod_generic(dividend, divisor, key)
+
+
+def _divmod_generic(
+    dividend: Polynomial, divisor: Polynomial, key
+) -> Tuple[Polynomial, Polynomial]:
+    """Reference division loop on exponent tuples (any term order).
+
+    Also the fallback the grevlex entry point uses when the packed fast
+    path is unavailable; both paths build the quotient and remainder
+    dicts in the same (strictly order-descending) insertion sequence, so
+    downstream consumers see byte-identical term order either way.
+    """
     lead_exps, lead_coeff = divisor.leading_term(key)
     divisor_terms = divisor.terms
 
@@ -51,7 +64,6 @@ def divmod_poly(
     work = dict(dividend.terms)
     quotient: dict = {}
     remainder: dict = {}
-    from .monomial import mono_mul
 
     while work:
         w_exps = max(work, key=key)
@@ -76,55 +88,40 @@ def divmod_poly(
     )
 
 
-def _divmod_grevlex_packed(
+def _division_context(
     dividend: Polynomial, divisor: Polynomial
-) -> Tuple[Polynomial, Polynomial]:
-    """Grevlex division on packed-integer monomials with a lazy max-heap.
+) -> PackedContext | None:
+    """Packed context for one division, or ``None`` -> tuple fallback.
 
-    Mathematically identical to the generic loop above, but every
-    monomial is one integer (see :mod:`repro.poly.packed`): the next
-    leading term comes off a heap instead of a full ``max()`` scan, the
-    divisibility test is two int ops, and the inner cancellation loop is
-    integer addition instead of tuple zipping.
+    Division only shrinks monomials, so the max of the operand degree
+    bounds is sufficient (every intermediate target divides a genuine
+    work-set monomial).
     """
-    dividend, divisor = Polynomial.unify(dividend, divisor)
-    if not dividend.terms:
-        zero = Polynomial.zero(dividend.vars)
-        return zero, zero
-    # Zero-quotient early-out: the first reduction step always fires on an
-    # *original* term (reduction-created terms only exist after one), so if
-    # no input term is divisible by the divisor's leading term the whole
-    # dividend is remainder.  The candidate-division phases probe many
-    # divisors that fail exactly this way.
-    lead_exps, lead_coeff = divisor.leading_term(grevlex_key)
-    nonzero = [(i, v) for i, v in enumerate(lead_exps) if v]
-    if len(nonzero) == 1:
-        # Linear-divisor common case: the leading monomial is one variable,
-        # so the divisibility probe is a single index compare per term.
-        i0, v0 = nonzero[0]
-        for e, c in dividend.terms.items():
-            if e[i0] >= v0 and c % lead_coeff == 0:
-                break
-        else:
-            return Polynomial.zero(dividend.vars), dividend
-    else:
-        for e, c in dividend.terms.items():
-            if c % lead_coeff == 0 and mono_divides(lead_exps, e):
-                break
-        else:
-            return Polynomial.zero(dividend.vars), dividend
-    ctx = PackedContext.get(
+    if not packed_enabled():
+        return None
+    return PackedContext.for_degrees(
         len(dividend.vars),
         max(dividend.total_degree(), divisor.total_degree()),
     )
-    lead = ctx.pack(lead_exps)
-    # The leading term cancels exactly by construction; only the rest of
-    # the divisor needs the explicit subtraction loop.
-    rest = [
-        (ctx.pack(e), c) for e, c in divisor.terms.items() if e != lead_exps
-    ]
 
-    work = ctx.pack_terms(dividend.terms.items())
+
+def _packed_divmod_core(
+    work: dict[int, int],
+    lead: int,
+    lead_coeff: int,
+    rest: list[tuple[int, int]],
+    ctx: PackedContext,
+) -> Tuple[dict[int, int], dict[int, int]]:
+    """Grevlex division on packed-integer monomials with a lazy max-heap.
+
+    Mathematically identical to :func:`_divmod_generic`, but every
+    monomial is one integer (see :mod:`repro.poly.packed`): the next
+    leading term comes off a heap instead of a full ``max()`` scan, the
+    divisibility test is two int ops, and the inner cancellation loop is
+    integer addition instead of tuple zipping.  ``work`` is consumed.
+    Returns packed ``(quotient, remainder)`` dicts whose insertion order
+    is the reduction order — the same sequence the generic loop produces.
+    """
     heap = list(work)
     heapq.heapify(heap)
     divides = ctx.divides
@@ -157,6 +154,56 @@ def _divmod_grevlex_packed(
                         del work[target]
         else:
             remainder[w] = w_coeff
+    return quotient, remainder
+
+
+def _packed_lead_rest(
+    divisor: Polynomial, ctx: PackedContext
+) -> tuple[int, int, list[tuple[int, int]]]:
+    """(packed leading monomial, leading coeff, non-leading packed terms).
+
+    The leading term cancels exactly by construction in every reduction
+    step; only the rest of the divisor needs the explicit subtraction
+    loop.  Both the packed form and this split of it are memoized on the
+    divisor instance, so the candidate loops that probe one divisor pool
+    pay for packing once.
+    """
+    return packed_form(divisor, ctx).lead_rest()
+
+
+def _divmod_grevlex(
+    dividend: Polynomial, divisor: Polynomial
+) -> Tuple[Polynomial, Polynomial]:
+    """Grevlex division: packed fast path with the tuple loop as fallback."""
+    dividend, divisor = Polynomial.unify(dividend, divisor)
+    if not dividend.terms:
+        zero = Polynomial.zero(dividend.vars)
+        return zero, zero
+    ctx = _division_context(dividend, divisor)
+    if ctx is None:
+        return _divmod_generic(dividend, divisor, grevlex_key)
+    lead, lead_coeff, rest = _packed_lead_rest(divisor, ctx)
+    pmap = packed_form(dividend, ctx).term_map()
+    # Zero-quotient early-out: the first reduction step always fires on an
+    # *original* term (reduction-created terms only exist after one), so if
+    # no input term is divisible by the divisor's leading term the whole
+    # dividend is remainder.  The candidate-division phases probe many
+    # divisors that fail exactly this way.
+    divides = ctx.divides
+    for p, c in pmap.items():
+        if c % lead_coeff == 0 and divides(lead, p):
+            break
+    else:
+        # The generic loop emits remainder terms grevlex-descending
+        # (ascending packed value); match it so term order stays
+        # byte-identical across the two paths.
+        unpack = ctx.unpack
+        return Polynomial.zero(dividend.vars), Polynomial._raw(
+            dividend.vars, {unpack(p): pmap[p] for p in sorted(pmap)}
+        )
+    quotient, remainder = _packed_divmod_core(
+        dict(pmap), lead, lead_coeff, rest, ctx
+    )
     unpack = ctx.unpack
     return (
         Polynomial._raw(
@@ -248,12 +295,65 @@ def divide_out_all(
         raise ZeroDivisionError("polynomial division by zero")
     if divisor.is_constant and abs(divisor.constant_term) == 1:
         raise ValueError("dividing out a unit never terminates")
+    if dividend.is_zero:
+        return dividend, 0
+    divisor_degree = divisor.total_degree()
+    if divisor_degree > dividend.total_degree():
+        return dividend, 0
+    unified, divisor_u = Polynomial.unify(dividend, divisor)
+    ctx = _division_context(unified, divisor_u)
+    if ctx is None:
+        count = 0
+        current = dividend
+        while not current.is_zero:
+            quotient = exact_divide(current, divisor)
+            if quotient is None:
+                break
+            current = quotient
+            count += 1
+        return current, count
+    reduced, count = _divide_out_all_packed(unified, divisor_u, ctx)
+    if count == 0:
+        return dividend, 0
+    return reduced, count
+
+
+def _divide_out_all_packed(
+    unified: Polynomial, divisor: Polynomial, ctx: PackedContext
+) -> Tuple[Polynomial, int]:
+    """The packed multiplicity loop over pre-unified operands.
+
+    Packs both operands once (memoized) and keeps the running quotient
+    packed between rounds — the tuple path unpacks and re-packs per
+    round.  Callers that probe one dividend against a whole divisor
+    pool (block refinement) use this directly with a hoisted context;
+    the operands must already share one variable tuple.  Returns
+    ``(unified, 0)`` when the divisor never divides.
+    """
+    divisor_degree = divisor.total_degree()
+    lead, lead_coeff, rest = _packed_lead_rest(divisor, ctx)
+    divides = ctx.divides
+    current_map = packed_form(unified, ctx).term_map()
     count = 0
-    current = dividend
-    while not current.is_zero:
-        quotient = exact_divide(current, divisor)
-        if quotient is None:
+    while current_map:
+        if count and ctx.degree_of(min(current_map)) < divisor_degree:
             break
-        current = quotient
+        for p, c in current_map.items():
+            if c % lead_coeff == 0 and divides(lead, p):
+                break
+        else:
+            break
+        quotient, remainder = _packed_divmod_core(
+            dict(current_map), lead, lead_coeff, rest, ctx
+        )
+        if remainder:
+            break
+        current_map = quotient
         count += 1
-    return current, count
+    if count == 0:
+        return unified, 0
+    unpack = ctx.unpack
+    reduced = Polynomial._raw(
+        unified.vars, {unpack(p): c for p, c in current_map.items() if c}
+    )
+    return reduced, count

@@ -57,7 +57,7 @@ def _var_union(a: tuple, b: tuple) -> tuple:
 class Polynomial:
     """An immutable sparse multivariate polynomial over the integers."""
 
-    __slots__ = ("_vars", "_terms", "_hash", "_used", "_tdeg", "_wv")
+    __slots__ = ("_vars", "_terms", "_hash", "_used", "_tdeg", "_wv", "_pk")
 
     def __init__(self, variables: Iterable[str], terms: Mapping[Exponents, Coeff]):
         """Build a polynomial from a term mapping.
@@ -88,6 +88,7 @@ class Polynomial:
         self._used: Tuple[str, ...] | None = None
         self._tdeg: int | None = None
         self._wv: dict | None = None
+        self._pk: dict | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -109,6 +110,7 @@ class Polynomial:
         self._used = None
         self._tdeg = None
         self._wv = None
+        self._pk = None
         return self
 
     @classmethod
@@ -471,6 +473,20 @@ class Polynomial:
             trimmed = self.trim()
             self._hash = hash((trimmed._vars, frozenset(trimmed._terms.items())))
         return self._hash
+
+    def __getstate__(self):
+        # Pickle only the mathematical content: the per-instance memo
+        # slots (_wv alignments, _pk packed forms) are process-local
+        # caches and would bloat every engine job/result payload.
+        return self._vars, self._terms
+
+    def __setstate__(self, state) -> None:
+        self._vars, self._terms = state
+        self._hash = None
+        self._used = None
+        self._tdeg = None
+        self._wv = None
+        self._pk = None
 
     # ------------------------------------------------------------------
     # Calculus / evaluation / substitution

@@ -58,6 +58,22 @@ def falling_factorial_dense(k: int) -> tuple[int, ...]:
     return tuple(coeffs)
 
 
+def falling_cache_size() -> int:
+    """Total entries across this module's ``lru_cache`` memos."""
+    return (
+        stirling_second.cache_info().currsize
+        + stirling_first_signed.cache_info().currsize
+        + falling_factorial_dense.cache_info().currsize
+    )
+
+
+def clear_falling_caches() -> None:
+    """Drop the Stirling/falling-factorial memos (cold-run measurement)."""
+    stirling_second.cache_clear()
+    stirling_first_signed.cache_clear()
+    falling_factorial_dense.cache_clear()
+
+
 def falling_factorial_poly(var: str, k: int) -> Polynomial:
     """``Y_k(var)`` as a polynomial."""
     return Polynomial.from_dense(list(falling_factorial_dense(k)), var)

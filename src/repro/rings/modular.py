@@ -59,6 +59,20 @@ def _factorial(n: int) -> int:
     return result
 
 
+def modular_cache_size() -> int:
+    """Total entries across this module's ``lru_cache`` memos."""
+    return (
+        smarandache_lambda.cache_info().currsize
+        + _factorial.cache_info().currsize
+    )
+
+
+def clear_modular_caches() -> None:
+    """Drop the number-theory memos (cold-run measurement)."""
+    smarandache_lambda.cache_clear()
+    _factorial.cache_clear()
+
+
 def coefficient_modulus(m: int, k_tuple: tuple[int, ...]) -> int:
     """The modulus ``2^m / gcd(2^m, prod k_i!)`` for coefficient ``c_k``.
 

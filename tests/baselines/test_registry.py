@@ -65,24 +65,16 @@ class TestRegistry:
         finally:
             unregister_method("test-decorated")
 
-    def test_legacy_signature_warns_and_adapts(self):
+    def test_legacy_signature_rejected(self):
         def legacy(system, options=None):
             return direct_decomposition(list(system.polys))
 
-        with pytest.warns(DeprecationWarning, match="legacy signature"):
+        # The one-release adapter for the pre-DAG signature is gone:
+        # registration fails loudly, naming the required signature, and
+        # leaves the registry untouched.
+        with pytest.raises(TypeError, match="removed legacy signature"):
             register_method("test-legacy", legacy)
-        try:
-            # The adapter accepts (and drops) the dag keyword the new
-            # calling convention passes.
-            from repro.dag import ExpressionDAG
-
-            system = get_system("Table 14.1")
-            fn = get_method("test-legacy")
-            dec = fn(system, None, dag=ExpressionDAG())
-            assert dec.op_count().mul > 0
-            assert fn.__wrapped__ is legacy
-        finally:
-            unregister_method("test-legacy")
+        assert not is_registered("test-legacy")
 
     def test_var_keyword_methods_are_not_wrapped(self):
         def flexible(system, options=None, **kwargs):

@@ -1,0 +1,299 @@
+"""Differential property tests: packed monomials agree with tuples.
+
+The packed fast path (:mod:`repro.poly.packed`) re-implements monomial
+multiplication, divisibility, grevlex comparison, and exponent GCD as
+plain integer arithmetic.  A silent field overflow or an off-by-one in
+the guard-bit trick would not crash — it would alias distinct monomials
+and quietly change division results downstream.  So every packed
+operation is pinned against the reference ``mono_*`` tuple
+implementation over hypothesis-generated exponent tuples, and the two
+whole-polynomial entry points (``divmod_poly``, ``divide_out_all``) are
+checked packed-vs-tuple for exact result identity, including term
+order.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.poly import Polynomial
+from repro.poly.division import divide_out_all, divmod_poly
+from repro.poly.monomial import (
+    mono_degree,
+    mono_div,
+    mono_divides,
+    mono_gcd,
+    mono_mul,
+)
+from repro.poly.orderings import grevlex_key
+from repro.poly.packed import (
+    PackedContext,
+    PackedPoly,
+    clear_packed_context_cache,
+    packed_context_cache_size,
+    packed_form,
+    set_packed_enabled,
+)
+
+# Exponent tuples: 1..6 variables, entries small enough that products of
+# two monomials stay inside a product-sized context.
+NVARS = st.shared(st.integers(min_value=1, max_value=6), key="nvars")
+
+
+def exponents(max_exp: int = 9):
+    return NVARS.flatmap(
+        lambda n: st.tuples(
+            *[st.integers(min_value=0, max_value=max_exp)] * n
+        )
+    )
+
+
+def _product_context(*tuples):
+    """Context sized the way the CSE port sizes them: product bound."""
+    nvars = len(tuples[0])
+    bound = max(sum(t) for t in tuples)
+    ctx = PackedContext.for_degrees(nvars, bound, bound)
+    assert ctx is not None
+    return ctx
+
+
+class TestPackedMonomialOps:
+    @given(exponents())
+    def test_pack_unpack_roundtrip(self, exps):
+        ctx = _product_context(exps)
+        assert ctx.unpack(ctx.pack(exps)) == exps
+
+    @given(exponents(), exponents())
+    def test_mul_matches_mono_mul(self, a, b):
+        ctx = _product_context(a, b)
+        product = ctx.mul(ctx.pack(a), ctx.pack(b))
+        assert ctx.unpack(product) == mono_mul(a, b)
+        assert ctx.degree_of(product) == mono_degree(mono_mul(a, b))
+
+    @given(exponents(), exponents())
+    def test_divides_matches_mono_divides(self, a, b):
+        ctx = _product_context(a, b)
+        assert ctx.divides(ctx.pack(b), ctx.pack(a)) == mono_divides(b, a)
+
+    @given(exponents(), exponents())
+    def test_div_matches_mono_div(self, a, b):
+        joint = mono_mul(a, b)
+        ctx = _product_context(joint)
+        packed = ctx.div(ctx.pack(joint), ctx.pack(b))
+        assert ctx.unpack(packed) == mono_div(joint, b) == a
+
+    @given(exponents(), exponents())
+    def test_exps_gcd_matches_mono_gcd(self, a, b):
+        ctx = _product_context(a, b)
+        lowmask = ctx.lowmask
+        bits = ctx.exps_gcd(ctx.pack(a) & lowmask, ctx.pack(b) & lowmask)
+        full = ctx.with_degree_field(bits)
+        gcd = mono_gcd(a, b)
+        assert ctx.unpack(full) == gcd
+        assert ctx.degree_of(full) == mono_degree(gcd)
+
+    @given(exponents(), exponents())
+    def test_packed_order_is_inverse_grevlex(self, a, b):
+        ctx = _product_context(a, b)
+        pa, pb = ctx.pack(a), ctx.pack(b)
+        if a == b:
+            assert pa == pb
+        else:
+            # Smaller packed integer == grevlex-larger monomial, the
+            # invariant the division heap and ``leading()`` rely on.
+            assert (pa < pb) == (grevlex_key(a) > grevlex_key(b))
+
+    @given(exponents())
+    def test_unit_monomials(self, exps):
+        ctx = _product_context(exps)
+        for index in range(len(exps)):
+            expected = tuple(
+                1 if j == index else 0 for j in range(len(exps))
+            )
+            assert ctx.unpack(ctx.unit(index)) == expected
+            assert ctx.degree_of(ctx.unit(index)) == 1
+
+
+class TestContextSizing:
+    def test_for_degrees_overflow_returns_none(self):
+        # 200 variables at a cap needing >1024 bits total must refuse.
+        assert PackedContext.for_degrees(200, 50, 50) is None
+
+    def test_for_degrees_caches_and_clears(self):
+        clear_packed_context_cache()
+        ctx = PackedContext.for_degrees(3, 5, 5)
+        assert ctx is not None
+        assert PackedContext.for_degrees(3, 5, 5) is ctx
+        assert packed_context_cache_size() >= 1
+        clear_packed_context_cache()
+        assert packed_context_cache_size() == 0
+
+    def test_boundary_degree_fits(self):
+        # Everything up to the summed bound must pack losslessly.
+        ctx = PackedContext.for_degrees(2, 7, 7)
+        exps = (14, 0)
+        assert ctx.fits(14)
+        assert ctx.unpack(ctx.pack(exps)) == exps
+
+    def test_get_cache_is_bounded_lru(self):
+        clear_packed_context_cache()
+        limit = PackedContext._CACHE_MAX
+        for degree in range(1, limit + 10):
+            PackedContext.get(2, degree)
+        assert packed_context_cache_size() == limit
+        # The oldest shapes were evicted, the newest survive.
+        with PackedContext._cache_lock:
+            keys = list(PackedContext._cache)
+        assert (2, 1) not in keys and (2, limit + 9) in keys
+        clear_packed_context_cache()
+
+    def test_get_is_thread_safe(self):
+        clear_packed_context_cache()
+        errors = []
+
+        def worker(seed):
+            rng = random.Random(seed)
+            try:
+                for _ in range(300):
+                    degree = rng.randint(1, 40)
+                    ctx = PackedContext.get(3, degree)
+                    assert ctx.cap == max(degree, 1)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        clear_packed_context_cache()
+
+
+POLY_VARS = ("x", "y", "z")
+
+
+def _polys(draw_terms):
+    terms = {}
+    for exps, coeff in draw_terms:
+        terms[exps] = terms.get(exps, 0) + coeff
+    return Polynomial(POLY_VARS, {e: c for e, c in terms.items() if c})
+
+
+poly_terms = st.lists(
+    st.tuples(
+        st.tuples(*[st.integers(min_value=0, max_value=4)] * 3),
+        st.integers(min_value=-9, max_value=9).filter(bool),
+    ),
+    min_size=0,
+    max_size=6,
+)
+
+
+class TestPackedPoly:
+    @given(poly_terms)
+    def test_round_trip_preserves_order(self, raw_terms):
+        poly = _polys(raw_terms)
+        degree = max(poly.total_degree(), 1)
+        ctx = PackedContext.for_degrees(3, degree, degree)
+        packed = PackedPoly.from_polynomial(poly, ctx)
+        assert packed.to_terms() == list(poly.terms.items())
+        assert packed.to_term_dict() == dict(poly.terms)
+        assert len(packed) == len(poly.terms)
+
+    @given(poly_terms)
+    def test_leading_and_degree(self, raw_terms):
+        poly = _polys(raw_terms)
+        degree = max(poly.total_degree(), 1)
+        ctx = PackedContext.for_degrees(3, degree, degree)
+        packed = PackedPoly.from_polynomial(poly, ctx)
+        if poly.is_zero:
+            assert packed.total_degree() == -1
+            with pytest.raises(ValueError):
+                packed.leading()
+        else:
+            lead, coeff = packed.leading()
+            expected = max(poly.terms, key=grevlex_key)
+            assert ctx.unpack(lead) == expected
+            assert coeff == poly.terms[expected]
+            assert packed.total_degree() == poly.total_degree()
+            head, head_coeff, rest = packed.lead_rest()
+            assert (head, head_coeff) == (lead, coeff)
+            assert dict(rest) == {
+                k: c for k, c in packed.term_map().items() if k != lead
+            }
+
+    def test_packed_form_memoizes_per_context_shape(self):
+        poly = Polynomial(POLY_VARS, {(1, 0, 0): 2, (0, 1, 1): -3})
+        ctx = PackedContext.for_degrees(3, 4, 4)
+        assert packed_form(poly, ctx) is packed_form(poly, ctx)
+        other = PackedContext.for_degrees(3, 40, 40)
+        assert packed_form(poly, other) is not packed_form(poly, ctx)
+
+
+def _both_modes(operation):
+    """Run ``operation()`` packed then tuple; restore the env decision."""
+    try:
+        set_packed_enabled(True)
+        fast = operation()
+        set_packed_enabled(False)
+        slow = operation()
+    finally:
+        set_packed_enabled(None)
+    return fast, slow
+
+
+class TestWholePolynomialDifferential:
+    """divmod/divide_out_all: packed and tuple paths byte-identical."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(poly_terms, poly_terms)
+    def test_divmod_identical(self, a_terms, b_terms):
+        dividend = _polys(a_terms)
+        divisor = _polys(b_terms)
+        if divisor.is_zero:
+            return
+        fast, slow = _both_modes(lambda: divmod_poly(dividend, divisor))
+        assert fast == slow
+        # Identity must extend to term *order* (it leaks into greedy
+        # tie-breaks downstream), not just mathematical equality.
+        for f, s in zip(fast, slow):
+            assert list(f.terms.items()) == list(s.terms.items())
+            assert f.vars == s.vars
+
+    @settings(max_examples=60, deadline=None)
+    @given(poly_terms, poly_terms)
+    def test_divide_out_all_identical(self, a_terms, b_terms):
+        dividend = _polys(a_terms)
+        divisor = _polys(b_terms)
+        if divisor.is_zero or divisor.is_constant:
+            return
+        fast, slow = _both_modes(lambda: divide_out_all(dividend, divisor))
+        assert fast == slow
+        assert list(fast[0].terms.items()) == list(slow[0].terms.items())
+        assert fast[0].vars == slow[0].vars
+        assert fast[1] == slow[1]
+
+
+class TestCacheRegistration:
+    def test_clear_caches_covers_packed_and_rings(self):
+        from repro.api import clear_caches
+        from repro.rings.falling import falling_factorial_dense
+        from repro.rings.modular import smarandache_lambda
+
+        PackedContext.get(3, 7)
+        smarandache_lambda(5)
+        falling_factorial_dense(3)
+        sizes = clear_caches()
+        assert sizes["packed_contexts"] >= 1
+        assert sizes["rings_modular"] >= 1
+        assert sizes["rings_falling"] >= 1
+        assert packed_context_cache_size() == 0
+        assert smarandache_lambda.cache_info().currsize == 0
